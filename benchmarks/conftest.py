@@ -1,0 +1,36 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+The benchmark suite runs a scaled-down evaluation by default (one workload
+per CVP category at the full per-category trace lengths).  Set
+``REPRO_SUITE_SCALE=N`` to multiply the workload count — ``6`` matches the
+full evaluation recorded in EXPERIMENTS.md.
+
+Heavy sweeps shared by several figures (the Figure 7-10 curve field) run
+once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import default_suite, run_suite
+from repro.analysis.figures import CURVE_CONFIGS
+from repro.workloads.cloudsuite import cloudsuite_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The CVP-like workload suite used by most figures."""
+    return default_suite(per_category=1)
+
+
+@pytest.fixture(scope="session")
+def cloud_suite():
+    """The CloudSuite-like workloads of Figure 16."""
+    return cloudsuite_suite(n_instructions=300_000)
+
+
+@pytest.fixture(scope="session")
+def curve_evaluation(suite):
+    """One sweep over the sub-64KB prefetcher field (Figures 7-10)."""
+    return run_suite(suite, list(CURVE_CONFIGS))

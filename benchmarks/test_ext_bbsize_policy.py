@@ -1,0 +1,57 @@
+"""Extension: the block-size recording policy ablation.
+
+The paper keeps the *maximum* observed basic-block size ("this decision
+increases the coverage of the prefetcher at the cost of having extra
+false positives", Section III-A1).  This bench quantifies the trade-off
+against the tighter *latest*-size policy.
+"""
+
+import statistics
+
+from repro.analysis.experiments import _cached_units, _cached_workload
+from repro.analysis.metrics import geometric_mean
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+from repro.prefetchers import NullPrefetcher
+from repro.sim import simulate
+
+
+def _evaluate(suite):
+    out = {}
+    for policy in ("max", "latest"):
+        ratios, coverages, accuracies = [], [], []
+        for spec in suite:
+            trace = _cached_workload(spec)
+            units = _cached_units(spec, 64)
+            warm = int(spec.n_instructions * 0.4)
+            base = simulate(trace, NullPrefetcher(), units=units,
+                            warmup_instructions=warm).stats
+            stats = simulate(
+                trace,
+                EntanglingPrefetcher(EntanglingConfig(bb_size_policy=policy)),
+                units=units,
+                warmup_instructions=warm,
+            ).stats
+            ratios.append(stats.ipc / base.ipc)
+            coverages.append(stats.coverage_vs(base))
+            accuracies.append(stats.accuracy)
+        out[policy] = {
+            "speedup": geometric_mean(ratios),
+            "coverage": statistics.mean(coverages),
+            "accuracy": statistics.mean(accuracies),
+        }
+    return out
+
+
+def test_ext_bbsize_policy(benchmark, suite):
+    data = benchmark.pedantic(_evaluate, args=(suite,), rounds=1, iterations=1)
+    print()
+    print("Extension — block-size policy (paper: max; alternative: latest)")
+    for policy, metrics in data.items():
+        print(f"  {policy:7s} speedup={metrics['speedup']:.3f} "
+              f"coverage={metrics['coverage']:.3f} "
+              f"accuracy={metrics['accuracy']:.3f}")
+
+    # The paper's trade-off: max gains coverage, latest gains accuracy.
+    assert data["max"]["coverage"] >= data["latest"]["coverage"] - 0.02
+    assert data["latest"]["accuracy"] >= data["max"]["accuracy"] - 0.02
+    assert data["max"]["speedup"] > 1.0 and data["latest"]["speedup"] > 1.0

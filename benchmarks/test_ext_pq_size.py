@@ -1,0 +1,29 @@
+"""Extension: prefetch-queue size sensitivity (paper Section IV-D).
+
+The paper: "our prefetcher would benefit from a larger prefetch queue
+(32 entries employed in our evaluation), as less prefetches would be
+discarded."  This bench sweeps the PQ size around the paper's design
+point and checks that drops shrink monotonically.
+"""
+
+from repro.analysis.sweeps import render_sweep, sweep_sim_parameter
+
+
+def test_ext_pq_size(benchmark, suite):
+    points = benchmark.pedantic(
+        sweep_sim_parameter,
+        args=(suite, "prefetch_queue_size", [8, 32, 128]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep("Extension — prefetch-queue size sweep (paper uses 32)",
+                       points))
+
+    by_value = {p.value: p for p in points}
+    # Fewer slots, more discarded prefetches.
+    assert by_value[8].mean_pq_drops >= by_value[32].mean_pq_drops
+    assert by_value[32].mean_pq_drops >= by_value[128].mean_pq_drops
+    # The paper's conjecture: a larger PQ does not hurt (and usually helps).
+    assert by_value[128].geomean_speedup >= by_value[32].geomean_speedup - 0.02
+    assert all(p.geomean_speedup > 1.0 for p in points)

@@ -1,0 +1,57 @@
+"""Extension: the split Entangled table (paper Section III-C3 future work).
+
+Compares the unified low-budget Entangling-2K against a split design
+(1K-entry pairs-only table + 2K-entry block-size table) that costs less
+storage.  The paper conjectures the split is "likely beneficial for
+low-storage configurations"; this bench quantifies it on our workloads.
+"""
+
+from repro.analysis.experiments import _cached_units, _cached_workload
+from repro.analysis.metrics import geometric_mean
+from repro.core.split_table import make_split_entangling
+from repro.core.variants import make_entangling
+from repro.prefetchers import NullPrefetcher
+from repro.sim import simulate
+
+
+def _evaluate(suite):
+    rows = {}
+    for make, label in (
+        (lambda: make_entangling(2048), "unified-2K"),
+        (lambda: make_split_entangling(1024, 2048), "split-1K+2Ksz"),
+        (lambda: make_split_entangling(2048, 4096), "split-2K+4Ksz"),
+    ):
+        ratios = []
+        storage = make().storage_kb
+        for spec in suite:
+            trace = _cached_workload(spec)
+            units = _cached_units(spec, 64)
+            warm = int(spec.n_instructions * 0.4)
+            base = simulate(trace, NullPrefetcher(), units=units,
+                            warmup_instructions=warm).stats
+            stats = simulate(trace, make(), units=units,
+                             warmup_instructions=warm).stats
+            ratios.append(stats.ipc / base.ipc)
+        rows[label] = (storage, geometric_mean(ratios))
+    return rows
+
+
+def test_ext_split_table(benchmark, suite):
+    rows = benchmark.pedantic(_evaluate, args=(suite,), rounds=1, iterations=1)
+    print()
+    print("Extension — split vs unified Entangled table (low budget)")
+    for label, (storage, speedup) in rows.items():
+        print(f"  {label:16s} {storage:6.2f} KB  geomean speedup {speedup:.3f}")
+
+    unified_kb, unified_speedup = rows["unified-2K"]
+    split_kb, split_speedup = rows["split-1K+2Ksz"]
+    bigger_kb, bigger_speedup = rows["split-2K+4Ksz"]
+    # The split design is cheaper and still delivers a solid speedup; on
+    # our workloads the benefit is roughly storage-proportional (the
+    # paper's conjectured low-budget advantage does not clearly
+    # materialize -- see EXPERIMENTS.md).
+    assert split_kb < unified_kb
+    assert split_speedup > 1.0
+    assert split_speedup > unified_speedup - 0.08
+    # Growing the split structures recovers most of the unified speedup.
+    assert bigger_speedup > unified_speedup - 0.03

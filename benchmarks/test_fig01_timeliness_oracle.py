@@ -1,0 +1,24 @@
+"""Figure 1: fraction of timely prefetches vs fixed look-ahead distance.
+
+The paper's motivation: no single look-ahead distance serves all misses.
+The oracle instruments a no-prefetch run and replays distances 1-10.
+"""
+
+from repro.analysis.figures import fig1_fig2_oracle, render_fig1
+
+
+def test_fig01_timeliness_oracle(benchmark, suite):
+    results = benchmark.pedantic(
+        fig1_fig2_oracle, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig1(results))
+
+    for result in results:
+        fractions = [result.timely_fraction[d] for d in range(1, 11)]
+        # Timeliness is monotone in distance and never complete by d=10
+        # (the paper: distances larger than 10 still cover misses).
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] < 1.0
+        # A fixed distance of 1 leaves a significant miss fraction late.
+        assert fractions[0] < 0.9

@@ -1,0 +1,19 @@
+"""Figure 2: prefetch accuracy vs fixed look-ahead distance.
+
+The complementary motivation figure: longer look-ahead loses accuracy
+(early/wrong prefetches from path divergence and eviction before use).
+"""
+
+from repro.analysis.figures import fig1_fig2_oracle, render_fig2
+
+
+def test_fig02_accuracy_vs_distance(benchmark, suite):
+    results = benchmark.pedantic(
+        fig1_fig2_oracle, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig2(results))
+
+    for result in results:
+        # Accuracy must decline as the look-ahead distance grows.
+        assert result.accuracy[10] < result.accuracy[1]

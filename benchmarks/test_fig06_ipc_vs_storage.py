@@ -1,0 +1,38 @@
+"""Figure 6: geometric-mean IPC vs storage for the whole prefetcher field.
+
+The headline figure.  Shape claims checked:
+* the Entangling family beats every baseline prefetcher below its budget;
+* spending the budget on a larger L1I instead is far less effective;
+* the Ideal prefetcher upper-bounds everything.
+"""
+
+from repro.analysis.figures import FIG6_CONFIGS, fig6_ipc_vs_storage, render_fig6
+
+
+def test_fig06_ipc_vs_storage(benchmark, suite):
+    rows, evaluation = benchmark.pedantic(
+        fig6_ipc_vs_storage, args=(suite, FIG6_CONFIGS), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig6(rows))
+
+    geo = {row.config: row.geomean_speedup for row in rows}
+
+    # Entangling-4K outperforms the same-or-larger-budget baselines.
+    for baseline in ("rdip", "sn4l", "mana_4k", "next_line"):
+        assert geo["entangling_4k"] > geo[baseline], (baseline, geo)
+
+    # The low-budget Entangling outperforms MANA's low-budget configs
+    # (paper: "Entangling also outperforms all low-budget configurations
+    # of MANA").
+    assert geo["entangling_2k"] > geo["mana_2k"]
+
+    # Growing the L1I is a poor use of the budget compared to Entangling.
+    assert geo["entangling_2k"] > geo["l1i_64kb"]
+
+    # Ideal bounds everything; every prefetcher improves on no-prefetch.
+    for config in FIG6_CONFIGS:
+        if config == "ideal":
+            continue
+        assert geo[config] <= geo["ideal"]
+        assert geo[config] > 1.0

@@ -1,0 +1,25 @@
+"""Figure 7: per-workload normalized-IPC S-curves.
+
+Checks the paper's claim that Entangling never degrades performance,
+unlike NextLine which can.
+"""
+
+from repro.analysis.figures import per_workload_curves, render_curves
+
+
+def test_fig07_ipc_curves(benchmark, curve_evaluation):
+    curves = benchmark.pedantic(
+        per_workload_curves, args=(curve_evaluation, "ipc"), rounds=1, iterations=1
+    )
+    print()
+    print(render_curves("Fig 7 — normalized IPC (sorted per config)", curves))
+
+    # Entangling never drops below the no-prefetch baseline.
+    assert min(curves["entangling_4k"]) >= 0.99
+    # The 4K configuration dominates the 2K configuration pointwise-sorted.
+    paired = zip(curves["entangling_2k"], curves["entangling_4k"])
+    assert sum(b >= a for a, b in paired) >= len(curves["entangling_2k"]) // 2
+    # Ideal tops every workload.
+    assert min(curves["ideal"]) >= max(
+        min(curves[c]) for c in curves if c != "ideal"
+    )

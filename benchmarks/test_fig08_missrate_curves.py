@@ -1,0 +1,33 @@
+"""Figure 8: per-workload L1I miss-ratio curves.
+
+The paper: Entangling drastically reduces the miss rate across all
+workloads, approaching the ideal cache.
+"""
+
+import statistics
+
+from repro.analysis.figures import per_workload_curves, render_curves
+
+
+def test_fig08_missrate_curves(benchmark, curve_evaluation):
+    curves = benchmark.pedantic(
+        per_workload_curves,
+        args=(curve_evaluation, "miss_ratio"),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_curves("Fig 8 — L1I miss ratio (sorted per config)", curves))
+
+    base = curve_evaluation.miss_ratio("no")
+    # Every workload has at least 1 MPKI-class misses in the baseline.
+    assert all(v > 0 for v in base.values())
+
+    mean = {c: statistics.mean(vals) for c, vals in curves.items()}
+    # Entangling reduces the mean miss ratio well below the baseline and
+    # below every evaluated competitor.
+    assert mean["entangling_4k"] < statistics.mean(base.values()) * 0.75
+    for competitor in ("next_line", "sn4l", "rdip", "mana_4k", "mana_2k"):
+        assert mean["entangling_4k"] < mean[competitor]
+    # The ideal cache has a zero miss ratio by construction.
+    assert max(curves["ideal"]) == 0.0

@@ -1,0 +1,27 @@
+"""Figure 9: per-workload prefetcher coverage curves.
+
+The paper: Entangling shows much higher coverage than the state of the
+art across workloads.
+"""
+
+import statistics
+
+from repro.analysis.figures import per_workload_curves, render_curves
+
+
+def test_fig09_coverage(benchmark, curve_evaluation):
+    curves = benchmark.pedantic(
+        per_workload_curves,
+        args=(curve_evaluation, "coverage"),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_curves("Fig 9 — coverage (sorted per config)", curves))
+
+    mean = {c: statistics.mean(vals) for c, vals in curves.items() if c != "ideal"}
+    # Entangling-4K has the best mean coverage of the realistic field.
+    assert max(mean, key=mean.get) == "entangling_4k", mean
+    # Coverage values are well-formed.
+    for series in curves.values():
+        assert all(0.0 <= v <= 1.0 for v in series)

@@ -1,0 +1,35 @@
+"""Figure 11: breakdown of the contributions to performance.
+
+Variants: BB (block-only), BBEnt (+destination lines), BBEntBB
+(+destination blocks), Ent (lines only, no blocks), and the full
+BBEntBB-Merge.  Shape claim: each mechanism adds performance, with
+entangling the key contributor and merging the finishing touch.
+"""
+
+from repro.analysis.figures import fig11_ablation, render_fig11
+
+
+def test_fig11_ablation(benchmark, suite):
+    data = benchmark.pedantic(
+        fig11_ablation,
+        args=(suite,),
+        kwargs={"sizes": (2048, 4096, 8192)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig11(data))
+
+    for size in (2048, 4096, 8192):
+        bb = data["BB"][size]
+        bbent = data["BBEnt"][size]
+        bbentbb = data["BBEntBB"][size]
+        full = data["BBEntBB-Merge"][size]
+        # Entangling destinations on top of blocks helps...
+        assert bbent > bb
+        # ...prefetching whole destination blocks helps further...
+        assert bbentbb > bbent
+        # ...and the full design is the best variant overall.
+        assert full >= bbentbb * 0.995
+        # Everything improves on the no-prefetch baseline.
+        assert all(data[v][size] > 1.0 for v in data)

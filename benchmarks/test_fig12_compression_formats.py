@@ -1,0 +1,30 @@
+"""Figure 12: in which format entangled destinations are stored.
+
+Shape claims: most destinations compress far below the full address
+width, and srv destinations are the hardest to compress.
+"""
+
+from repro.analysis.figures import figs12_to_15_internals, render_figs12_to_15
+
+
+def test_fig12_compression_formats(benchmark, suite):
+    result = benchmark.pedantic(
+        figs12_to_15_internals, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    print(render_figs12_to_15(result))
+
+    for category, buckets in result.format_fractions.items():
+        total = sum(buckets.values())
+        assert total == __import__("pytest").approx(1.0, abs=1e-6)
+        # The dominant format is a compressed one (< the 58-bit full width).
+        dominant = max(buckets, key=buckets.get)
+        assert dominant < 58, (category, buckets)
+
+    def wide_fraction(cat):
+        return sum(frac for bits, frac in result.format_fractions[cat].items()
+                   if bits >= 18)
+
+    # srv needs wide formats more often than crypto (paper Fig 12).
+    if "srv" in result.format_fractions and "crypto" in result.format_fractions:
+        assert wide_fraction("srv") > wide_fraction("crypto")

@@ -1,0 +1,19 @@
+"""Figure 13: average number of entangled destinations found per hit.
+
+The paper reports ~2.2-2.5 across categories; we check the value is a
+small handful (well under the compression limit of 6).
+"""
+
+from repro.analysis.figures import figs12_to_15_internals
+
+
+def test_fig13_avg_destinations(benchmark, suite):
+    result = benchmark.pedantic(
+        figs12_to_15_internals, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    for category, value in sorted(result.avg_destinations.items()):
+        print(f"Fig 13  {category:8s} avg destinations/hit = {value:.2f}")
+
+    for category, value in result.avg_destinations.items():
+        assert 0.0 < value <= 6.0, (category, value)

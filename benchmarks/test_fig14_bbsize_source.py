@@ -1,0 +1,21 @@
+"""Figure 14: average basic-block size of the triggering (source) block.
+
+Shape claim: fp has the largest blocks (long loop bodies) and srv the
+smallest (branchy server code).
+"""
+
+from repro.analysis.figures import figs12_to_15_internals
+
+
+def test_fig14_bbsize_source(benchmark, suite):
+    result = benchmark.pedantic(
+        figs12_to_15_internals, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    for category, value in sorted(result.avg_src_bb_size.items()):
+        print(f"Fig 14  {category:8s} avg source block size = {value:.2f}")
+
+    sizes = result.avg_src_bb_size
+    assert sizes["fp"] == max(sizes.values())
+    assert sizes["srv"] == min(sizes.values())
+    assert all(v >= 0 for v in sizes.values())

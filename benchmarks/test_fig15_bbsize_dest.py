@@ -1,0 +1,26 @@
+"""Figure 15: average basic-block size of the entangled destinations,
+plus the paper's prefetches-per-hit formula:
+``bbsize + destinations * (1 + bbsize_dst)``.
+"""
+
+from repro.analysis.figures import figs12_to_15_internals
+
+
+def test_fig15_bbsize_dest(benchmark, suite):
+    result = benchmark.pedantic(
+        figs12_to_15_internals, args=(suite,), rounds=1, iterations=1
+    )
+    print()
+    for category in sorted(result.avg_dst_bb_size):
+        print(
+            f"Fig 15  {category:8s} avg destination block size = "
+            f"{result.avg_dst_bb_size[category]:.2f}  "
+            f"(prefetches/hit = {result.avg_prefetches_per_hit[category]:.1f})"
+        )
+
+    sizes = result.avg_dst_bb_size
+    # Destination blocks mirror the source-block ordering: fp largest.
+    assert sizes["fp"] == max(sizes.values())
+    # Prefetches per hit stay in a sane band (the paper reports ~9-17).
+    for category, value in result.avg_prefetches_per_hit.items():
+        assert 0.0 < value < 80.0, (category, value)

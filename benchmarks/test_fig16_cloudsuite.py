@@ -1,0 +1,27 @@
+"""Figure 16: normalized IPC for the CloudSuite applications.
+
+Shape claims: every CloudSuite-like workload exceeds 1 L1I MPKI, and the
+Entangling prefetcher outperforms the low-budget baselines (SN4L and
+MANA) on these cloud workloads, staying below the ideal bound.
+"""
+
+from repro.analysis.figures import FIG16_CONFIGS, fig16_cloudsuite, render_fig16
+
+
+def test_fig16_cloudsuite(benchmark, cloud_suite):
+    data, evaluation = benchmark.pedantic(
+        fig16_cloudsuite, args=(cloud_suite, FIG16_CONFIGS), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig16(data))
+
+    # Workload-selection rule: >1 MPKI at the L1I in the baseline.
+    for workload in evaluation.workloads():
+        assert evaluation.stats("no", workload).l1i_mpki > 1.0
+
+    for workload in evaluation.workloads():
+        ent = data["entangling_4k"][workload]
+        assert ent > data["sn4l"][workload]
+        assert ent > data["mana_2k"][workload]
+        assert ent <= data["ideal"][workload]
+        assert ent > 1.0

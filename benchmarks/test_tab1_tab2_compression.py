@@ -1,0 +1,18 @@
+"""Tables I and II: the destination compression mode tables.
+
+Structural: derived directly from the compression scheme, checked against
+the values printed in the paper.
+"""
+
+from repro.analysis.figures import render_tab1_tab2, tab1_tab2_modes
+
+
+def test_tab1_tab2_compression(benchmark):
+    modes = benchmark.pedantic(tab1_tab2_modes, rounds=1, iterations=1)
+    print()
+    print(render_tab1_tab2())
+
+    virtual = {mode: bits for mode, _cap, bits in modes["virtual"]}
+    physical = {mode: bits for mode, _cap, bits in modes["physical"]}
+    assert virtual == {1: 58, 2: 28, 3: 18, 4: 13, 5: 10, 6: 8}
+    assert physical == {1: 42, 2: 20, 3: 12, 4: 9}

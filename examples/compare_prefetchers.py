@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare the whole prefetcher field on a CVP-like suite (Figure 6 style).
+
+Runs every evaluated configuration — NextLine, SN4L, MANA, RDIP, D-JOLT,
+FNL+MMA, EPI, Entangling 2K/4K/8K, enlarged L1I caches, and the Ideal
+prefetcher — over a small suite and prints geometric-mean speedup against
+storage budget.
+
+Usage::
+
+    python examples/compare_prefetchers.py [--per-category N]
+"""
+
+import argparse
+
+from repro.analysis.figures import FIG6_CONFIGS, fig6_ipc_vs_storage, render_fig6
+from repro.workloads import cvp_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--per-category", type=int, default=1,
+        help="workloads per CVP category (default 1; the paper used ~240)",
+    )
+    args = parser.parse_args()
+
+    suite = cvp_suite(per_category=args.per_category)
+    names = ", ".join(spec.name for spec in suite)
+    print(f"suite: {names}")
+    print(f"running {len(FIG6_CONFIGS)} configurations x {len(suite)} workloads "
+          f"(this takes a few minutes)...")
+    rows, evaluation = fig6_ipc_vs_storage(suite, FIG6_CONFIGS)
+
+    print()
+    print(render_fig6(rows))
+
+    best_realistic = max(
+        (r for r in rows if r.config != "ideal"), key=lambda r: r.geomean_speedup
+    )
+    print()
+    print(f"best realistic configuration: {best_realistic.config} "
+          f"({(best_realistic.geomean_speedup - 1) * 100:.1f}% speedup at "
+          f"{best_realistic.storage_kb:.1f} KB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the complete text report recorded in EXPERIMENTS.md.  With the
+default scale (one workload per CVP category) this takes ~10 minutes on
+one core; pass ``--per-category N`` for a larger sweep.
+
+Usage::
+
+    python examples/full_evaluation.py [--per-category N] [--out FILE]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.figures import (
+    CURVE_CONFIGS,
+    FIG6_CONFIGS,
+    FIG16_CONFIGS,
+    TAB4_CONFIGS,
+    fig1_fig2_oracle,
+    fig6_ipc_vs_storage,
+    fig11_ablation,
+    fig16_cloudsuite,
+    figs12_to_15_internals,
+    per_workload_curves,
+    render_curves,
+    render_fig1,
+    render_fig2,
+    render_fig6,
+    render_fig11,
+    render_fig16,
+    render_figs12_to_15,
+    render_sec4e,
+    render_tab1_tab2,
+    render_tab4,
+    sec4e_physical,
+    tab4_energy,
+)
+from repro.analysis.experiments import run_suite
+from repro.workloads import cloudsuite_suite, cvp_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--per-category", type=int, default=1)
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    suite = cvp_suite(per_category=args.per_category)
+    clouds = cloudsuite_suite(n_instructions=300_000)
+    sections = []
+
+    def section(title, body, started):
+        elapsed = time.time() - started
+        text = f"== {title} (computed in {elapsed:.0f}s) ==\n{body}"
+        sections.append(text)
+        print(text, flush=True)
+        print(flush=True)
+
+    t = time.time()
+    oracle_results = fig1_fig2_oracle(suite)
+    section("Figures 1-2", render_fig1(oracle_results) + "\n\n" +
+            render_fig2(oracle_results), t)
+
+    t = time.time()
+    section("Tables I-II", render_tab1_tab2(), t)
+
+    t = time.time()
+    rows, _ = fig6_ipc_vs_storage(suite, FIG6_CONFIGS)
+    section("Figure 6", render_fig6(rows), t)
+
+    t = time.time()
+    curve_eval = run_suite(suite, list(CURVE_CONFIGS))
+    parts = []
+    for fig, metric in (("Fig 7 — normalized IPC", "ipc"),
+                        ("Fig 8 — L1I miss ratio", "miss_ratio"),
+                        ("Fig 9 — coverage", "coverage"),
+                        ("Fig 10 — accuracy", "accuracy")):
+        parts.append(render_curves(fig, per_workload_curves(curve_eval, metric)))
+    section("Figures 7-10", "\n\n".join(parts), t)
+
+    t = time.time()
+    energy_rows, _ = tab4_energy(suite, TAB4_CONFIGS)
+    section("Table IV", render_tab4(energy_rows), t)
+
+    t = time.time()
+    ablation = fig11_ablation(suite)
+    section("Figure 11", render_fig11(ablation), t)
+
+    t = time.time()
+    internals = figs12_to_15_internals(suite)
+    section("Figures 12-15", render_figs12_to_15(internals), t)
+
+    t = time.time()
+    physical = sec4e_physical(suite)
+    section("Section IV-E", render_sec4e(physical), t)
+
+    t = time.time()
+    cloud_data, _ = fig16_cloudsuite(clouds, FIG16_CONFIGS)
+    section("Figure 16", render_fig16(cloud_data), t)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(sections) + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

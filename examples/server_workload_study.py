@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Deep-dive into a server workload: the paper's motivating scenario.
+
+Server applications have instruction footprints far larger than the L1I
+(Section I).  This example:
+
+1. generates a large-footprint server workload;
+2. runs the look-ahead oracle (Figures 1-2) showing that no fixed
+   look-ahead distance serves all misses;
+3. compares the Figure 11 ablation variants of the Entangling prefetcher;
+4. prints the Entangling-internal statistics (Figures 12-15).
+
+Usage::
+
+    python examples/server_workload_study.py
+"""
+
+from repro import NullPrefetcher, simulate
+from repro.analysis.oracle import run_oracle
+from repro.core.variants import ABLATION_NAMES, make_ablation
+from repro.workloads import WorkloadSpec, make_workload
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        name="study_srv", category="srv", seed=77, n_instructions=300_000
+    )
+    trace = make_workload(spec)
+    warmup = spec.n_instructions // 2
+    print(f"workload {spec.name}: footprint "
+          f"{trace.footprint_lines() * 64 // 1024} KB")
+
+    # -- Figures 1-2: the fixed look-ahead oracle --------------------------
+    print("\n== look-ahead oracle (Figures 1-2) ==")
+    oracle = run_oracle(trace)
+    print("distance:        " + " ".join(f"{d:5d}" for d in range(1, 11)))
+    print("timely fraction: " + " ".join(
+        f"{oracle.timely_fraction[d]:5.2f}" for d in range(1, 11)))
+    print("accuracy:        " + " ".join(
+        f"{oracle.accuracy[d]:5.2f}" for d in range(1, 11)))
+    print(f"misses analyzed: {oracle.total_misses}")
+
+    # -- Figure 11: ablation of the Entangling mechanisms -------------------
+    print("\n== ablation (Figure 11) ==")
+    baseline = simulate(trace, NullPrefetcher(), warmup_instructions=warmup).stats
+    print(f"baseline IPC = {baseline.ipc:.3f}")
+    for variant in ABLATION_NAMES:
+        prefetcher = make_ablation(variant, entries=4096)
+        stats = simulate(trace, prefetcher, warmup_instructions=warmup).stats
+        print(f"  {variant:14s} speedup={stats.ipc / baseline.ipc:6.3f} "
+              f"coverage={stats.coverage_vs(baseline):6.1%} "
+              f"accuracy={stats.accuracy:6.1%}")
+
+    # -- Figures 12-15: Entangling internals --------------------------------
+    print("\n== Entangling internals (Figures 12-15) ==")
+    prefetcher = make_ablation("BBEntBB-Merge", entries=4096)
+    simulate(trace, prefetcher, warmup_instructions=warmup)
+    es = prefetcher.estats
+    fmt = prefetcher.table.stats.format_bits
+    total = sum(fmt.values()) or 1
+    formats = "  ".join(
+        f"{bits}b:{count / total:.0%}" for bits, count in sorted(fmt.items())
+    )
+    print(f"  destination formats:      {formats}")
+    print(f"  avg destinations per hit: {es.avg_destinations_per_hit:.2f}")
+    print(f"  avg source block size:    {es.avg_src_bb_size:.2f}")
+    print(f"  avg destination block:    {es.avg_dst_bb_size:.2f}")
+    print(f"  prefetches per hit:       {es.avg_prefetches_per_hit:.1f}")
+
+
+if __name__ == "__main__":
+    main()

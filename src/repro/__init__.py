@@ -1,0 +1,53 @@
+"""repro — reproduction of *A Cost-Effective Entangling Prefetcher for
+Instructions* (Ros & Jimborean, ISCA 2021).
+
+Quick start::
+
+    from repro import EntanglingPrefetcher, SimConfig, simulate
+    from repro.workloads import cvp_suite, make_workload
+
+    trace = make_workload(cvp_suite(per_category=1)[0])
+    result = simulate(trace, EntanglingPrefetcher())
+    print(result.stats.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    EntanglingConfig,
+    EntanglingPrefetcher,
+    make_ablation,
+    make_entangling,
+    make_epi,
+)
+from repro.prefetchers import (
+    InstructionPrefetcher,
+    NullPrefetcher,
+    available_prefetchers,
+    make_prefetcher,
+)
+from repro.sim import SimConfig, SimResult, Simulator, simulate
+from repro.workloads import Trace, cvp_suite, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntanglingConfig",
+    "EntanglingPrefetcher",
+    "make_ablation",
+    "make_entangling",
+    "make_epi",
+    "InstructionPrefetcher",
+    "NullPrefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "Trace",
+    "cvp_suite",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Analysis layer: metrics, the look-ahead oracle, experiment drivers, and
+text reporting for every table and figure in the paper's evaluation."""
+
+from repro.analysis.metrics import geometric_mean, normalized_ipc, percentile_curve
+from repro.analysis.storage import prefetcher_storage_kb, storage_table
+from repro.analysis.oracle import LookaheadOracle, OracleObserver, run_oracle
+from repro.analysis.experiments import (
+    EvaluationResult,
+    run_prefetcher_on_suite,
+    run_suite,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.export import (
+    export_curves_csv,
+    export_evaluation_csv,
+    export_series_csv,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_entangling_parameter,
+    sweep_sim_parameter,
+)
+
+__all__ = [
+    "geometric_mean",
+    "normalized_ipc",
+    "percentile_curve",
+    "prefetcher_storage_kb",
+    "storage_table",
+    "LookaheadOracle",
+    "OracleObserver",
+    "run_oracle",
+    "EvaluationResult",
+    "run_prefetcher_on_suite",
+    "run_suite",
+    "format_table",
+    "export_curves_csv",
+    "export_evaluation_csv",
+    "export_series_csv",
+    "SweepPoint",
+    "sweep_entangling_parameter",
+    "sweep_sim_parameter",
+]

@@ -1,0 +1,176 @@
+"""Experiment drivers: run suites of workloads across prefetcher configs.
+
+These are the building blocks the per-figure benchmarks assemble.  Traces
+and their preprocessed fetch units are generated once per process and
+shared across prefetcher configurations (the trace is read-only).
+
+Configuration names accepted everywhere are the
+:mod:`repro.prefetchers.registry` names plus two pseudo-configurations:
+``l1i_64kb`` and ``l1i_96kb``, which run the no-prefetch baseline with an
+enlarged L1I (the paper's alternative use of the storage budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.registry import make_prefetcher
+from repro.sim.config import SimConfig
+from repro.sim.fetchunits import FetchUnit, build_fetch_units
+from repro.sim.simulator import SimResult, simulate
+from repro.sim.stats import SimStats
+from repro.workloads.generators import WorkloadSpec, cvp_suite, make_workload
+from repro.workloads.trace import Trace
+
+PSEUDO_CONFIGS = ("l1i_64kb", "l1i_96kb")
+
+
+@lru_cache(maxsize=256)
+def _cached_workload(spec: WorkloadSpec) -> Trace:
+    return make_workload(spec)
+
+
+@lru_cache(maxsize=256)
+def _cached_units(spec: WorkloadSpec, line_size: int) -> Tuple[FetchUnit, ...]:
+    return tuple(build_fetch_units(_cached_workload(spec), line_size))
+
+
+def resolve_config(name: str, base: SimConfig) -> Tuple[InstructionPrefetcher, SimConfig]:
+    """Map a configuration name to (prefetcher instance, simulator config)."""
+    if name == "l1i_64kb":
+        return NullPrefetcher(), base.with_l1i_kb(64)
+    if name == "l1i_96kb":
+        return NullPrefetcher(), base.with_l1i_kb(96)
+    prefetcher = make_prefetcher(name)
+    if name.endswith("_phys"):
+        return prefetcher, base.with_physical_addresses()
+    return prefetcher, base
+
+
+@dataclass
+class EvaluationResult:
+    """Results of one suite x configuration-set evaluation."""
+
+    #: config name -> workload name -> SimResult
+    runs: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+    #: workload name -> category
+    categories: Dict[str, str] = field(default_factory=dict)
+
+    def stats(self, config: str, workload: str) -> SimStats:
+        return self.runs[config][workload].stats
+
+    def workloads(self) -> List[str]:
+        return sorted(self.categories)
+
+    def configs(self) -> List[str]:
+        return list(self.runs)
+
+    def normalized_ipc(self, config: str, baseline: str = "no") -> Dict[str, float]:
+        """Per-workload IPC normalized to the given baseline config."""
+        out: Dict[str, float] = {}
+        for workload, result in self.runs[config].items():
+            base = self.runs[baseline][workload].stats
+            out[workload] = result.stats.ipc / base.ipc if base.ipc else 0.0
+        return out
+
+    def geomean_speedup(self, config: str, baseline: str = "no") -> float:
+        from repro.analysis.metrics import geometric_mean
+
+        ratios = list(self.normalized_ipc(config, baseline).values())
+        return geometric_mean(ratios)
+
+    def coverage(self, config: str, baseline: str = "no") -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for workload, result in self.runs[config].items():
+            base = self.runs[baseline][workload].stats
+            out[workload] = result.stats.coverage_vs(base)
+        return out
+
+    def accuracy(self, config: str) -> Dict[str, float]:
+        return {
+            workload: result.stats.accuracy
+            for workload, result in self.runs[config].items()
+        }
+
+    def miss_ratio(self, config: str) -> Dict[str, float]:
+        return {
+            workload: result.stats.l1i_miss_ratio
+            for workload, result in self.runs[config].items()
+        }
+
+
+#: Default warm-up: the fraction of each trace spent warming caches and
+#: prefetcher state before measurement begins (the paper warms for 20M
+#: instructions before running its traces to the end).
+WARMUP_FRACTION = 0.4
+
+
+def run_prefetcher_on_suite(
+    specs: Sequence[WorkloadSpec],
+    config_name: str,
+    base_config: Optional[SimConfig] = None,
+    warmup_instructions: Optional[int] = None,
+) -> Dict[str, SimResult]:
+    """Run one configuration over a suite; fresh prefetcher per workload.
+
+    ``warmup_instructions=None`` warms up for ``WARMUP_FRACTION`` of each
+    trace; pass 0 to measure from a cold start.
+    """
+    base = base_config or SimConfig()
+    results: Dict[str, SimResult] = {}
+    for spec in specs:
+        prefetcher, sim_config = resolve_config(config_name, base)
+        trace = _cached_workload(spec)
+        units = _cached_units(spec, sim_config.line_size)
+        warmup = warmup_instructions
+        if warmup is None:
+            warmup = int(spec.n_instructions * WARMUP_FRACTION)
+        result = simulate(
+            trace,
+            prefetcher,
+            config=sim_config,
+            units=units,
+            warmup_instructions=warmup,
+        )
+        results[spec.name] = result
+    return results
+
+
+def run_suite(
+    specs: Sequence[WorkloadSpec],
+    config_names: Sequence[str],
+    base_config: Optional[SimConfig] = None,
+    warmup_instructions: Optional[int] = None,
+    include_baseline: bool = True,
+) -> EvaluationResult:
+    """Run a set of configurations over a suite of workloads."""
+    names = list(config_names)
+    if include_baseline and "no" not in names:
+        names.insert(0, "no")
+    evaluation = EvaluationResult()
+    evaluation.categories = {spec.name: spec.category for spec in specs}
+    for name in names:
+        evaluation.runs[name] = run_prefetcher_on_suite(
+            specs, name, base_config, warmup_instructions
+        )
+    return evaluation
+
+
+def default_suite(
+    per_category: int = 2, n_instructions: Optional[int] = None
+) -> List[WorkloadSpec]:
+    """The suite benchmarks use by default (scaled down for wall-clock).
+
+    Set the ``REPRO_SUITE_SCALE`` environment variable to multiply the
+    per-category workload count (e.g. ``REPRO_SUITE_SCALE=3`` runs 6 per
+    category, matching the full evaluation in EXPERIMENTS.md).
+    """
+    import os
+
+    scale = int(os.environ.get("REPRO_SUITE_SCALE", "1"))
+    return cvp_suite(
+        per_category=per_category * max(1, scale), n_instructions=n_instructions
+    )

@@ -1,0 +1,98 @@
+"""CSV export of evaluation results and figure data.
+
+Every figure driver in :mod:`repro.analysis.figures` returns plain data;
+these helpers serialize that data so external plotting tools can redraw
+the paper's figures from this reproduction's numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Mapping, Sequence, TextIO, Union
+
+from repro.analysis.experiments import EvaluationResult
+
+PathOrFile = Union[str, TextIO]
+
+
+def _with_writer(path_or_file: PathOrFile, emit) -> None:
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", newline="") as fh:
+            emit(csv.writer(fh))
+    else:
+        emit(csv.writer(path_or_file))
+
+
+def export_evaluation_csv(
+    evaluation: EvaluationResult, path_or_file: PathOrFile
+) -> None:
+    """One row per (config, workload) with all headline metrics."""
+
+    def emit(writer) -> None:
+        writer.writerow(
+            [
+                "config", "workload", "category", "ipc", "normalized_ipc",
+                "l1i_mpki", "miss_ratio", "coverage", "accuracy",
+                "prefetches_sent", "useful", "late", "wrong",
+            ]
+        )
+        for config in evaluation.configs():
+            normalized = evaluation.normalized_ipc(config)
+            cov = evaluation.coverage(config)
+            for workload in sorted(evaluation.runs[config]):
+                stats = evaluation.stats(config, workload)
+                writer.writerow(
+                    [
+                        config,
+                        workload,
+                        evaluation.categories.get(workload, "unknown"),
+                        f"{stats.ipc:.6f}",
+                        f"{normalized[workload]:.6f}",
+                        f"{stats.l1i_mpki:.4f}",
+                        f"{stats.l1i_miss_ratio:.6f}",
+                        f"{cov[workload]:.6f}",
+                        f"{stats.accuracy:.6f}",
+                        stats.prefetches_sent,
+                        stats.useful_prefetches,
+                        stats.late_prefetches,
+                        stats.wrong_prefetches,
+                    ]
+                )
+
+    _with_writer(path_or_file, emit)
+
+
+def export_curves_csv(
+    curves: Mapping[str, Sequence[float]], path_or_file: PathOrFile
+) -> None:
+    """Figure 7-10 style sorted series: one column per configuration."""
+    names = list(curves)
+    length = max((len(v) for v in curves.values()), default=0)
+
+    def emit(writer) -> None:
+        writer.writerow(["rank"] + names)
+        for rank in range(length):
+            row: List[object] = [rank]
+            for name in names:
+                series = curves[name]
+                row.append(f"{series[rank]:.6f}" if rank < len(series) else "")
+            writer.writerow(row)
+
+    _with_writer(path_or_file, emit)
+
+
+def export_series_csv(
+    series: Mapping[object, float],
+    path_or_file: PathOrFile,
+    key_name: str = "key",
+    value_name: str = "value",
+) -> None:
+    """A simple key->value mapping (e.g. Figure 1 distances, Figure 13
+    category means)."""
+
+    def emit(writer) -> None:
+        writer.writerow([key_name, value_name])
+        for key in sorted(series, key=str):
+            writer.writerow([key, f"{series[key]:.6f}"])
+
+    _with_writer(path_or_file, emit)

@@ -1,0 +1,64 @@
+"""Aggregate metrics used by the paper's figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.sim.stats import SimStats
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises ValueError on non-positive inputs."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_ipc(stats: SimStats, baseline: SimStats) -> float:
+    """IPC of a run relative to the no-prefetch baseline of the same trace."""
+    if baseline.ipc == 0:
+        return 0.0
+    return stats.ipc / baseline.ipc
+
+
+def speedup_percent(stats: SimStats, baseline: SimStats) -> float:
+    return (normalized_ipc(stats, baseline) - 1.0) * 100.0
+
+
+def percentile_curve(values: Sequence[float]) -> List[float]:
+    """Sorted copy — the paper's per-workload S-curves (Figures 7-10)."""
+    return sorted(values)
+
+
+def coverage(stats: SimStats, baseline: SimStats) -> float:
+    """Fraction of baseline L1I misses eliminated (Figure 9)."""
+    return stats.coverage_vs(baseline)
+
+
+def accuracy(stats: SimStats) -> float:
+    """Useful prefetches over issued prefetches (Figure 10)."""
+    return stats.accuracy
+
+
+def geomean_normalized_ipc(
+    per_workload: Mapping[str, SimStats], baselines: Mapping[str, SimStats]
+) -> float:
+    """Geometric mean of per-workload normalized IPC (Figure 6 metric)."""
+    ratios = [
+        normalized_ipc(stats, baselines[name]) for name, stats in per_workload.items()
+    ]
+    return geometric_mean(ratios)
+
+
+def category_means(
+    per_workload_values: Mapping[str, float], categories: Mapping[str, str]
+) -> Dict[str, float]:
+    """Arithmetic mean per workload category (Figures 12-15 grouping)."""
+    sums: Dict[str, List[float]] = {}
+    for name, value in per_workload_values.items():
+        sums.setdefault(categories[name], []).append(value)
+    return {cat: sum(vals) / len(vals) for cat, vals in sums.items()}

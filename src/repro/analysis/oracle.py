@@ -1,0 +1,184 @@
+"""The look-ahead oracle behind the paper's motivation Figures 1 and 2.
+
+The paper instruments a no-prefetch baseline: it tracks every L1I miss and
+its latency, plus the stream of *discontinuities* (taken branches), and
+computes, per miss, how many discontinuities in advance a prefetch would
+have to be issued not to be late.  Figure 1 plots, per fixed look-ahead
+distance 1-10, the fraction of misses served timely; Figure 2 plots the
+accuracy loss from prefetching too early (lines evicted before use).
+
+:class:`OracleObserver` is a passive prefetcher that records the needed
+events; :class:`LookaheadOracle` replays them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.prefetchers.base import FillInfo, InstructionPrefetcher, PrefetchRequest
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
+from repro.workloads.trace import BranchType, Trace
+
+
+class OracleObserver(InstructionPrefetcher):
+    """Records miss latencies and taken-branch (discontinuity) events."""
+
+    name = "oracle-observer"
+
+    def __init__(self) -> None:
+        # (demand cycle, measured latency, miss line) per demand L1I miss.
+        self.misses: List[Tuple[int, int, int]] = []
+        # Cycle of every taken branch, in order (monotonically increasing).
+        self.discontinuity_times: List[int] = []
+        # Target line of each taken branch (parallel to the times list):
+        # identifies the discontinuity for the path-divergence model.
+        self.discontinuity_targets: List[int] = []
+
+    def on_branch(
+        self, pc: int, branch_type: BranchType, taken: bool, target: int, cycle: int
+    ) -> Iterable[PrefetchRequest]:
+        if taken:
+            self.discontinuity_times.append(cycle)
+            self.discontinuity_targets.append(target // 64)
+        return ()
+
+    def on_fill(self, info: FillInfo) -> Iterable[PrefetchRequest]:
+        if info.is_demand and info.demand_cycle is not None:
+            self.misses.append((info.demand_cycle, info.latency, info.line_addr))
+        return ()
+
+
+@dataclass
+class OracleResult:
+    """Replay outcome for one workload."""
+
+    workload: str
+    category: str
+    #: fraction of misses timely at fixed distance d (Figure 1), d=1..max.
+    timely_fraction: Dict[int, float]
+    #: fraction of issued prefetches not evicted before use (Figure 2).
+    accuracy: Dict[int, float]
+    #: histogram of the minimal timely distance per miss.
+    min_distance_histogram: Dict[int, int] = field(default_factory=dict)
+    total_misses: int = 0
+
+
+class LookaheadOracle:
+    """Replays recorded events at fixed look-ahead distances."""
+
+    def __init__(
+        self,
+        observer: OracleObserver,
+        l1i_lines: int = 512,
+        cycles: Optional[int] = None,
+        max_distance: int = 10,
+    ) -> None:
+        self.observer = observer
+        self.max_distance = max_distance
+        # Estimated mean residency of an L1I line before eviction: capacity
+        # divided by the fill rate.  Used to classify too-early prefetches.
+        fills = max(1, len(observer.misses))
+        total_cycles = cycles or (observer.misses[-1][0] if observer.misses else 1)
+        self.lifetime_estimate = max(1.0, l1i_lines * total_cycles / fills)
+
+    def min_distance(self, demand_cycle: int, latency: int) -> int:
+        """Minimal discontinuity look-ahead for a timely prefetch.
+
+        A prefetch issued at the d-th previous discontinuity completes by
+        ``disc_time + latency``; it is timely when that is at most the
+        demand time.  Returns ``max_distance + 1`` when even the oldest
+        recorded discontinuity is too recent.
+        """
+        times = self.observer.discontinuity_times
+        # Discontinuities strictly before the demand, newest first.
+        end = bisect_left(times, demand_cycle)
+        deadline = demand_cycle - latency
+        # Number of discontinuities in (deadline, demand): all of them are
+        # too recent, so the minimal distance is that count + 1.
+        first_ok = bisect_right(times, deadline)
+        distance = end - first_ok + 1
+        if first_ok == 0 and (end == 0 or times[0] > deadline):
+            # No recorded discontinuity is old enough: infeasible within
+            # the studied distance range.
+            distance = self.max_distance + 1
+        # Distances beyond the studied range are all equivalent for the
+        # replay, so cap uniformly (keeps min_distance monotone in latency).
+        return min(distance, self.max_distance + 1)
+
+    def replay(self, workload: str = "", category: str = "") -> OracleResult:
+        misses = self.observer.misses
+        times = self.observer.discontinuity_times
+        targets = self.observer.discontinuity_targets
+        histogram: Dict[int, int] = {}
+        timely_counts = {d: 0 for d in range(1, self.max_distance + 1)}
+        issued = {d: 0 for d in range(1, self.max_distance + 1)}
+        wrong = {d: 0 for d in range(1, self.max_distance + 1)}
+        # Path-divergence model (the dominant accuracy loss at long
+        # look-ahead): a look-ahead-d prefetcher triggered at discontinuity
+        # D predicts "the miss that followed D by d discontinuities last
+        # time".  Its accuracy is how repeatable that association is.
+        predictions: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+        for demand_cycle, latency, line in misses:
+            min_d = self.min_distance(demand_cycle, latency)
+            histogram[min_d] = histogram.get(min_d, 0) + 1
+            end = bisect_left(times, demand_cycle)
+            for d in range(1, self.max_distance + 1):
+                idx = end - d
+                if idx < 0:
+                    continue
+                issued[d] += 1
+                if d >= min_d:
+                    timely_counts[d] += 1
+                    # Early-arrival margin: time the line sits unused.
+                    margin = demand_cycle - (times[idx] + latency)
+                    if margin > self.lifetime_estimate:
+                        wrong[d] += 1
+                observed = predictions.setdefault((targets[idx], d), {})
+                observed[line] = observed.get(line, 0) + 1
+
+        total = len(misses)
+        timely_fraction = {
+            d: (timely_counts[d] / total if total else 0.0)
+            for d in range(1, self.max_distance + 1)
+        }
+        accuracy: Dict[int, float] = {}
+        for d in range(1, self.max_distance + 1):
+            best = 0
+            seen = 0
+            for (_target, dist), observed in predictions.items():
+                if dist != d:
+                    continue
+                best += max(observed.values())
+                seen += sum(observed.values())
+            divergence_acc = best / seen if seen else 1.0
+            evict_acc = 1.0 - wrong[d] / issued[d] if issued[d] else 1.0
+            accuracy[d] = divergence_acc * evict_acc
+        return OracleResult(
+            workload=workload,
+            category=category,
+            timely_fraction=timely_fraction,
+            accuracy=accuracy,
+            min_distance_histogram=histogram,
+            total_misses=total,
+        )
+
+
+def run_oracle(
+    trace: Trace,
+    config: Optional[SimConfig] = None,
+    max_distance: int = 10,
+) -> OracleResult:
+    """Run the no-prefetch baseline with instrumentation and replay it."""
+    observer = OracleObserver()
+    result = simulate(trace, observer, config=config)
+    oracle = LookaheadOracle(
+        observer,
+        l1i_lines=(config or SimConfig()).l1i_size // (config or SimConfig()).line_size,
+        cycles=result.stats.cycles,
+        max_distance=max_distance,
+    )
+    return oracle.replay(workload=trace.name, category=trace.category)

@@ -1,0 +1,48 @@
+"""Storage-budget accounting for every evaluated configuration (Figure 6
+x-axis).  Values come from each prefetcher's own ``storage_bits()``; the
+large-L1I baselines are charged the extra SRAM they add over the 32KB
+baseline cache."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.prefetchers.registry import make_prefetcher
+
+#: Extra SRAM of the enlarged-cache baselines relative to the 32KB L1I.
+_LARGE_L1I_KB = {"l1i_64kb": 32.0, "l1i_96kb": 64.0}
+
+
+def prefetcher_storage_kb(name: str) -> float:
+    """Storage overhead in KB for a registry configuration name."""
+    if name in _LARGE_L1I_KB:
+        return _LARGE_L1I_KB[name]
+    return make_prefetcher(name).storage_kb
+
+
+def storage_table(names: List[str]) -> List[Tuple[str, float]]:
+    """(name, KB) rows sorted by budget."""
+    rows = [(name, prefetcher_storage_kb(name)) for name in names]
+    rows.sort(key=lambda row: row[1])
+    return rows
+
+
+def paper_reference_storage_kb() -> Dict[str, float]:
+    """The storage budgets the paper reports (Section IV-B), for cross-checks."""
+    return {
+        "next_line": 0.0,
+        "sn4l": 2.06,
+        "mana_2k": 9.0,
+        "mana_4k": 17.25,
+        "mana_8k": 74.18,
+        "rdip": 63.0,
+        "djolt": 125.0,
+        "fnl_mma": 97.0,
+        "epi": 127.9,
+        "entangling_2k": 20.87,
+        "entangling_4k": 40.74,
+        "entangling_8k": 77.44,
+        "entangling_2k_phys": 16.59,
+        "entangling_4k_phys": 32.21,
+        "entangling_8k_phys": 63.40,
+    }

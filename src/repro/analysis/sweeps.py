@@ -1,0 +1,137 @@
+"""Micro-architectural parameter sweeps.
+
+Helpers for sensitivity studies around the paper's fixed design points:
+sweep any :class:`~repro.sim.config.SimConfig` field (prefetch-queue
+size, MSHR count, FTQ depth, ...) or any
+:class:`~repro.core.entangling.EntanglingConfig` field for one workload
+suite and collect the headline metrics per point.
+
+The paper itself motivates one of these: "our prefetcher would benefit
+from a larger prefetch queue (32 entries employed in our evaluation), as
+less prefetches would be discarded" (Section IV-D) —
+``sweep_sim_parameter(..., "prefetch_queue_size", [16, 32, 64, 128])``
+quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.experiments import _cached_units, _cached_workload
+from repro.analysis.metrics import geometric_mean
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
+from repro.workloads.generators import WorkloadSpec
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """Aggregate metrics for one parameter value."""
+
+    value: object
+    geomean_speedup: float
+    mean_coverage: float
+    mean_accuracy: float
+    mean_pq_drops: float
+
+
+def _evaluate_point(
+    specs: Sequence[WorkloadSpec],
+    make_prefetcher: Callable[[], InstructionPrefetcher],
+    sim_config: SimConfig,
+) -> SweepPoint:
+    ratios: List[float] = []
+    coverages: List[float] = []
+    accuracies: List[float] = []
+    drops: List[float] = []
+    for spec in specs:
+        trace = _cached_workload(spec)
+        units = _cached_units(spec, sim_config.line_size)
+        warm = int(spec.n_instructions * 0.4)
+        base = simulate(
+            trace, NullPrefetcher(), config=sim_config, units=units,
+            warmup_instructions=warm,
+        ).stats
+        stats = simulate(
+            trace, make_prefetcher(), config=sim_config, units=units,
+            warmup_instructions=warm,
+        ).stats
+        ratios.append(stats.ipc / base.ipc if base.ipc else 0.0)
+        coverages.append(stats.coverage_vs(base))
+        accuracies.append(stats.accuracy)
+        drops.append(float(stats.prefetches_dropped_pq_full))
+    n = max(1, len(specs))
+    return SweepPoint(
+        value=None,
+        geomean_speedup=geometric_mean(ratios) if ratios else 0.0,
+        mean_coverage=sum(coverages) / n,
+        mean_accuracy=sum(accuracies) / n,
+        mean_pq_drops=sum(drops) / n,
+    )
+
+
+def sweep_sim_parameter(
+    specs: Sequence[WorkloadSpec],
+    field: str,
+    values: Sequence[object],
+    make_prefetcher: Optional[Callable[[], InstructionPrefetcher]] = None,
+    base_config: Optional[SimConfig] = None,
+) -> List[SweepPoint]:
+    """Sweep one :class:`SimConfig` field.
+
+    Raises:
+        ValueError: the field does not exist on :class:`SimConfig`.
+    """
+    config = base_config or SimConfig()
+    if not hasattr(config, field):
+        raise ValueError(f"SimConfig has no field {field!r}")
+    factory = make_prefetcher or (lambda: EntanglingPrefetcher())
+    points: List[SweepPoint] = []
+    for value in values:
+        sim_config = dataclasses.replace(config, **{field: value})
+        point = _evaluate_point(specs, factory, sim_config)
+        point.value = value
+        points.append(point)
+    return points
+
+
+def sweep_entangling_parameter(
+    specs: Sequence[WorkloadSpec],
+    field: str,
+    values: Sequence[object],
+    base_config: Optional[EntanglingConfig] = None,
+    sim_config: Optional[SimConfig] = None,
+) -> List[SweepPoint]:
+    """Sweep one :class:`EntanglingConfig` field.
+
+    Raises:
+        ValueError: the field does not exist on :class:`EntanglingConfig`.
+    """
+    entangling_config = base_config or EntanglingConfig()
+    if not hasattr(entangling_config, field):
+        raise ValueError(f"EntanglingConfig has no field {field!r}")
+    config = sim_config or SimConfig()
+    points: List[SweepPoint] = []
+    for value in values:
+        variant = dataclasses.replace(entangling_config, **{field: value})
+        point = _evaluate_point(
+            specs, lambda v=variant: EntanglingPrefetcher(v), config
+        )
+        point.value = value
+        points.append(point)
+    return points
+
+
+def render_sweep(title: str, points: Sequence[SweepPoint]) -> str:
+    lines = [title]
+    for point in points:
+        lines.append(
+            f"  {str(point.value):>8s}  speedup={point.geomean_speedup:.3f}  "
+            f"coverage={point.mean_coverage:.3f}  "
+            f"accuracy={point.mean_accuracy:.3f}  "
+            f"pq_drops={point.mean_pq_drops:.0f}"
+        )
+    return "\n".join(lines)

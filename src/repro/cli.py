@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Three subcommands mirror the typical workflow of a prefetching study::
+
+    python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
+    python -m repro run  out.trc --prefetcher entangling_4k --warmup 200000
+    python -m repro sweep out.trc --prefetchers no,next_line,entangling_4k
+
+``gen`` writes a synthetic workload to a trace file; ``run`` simulates a
+trace with one prefetcher configuration and prints the statistics;
+``sweep`` compares several configurations on the same trace.  Traces use
+the compact binary format of :mod:`repro.workloads.trace`, so externally
+produced traces (see :mod:`repro.workloads.convert`) run the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.prefetchers.registry import available_prefetchers
+from repro.analysis.experiments import resolve_config
+from repro.analysis.reporting import format_table
+from repro.sim.config import SimConfig
+from repro.sim.fetchunits import build_fetch_units
+from repro.sim.simulator import simulate
+from repro.workloads.generators import CATEGORIES, WorkloadSpec, make_workload
+from repro.workloads.trace import read_trace, write_trace
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        name=args.name or f"{args.category}_{args.seed}",
+        category=args.category,
+        seed=args.seed,
+        n_instructions=args.instructions,
+    )
+    trace = make_workload(spec)
+    write_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {len(trace)} instructions, "
+        f"{trace.footprint_lines()} lines "
+        f"({trace.footprint_lines() * 64 // 1024} KB footprint)"
+    )
+    return 0
+
+
+def _run_one(trace, config_name: str, warmup: int, units=None):
+    prefetcher, sim_config = resolve_config(config_name, SimConfig())
+    if units is None:
+        units = build_fetch_units(trace, sim_config.line_size)
+    return simulate(
+        trace, prefetcher, config=sim_config, units=units,
+        warmup_instructions=warmup,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    result = _run_one(trace, args.prefetcher, args.warmup)
+    stats = result.stats
+    print(f"trace:      {trace.name} ({stats.instructions} measured instructions)")
+    print(f"prefetcher: {result.prefetcher_name}")
+    print(f"IPC:        {stats.ipc:.4f}")
+    print(f"L1I MPKI:   {stats.l1i_mpki:.2f}")
+    print(f"miss ratio: {stats.l1i_miss_ratio:.4f}")
+    print(f"prefetches: sent={stats.prefetches_sent} useful={stats.useful_prefetches} "
+          f"late={stats.late_prefetches} wrong={stats.wrong_prefetches}")
+    print(f"accuracy:   {stats.accuracy:.3f}")
+    print(f"branches:   {stats.branches} "
+          f"(mispredict rate {stats.branch_misprediction_rate:.3f})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    names = [n.strip() for n in args.prefetchers.split(",") if n.strip()]
+    units = build_fetch_units(trace, SimConfig().line_size)
+    baseline = None
+    rows = []
+    for name in names:
+        result = _run_one(trace, name, args.warmup, units=units)
+        stats = result.stats
+        if baseline is None:
+            baseline = stats
+        rows.append([
+            name,
+            stats.ipc,
+            stats.ipc / baseline.ipc if baseline.ipc else 0.0,
+            stats.l1i_mpki,
+            stats.coverage_vs(baseline),
+            stats.accuracy,
+        ])
+    print(format_table(
+        ["config", "IPC", "vs first", "MPKI", "coverage", "accuracy"],
+        rows,
+        float_format="{:.3f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Entangling instruction prefetcher reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a synthetic workload trace")
+    gen.add_argument("output", help="output trace file")
+    gen.add_argument("--category", choices=CATEGORIES, default="srv")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--instructions", type=int, default=500_000)
+    gen.add_argument("--name", default=None)
+    gen.set_defaults(func=_cmd_gen)
+
+    run = sub.add_parser("run", help="simulate a trace with one prefetcher")
+    run.add_argument("trace", help="trace file (see `repro gen`)")
+    run.add_argument(
+        "--prefetcher",
+        default="entangling_4k",
+        help=f"one of: {', '.join(available_prefetchers())}, "
+             f"l1i_64kb, l1i_96kb",
+    )
+    run.add_argument("--warmup", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="compare prefetchers on one trace")
+    sweep.add_argument("trace")
+    sweep.add_argument(
+        "--prefetchers",
+        default="no,next_line,entangling_4k,ideal",
+        help="comma-separated configuration names (first is the baseline)",
+    )
+    sweep.add_argument("--warmup", type=int, default=0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The Entangling Instruction Prefetcher — the paper's core contribution.
+
+Public entry points:
+
+* :class:`~repro.core.entangling.EntanglingPrefetcher` — the cost-effective
+  prefetcher of Section III, configurable at 2K/4K/8K Entangled-table
+  entries and for virtual or physical address training.
+* :class:`~repro.core.entangling.EntanglingConfig` — all knobs, including
+  the ablation switches used by :mod:`repro.core.variants`.
+* :mod:`repro.core.variants` — the Figure 11 ablations (BB, BBEnt,
+  BBEntBB, Ent, BBEntBB-Merge) and the EPI performance-oriented variant.
+"""
+
+from repro.core.confidence import SaturatingCounter
+from repro.core.compression import CompressionScheme, MODE_FIELD_BITS
+from repro.core.history import HistoryBuffer, HistoryEntry
+from repro.core.entangled_table import EntangledEntry, EntangledTable
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+from repro.core.split_table import (
+    BlockSizeTable,
+    SplitEntanglingPrefetcher,
+    make_split_entangling,
+)
+from repro.core.variants import (
+    ablation_variants,
+    make_ablation,
+    make_entangling,
+    make_epi,
+)
+
+__all__ = [
+    "SaturatingCounter",
+    "CompressionScheme",
+    "MODE_FIELD_BITS",
+    "HistoryBuffer",
+    "HistoryEntry",
+    "EntangledEntry",
+    "EntangledTable",
+    "EntanglingConfig",
+    "EntanglingPrefetcher",
+    "BlockSizeTable",
+    "SplitEntanglingPrefetcher",
+    "make_split_entangling",
+    "ablation_variants",
+    "make_ablation",
+    "make_entangling",
+    "make_epi",
+]

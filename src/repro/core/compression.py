@@ -1,0 +1,154 @@
+"""Destination compression (paper Tables I and II, Section III-B3).
+
+An Entangled-table entry packs its destination array and per-destination
+confidence into a fixed payload: 60 bits for virtual training (plus a 3-bit
+mode) or 44 bits for physical training (plus a 2-bit mode).  The mode value
+``k`` means the payload is divided into ``k`` equal slots; each slot holds
+a 2-bit confidence and the low *significant* bits of the destination line —
+the bits starting at the most significant bit where the destination differs
+from the source (the high bits are inferred from the source).  With one
+destination the full line address is stored.
+
+Derived slot layouts:
+
+=====  ====================  ====================
+mode   virtual (60 bits)     physical (44 bits)
+=====  ====================  ====================
+1      58 addr + 2 conf      42 addr + 2 conf
+2      28 addr + 2 conf      20 addr + 2 conf
+3      18 addr + 2 conf      12 addr + 2 conf
+4      13 addr + 2 conf       9 addr + 2 conf
+5      10 addr + 2 conf      —
+6       8 addr + 2 conf      —
+=====  ====================  ====================
+
+The paper's Figure 12 observations fall directly out of this table: most
+destinations fit in 18 bits (mode 3) and 25%/10% fit in 8 bits (mode 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+CONFIDENCE_BITS = 2
+
+#: Width of the mode field itself, per address space.
+MODE_FIELD_BITS = {"virtual": 3, "physical": 2}
+
+_PAYLOAD_BITS = {"virtual": 60, "physical": 44}
+_FULL_ADDR_BITS = {"virtual": 58, "physical": 42}
+_MAX_MODE = {"virtual": 6, "physical": 4}
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """One compression mode: ``capacity`` slots of ``addr_bits`` each."""
+
+    mode: int
+    capacity: int
+    addr_bits: int
+    slot_bits: int
+
+
+class CompressionScheme:
+    """Mode table plus fitting logic for one address space."""
+
+    def __init__(self, kind: str = "virtual") -> None:
+        if kind not in _PAYLOAD_BITS:
+            raise ValueError(f"unknown address space {kind!r}")
+        self.kind = kind
+        self.payload_bits = _PAYLOAD_BITS[kind]
+        self.full_addr_bits = _FULL_ADDR_BITS[kind]
+        self.max_mode = _MAX_MODE[kind]
+        self.modes: Dict[int, ModeSpec] = {}
+        for k in range(1, self.max_mode + 1):
+            slot = self.payload_bits // k
+            addr = self.full_addr_bits if k == 1 else slot - CONFIDENCE_BITS
+            self.modes[k] = ModeSpec(mode=k, capacity=k, addr_bits=addr, slot_bits=slot)
+
+    @classmethod
+    def virtual(cls) -> "CompressionScheme":
+        return cls("virtual")
+
+    @classmethod
+    def physical(cls) -> "CompressionScheme":
+        return cls("physical")
+
+    # -- width computation ----------------------------------------------------
+
+    def significant_bits(self, src_line: int, dst_line: int) -> int:
+        """Bits needed to encode ``dst_line`` relative to ``src_line``.
+
+        The encoding stores the low bits of the destination starting at the
+        most significant differing bit; identical addresses still need one
+        bit.
+        """
+        diff = src_line ^ dst_line
+        return max(1, diff.bit_length())
+
+    def widest_mode_for(self, addr_bits_needed: int) -> int:
+        """Highest-capacity mode whose slots hold ``addr_bits_needed`` bits.
+
+        Mode 1 always works because it stores the full address.
+        """
+        for k in range(self.max_mode, 0, -1):
+            if self.modes[k].addr_bits >= addr_bits_needed:
+                return k
+        return 1
+
+    def mode_for_widths(self, widths: Sequence[int]) -> Optional[int]:
+        """Mode that can hold all destinations of the given widths.
+
+        Returns None when no mode offers both enough slots and wide-enough
+        slots (the array is over capacity for these destinations).
+        """
+        if not widths:
+            return self.max_mode
+        needed = max(widths)
+        best = self.widest_mode_for(needed)
+        if best < len(widths):
+            return None
+        return best
+
+    def capacity_for_widths(self, widths: Sequence[int]) -> int:
+        """How many destinations of these widths fit (the limiting mode)."""
+        if not widths:
+            return self.max_mode
+        return self.widest_mode_for(max(widths))
+
+    def fits(self, src_line: int, dst_lines: Sequence[int]) -> bool:
+        widths = [self.significant_bits(src_line, d) for d in dst_lines]
+        return self.mode_for_widths(widths) is not None
+
+    def encoded_addr_bits(self, src_line: int, dst_lines: Sequence[int]) -> int:
+        """Slot address width the array would be stored with (Fig 12 metric)."""
+        widths = [self.significant_bits(src_line, d) for d in dst_lines]
+        mode = self.mode_for_widths(widths)
+        if mode is None:
+            raise ValueError("destination array does not fit any mode")
+        return self.modes[mode].addr_bits
+
+    # -- storage --------------------------------------------------------------
+
+    @property
+    def entry_dst_field_bits(self) -> int:
+        """Mode field + payload, per Entangled-table entry."""
+        return MODE_FIELD_BITS[self.kind] + self.payload_bits
+
+    @property
+    def history_tag_bits(self) -> int:
+        """History-buffer tag width (58 virtual / 42 physical)."""
+        return self.full_addr_bits
+
+    def __repr__(self) -> str:
+        return f"CompressionScheme({self.kind!r})"
+
+
+def mode_table(kind: str = "virtual") -> List[Tuple[int, int, int]]:
+    """(mode, capacity, addr_bits) rows — Table I (virtual) / II (physical)."""
+    scheme = CompressionScheme(kind)
+    return [
+        (spec.mode, spec.capacity, spec.addr_bits)
+        for spec in scheme.modes.values()
+    ]

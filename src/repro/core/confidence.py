@@ -1,0 +1,49 @@
+"""Saturating confidence counters (paper Section III-B1).
+
+Each entangled destination carries a 2-bit saturating counter.  New pairs
+start at the maximum (they are expected to be timely), timely prefetches
+increment, late and wrong prefetches decrement, and a counter at zero marks
+the pair invalid.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self, bits: int = 2, initial: int = None) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.max_value = (1 << bits) - 1
+        if initial is None:
+            initial = self.max_value
+        if not 0 <= initial <= self.max_value:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+
+    def increment(self) -> int:
+        if self.value < self.max_value:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    @property
+    def is_max(self) -> bool:
+        return self.value == self.max_value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter({self.value}/{self.max_value})"

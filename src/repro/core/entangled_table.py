@@ -1,0 +1,274 @@
+"""The Entangled table (paper Sections III-A and III-C3).
+
+A 16-way set-associative, XOR-indexed table.  Each entry stores a source
+basic-block head (10-bit tag in hardware; the simulator keeps the full line
+address for correctness and accounts the hardware tag width separately),
+the block's maximum observed size (6 bits, so at most 63 trailing lines),
+and a compressed array of entangled destinations with 2-bit confidence
+each (see :mod:`repro.core.compression`).
+
+Replacement is the paper's *enhanced FIFO*: when the FIFO victim still
+holds entangled pairs and some other way in the set holds none, the
+pair-less entry is sacrificed instead, preserving learned entanglings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.compression import CompressionScheme
+
+MAX_CONFIDENCE = 3
+MAX_BB_SIZE = 63
+TAG_BITS = 10
+BB_SIZE_BITS = 6
+FIFO_BITS_PER_SET = 4
+
+
+class EntangledEntry:
+    """One source entry: head line, max block size, destination array."""
+
+    __slots__ = ("src_line", "bb_size", "dsts", "fifo_order")
+
+    def __init__(self, src_line: int, fifo_order: int) -> None:
+        self.src_line = src_line
+        self.bb_size = 0
+        # Parallel (dst_line, confidence) pairs; confidence in [1, 3] —
+        # a pair hitting 0 is removed (invalid).
+        self.dsts: List[List[int]] = []
+        self.fifo_order = fifo_order
+
+    @property
+    def has_pairs(self) -> bool:
+        return bool(self.dsts)
+
+    def dst_lines(self) -> List[int]:
+        return [d[0] for d in self.dsts]
+
+    def find_dst(self, dst_line: int) -> Optional[List[int]]:
+        for pair in self.dsts:
+            if pair[0] == dst_line:
+                return pair
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"EntangledEntry(0x{self.src_line:x}, size={self.bb_size}, "
+            f"dsts={len(self.dsts)})"
+        )
+
+
+@dataclass
+class TableStats:
+    """Counters used by Figures 11-15 and the analysis harness."""
+
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    evictions_with_pairs: int = 0
+    pairs_added: int = 0
+    pairs_replaced: int = 0
+    pairs_invalidated: int = 0
+    #: Histogram of the slot address-width each destination array is encoded
+    #: with, sampled at insertion time (Figure 12).
+    format_bits: Counter = field(default_factory=Counter)
+
+
+class EntangledTable:
+    """Set-associative source -> destinations table with enhanced FIFO."""
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        ways: int = 16,
+        scheme: Optional[CompressionScheme] = None,
+    ) -> None:
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        self.scheme = scheme or CompressionScheme.virtual()
+        self._sets: List[Dict[int, EntangledEntry]] = [dict() for _ in range(self.sets)]
+        self._fifo_counter = 0
+        self.stats = TableStats()
+        self._set_bits = max(1, (self.sets - 1).bit_length())
+
+    # -- indexing -----------------------------------------------------------
+
+    def _index(self, line_addr: int) -> int:
+        """XOR-folded set index (paper: 'indexed with a simple XOR')."""
+        folded = line_addr
+        shift = self._set_bits
+        value = 0
+        while folded:
+            value ^= folded
+            folded >>= shift
+        return value % self.sets
+
+    # -- lookup / allocation --------------------------------------------------
+
+    def lookup(self, src_line: int) -> Optional[EntangledEntry]:
+        self.stats.lookups += 1
+        entry = self._sets[self._index(src_line)].get(src_line)
+        if entry is not None:
+            self.stats.hits += 1
+        return entry
+
+    def peek(self, src_line: int) -> Optional[EntangledEntry]:
+        """Lookup without touching statistics (internal bookkeeping)."""
+        return self._sets[self._index(src_line)].get(src_line)
+
+    def find_or_allocate(self, src_line: int) -> EntangledEntry:
+        table_set = self._sets[self._index(src_line)]
+        entry = table_set.get(src_line)
+        if entry is not None:
+            return entry
+        if len(table_set) >= self.ways:
+            self._evict(table_set)
+        self._fifo_counter += 1
+        entry = EntangledEntry(src_line, self._fifo_counter)
+        table_set[src_line] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def _evict(self, table_set: Dict[int, EntangledEntry]) -> None:
+        """Enhanced FIFO: prefer sacrificing a pair-less entry."""
+        victim = min(table_set.values(), key=lambda e: e.fifo_order)
+        if victim.has_pairs:
+            pairless = [e for e in table_set.values() if not e.has_pairs]
+            if pairless:
+                victim = min(pairless, key=lambda e: e.fifo_order)
+        if victim.has_pairs:
+            self.stats.evictions_with_pairs += 1
+        self.stats.evictions += 1
+        del table_set[victim.src_line]
+
+    # -- basic-block sizes ------------------------------------------------------
+
+    def update_bb_size(
+        self, src_line: int, size: int, policy: str = "max"
+    ) -> EntangledEntry:
+        """Record a completed block size.
+
+        ``policy="max"`` keeps the maximum observed (the paper's choice:
+        more coverage, extra false positives); ``"latest"`` keeps the most
+        recent size (tighter accuracy).
+        """
+        entry = self.find_or_allocate(src_line)
+        size = min(MAX_BB_SIZE, size)
+        if policy == "max":
+            entry.bb_size = max(entry.bb_size, size)
+        else:
+            entry.bb_size = size
+        return entry
+
+    def bb_size_of(self, line_addr: int) -> int:
+        entry = self.peek(line_addr)
+        return entry.bb_size if entry is not None else 0
+
+    # -- destination management ---------------------------------------------------
+
+    def add_dest(
+        self, src_line: int, dst_line: int, evict_if_full: bool = False
+    ) -> str:
+        """Entangle ``dst_line`` to ``src_line``.
+
+        Returns ``"exists"`` (confidence refreshed), ``"added"``, or
+        ``"full"`` when the compressed array cannot take the destination
+        and ``evict_if_full`` is False.  With ``evict_if_full`` the
+        lowest-confidence destination is replaced.
+        """
+        entry = self.find_or_allocate(src_line)
+        existing = entry.find_dst(dst_line)
+        if existing is not None:
+            existing[1] = MAX_CONFIDENCE
+            return "exists"
+
+        candidate = entry.dst_lines() + [dst_line]
+        if self.scheme.fits(src_line, candidate):
+            entry.dsts.append([dst_line, MAX_CONFIDENCE])
+            self.stats.pairs_added += 1
+            self._record_format(entry)
+            return "added"
+
+        if not evict_if_full:
+            return "full"
+
+        if not entry.dsts:
+            # A single destination always fits (full-address mode), so an
+            # empty array can never be "full"; defensive guard.
+            entry.dsts.append([dst_line, MAX_CONFIDENCE])
+            self.stats.pairs_added += 1
+            self._record_format(entry)
+            return "added"
+
+        weakest = min(range(len(entry.dsts)), key=lambda i: entry.dsts[i][1])
+        entry.dsts.pop(weakest)
+        self.stats.pairs_replaced += 1
+        # Re-check the fit after the replacement eviction: the mode is
+        # recomputed from the surviving destinations (paper: the mode is
+        # recomputed on destination eviction to avoid a restricting value).
+        while entry.dsts and not self.scheme.fits(
+            src_line, entry.dst_lines() + [dst_line]
+        ):
+            weakest = min(range(len(entry.dsts)), key=lambda i: entry.dsts[i][1])
+            entry.dsts.pop(weakest)
+            self.stats.pairs_replaced += 1
+        entry.dsts.append([dst_line, MAX_CONFIDENCE])
+        self.stats.pairs_added += 1
+        self._record_format(entry)
+        return "added"
+
+    def _record_format(self, entry: EntangledEntry) -> None:
+        bits = self.scheme.encoded_addr_bits(entry.src_line, entry.dst_lines())
+        self.stats.format_bits[bits] += 1
+
+    def can_add_dest(self, src_line: int, dst_line: int) -> bool:
+        """Would ``add_dest`` succeed without evicting a destination?"""
+        entry = self.peek(src_line)
+        if entry is None:
+            return True
+        if entry.find_dst(dst_line) is not None:
+            return True
+        return self.scheme.fits(src_line, entry.dst_lines() + [dst_line])
+
+    def increase_confidence(self, src_line: int, dst_line: int) -> None:
+        entry = self.peek(src_line)
+        if entry is None:
+            return
+        pair = entry.find_dst(dst_line)
+        if pair is not None and pair[1] < MAX_CONFIDENCE:
+            pair[1] += 1
+
+    def decrease_confidence(self, src_line: int, dst_line: int) -> None:
+        """Demote a pair; a pair reaching zero confidence is invalidated."""
+        entry = self.peek(src_line)
+        if entry is None:
+            return
+        pair = entry.find_dst(dst_line)
+        if pair is None:
+            return
+        pair[1] -= 1
+        if pair[1] <= 0:
+            entry.dsts.remove(pair)
+            self.stats.pairs_invalidated += 1
+
+    # -- storage ------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        entry_bits = TAG_BITS + BB_SIZE_BITS + self.scheme.entry_dst_field_bits
+        return self.entries * entry_bits + self.sets * FIFO_BITS_PER_SET
+
+    def resident_sources(self) -> List[int]:
+        return [addr for table_set in self._sets for addr in table_set]
+
+    def total_pairs(self) -> int:
+        return sum(
+            len(entry.dsts)
+            for table_set in self._sets
+            for entry in table_set.values()
+        )

@@ -1,0 +1,112 @@
+"""The History buffer (paper Sections III-A2 and III-B2).
+
+A 16-entry circular queue of recently fetched basic-block heads.  Each
+entry records the head's line address, the timestamp of its first L1I
+access, and the (growing) basic-block size.  It serves two purposes:
+
+* **source search** — on a fill, walk backwards to find the most recent
+  head whose access happened at least ``latency`` cycles before the miss;
+* **merging** — a newly completed basic block that is consecutive with or
+  overlaps a recent block is folded into that block's history entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+
+class HistoryEntry:
+    """One basic-block head in the history."""
+
+    __slots__ = ("line_addr", "timestamp", "bb_size")
+
+    def __init__(self, line_addr: int, timestamp: int, bb_size: int = 0) -> None:
+        self.line_addr = line_addr
+        self.timestamp = timestamp
+        self.bb_size = bb_size
+
+    def covers_or_abuts(self, line_addr: int) -> bool:
+        """True if ``line_addr`` overlaps this block or directly follows it."""
+        return self.line_addr <= line_addr <= self.line_addr + self.bb_size + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryEntry(0x{self.line_addr:x}, t={self.timestamp}, "
+            f"size={self.bb_size})"
+        )
+
+
+class HistoryBuffer:
+    """Bounded circular queue of basic-block heads, newest at the right."""
+
+    def __init__(self, size: int = 16) -> None:
+        if size < 1:
+            raise ValueError("history buffer needs at least one entry")
+        self.size = size
+        self._entries: Deque[HistoryEntry] = deque(maxlen=size)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        return iter(self._entries)
+
+    def push(self, line_addr: int, timestamp: int) -> HistoryEntry:
+        entry = HistoryEntry(line_addr, timestamp)
+        self._entries.append(entry)
+        return entry
+
+    def remove(self, entry: HistoryEntry) -> None:
+        """Drop a specific entry (used when a block is merged away)."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            pass  # already aged out of the circular queue
+
+    def newest(self) -> Optional[HistoryEntry]:
+        return self._entries[-1] if self._entries else None
+
+    # -- source search ---------------------------------------------------------
+
+    def sources_not_younger_than(self, deadline: int) -> Iterator[HistoryEntry]:
+        """Heads accessed at or before ``deadline``, newest first.
+
+        ``deadline`` is ``demand_time - latency``: triggering the prefetch
+        at any of these heads gives it time to complete before the demand.
+        """
+        for entry in reversed(self._entries):
+            if entry.timestamp <= deadline:
+                yield entry
+
+    def find_source(self, deadline: int, exclude_line: Optional[int] = None):
+        """Most recent head at or before ``deadline`` (paper's default pick)."""
+        for entry in self.sources_not_younger_than(deadline):
+            if exclude_line is not None and entry.line_addr == exclude_line:
+                continue
+            return entry
+        return None
+
+    # -- merging -----------------------------------------------------------------
+
+    def find_merge_candidate(
+        self,
+        head_line: int,
+        merge_distance: int,
+        exclude: Optional[HistoryEntry] = None,
+    ) -> Optional[HistoryEntry]:
+        """A recent block that ``head_line`` overlaps or directly follows.
+
+        Scans the ``merge_distance`` most recent entries (newest first),
+        skipping ``exclude`` (the block being completed).
+        """
+        scanned = 0
+        for entry in reversed(self._entries):
+            if entry is exclude:
+                continue
+            if scanned >= merge_distance:
+                break
+            scanned += 1
+            if entry.covers_or_abuts(head_line):
+                return entry
+        return None

@@ -1,0 +1,153 @@
+"""Split Entangled table: the paper's deferred future-work study.
+
+Section III-C3 of the paper: *"Storing basic block sizes and entangled
+pairs in different structures is an alternative to a unified Entangled
+table, likely beneficial for low-storage configurations.  We leave this
+study for future work."*
+
+This module implements that alternative.  Basic-block sizes move into a
+small dedicated direct-mapped :class:`BlockSizeTable`; the (now smaller)
+Entangled table holds only sources that actually have destinations.  Two
+effects follow:
+
+* sources without pairs no longer occupy 79-bit Entangled-table entries,
+  so a given pair capacity costs less storage;
+* a head whose pair entry was evicted can still prefetch its own block
+  (its size survives in the size table).
+
+``benchmarks/test_ext_split_table.py`` compares the split design against
+the unified table at matched storage budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.entangled_table import BB_SIZE_BITS, MAX_BB_SIZE
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+
+SIZE_TABLE_TAG_BITS = 10
+
+
+class BlockSizeTable:
+    """Direct-mapped line -> basic-block-size table."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries < 1:
+            raise ValueError("size table needs at least one entry")
+        self.entries = entries
+        # slot -> (line_addr, size); direct-mapped, newest wins.
+        self._slots: Dict[int, List[int]] = {}
+
+    def _index(self, line_addr: int) -> int:
+        folded = line_addr
+        bits = max(1, (self.entries - 1).bit_length())
+        value = 0
+        while folded:
+            value ^= folded
+            folded >>= bits
+        return value % self.entries
+
+    def update(self, line_addr: int, size: int, policy: str = "max") -> None:
+        size = min(MAX_BB_SIZE, size)
+        slot = self._slots.get(self._index(line_addr))
+        if slot is not None and slot[0] == line_addr:
+            slot[1] = max(slot[1], size) if policy == "max" else size
+            return
+        self._slots[self._index(line_addr)] = [line_addr, size]
+
+    def get(self, line_addr: int) -> int:
+        slot = self._slots.get(self._index(line_addr))
+        if slot is not None and slot[0] == line_addr:
+            return slot[1]
+        return 0
+
+    def storage_bits(self) -> int:
+        return self.entries * (SIZE_TABLE_TAG_BITS + BB_SIZE_BITS)
+
+
+class SplitEntanglingPrefetcher(EntanglingPrefetcher):
+    """Entangling with block sizes factored out of the Entangled table.
+
+    Args:
+        config: base Entangling configuration; ``config.entries`` sizes
+            the (pairs-only) Entangled table.
+        size_entries: entries in the dedicated block-size table.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EntanglingConfig] = None,
+        size_entries: int = 2048,
+    ) -> None:
+        super().__init__(config)
+        self.size_table = BlockSizeTable(size_entries)
+        self.name = f"Split-{self.config.entries // 1024}K+{size_entries // 1024}Ksz"
+
+    # -- block completion records sizes in the dedicated table ----------------
+
+    def _complete_block(self) -> None:
+        head, size, entry = self._head, self._size, self._head_entry
+        self.estats.blocks_completed += 1
+        if self.config.merge_blocks:
+            candidate = self.history.find_merge_candidate(
+                head, self._merge_distance, exclude=entry
+            )
+            if candidate is not None:
+                merged_size = max(candidate.bb_size, head + size - candidate.line_addr)
+                if merged_size <= MAX_BB_SIZE:
+                    candidate.bb_size = merged_size
+                    self.size_table.update(candidate.line_addr, merged_size, "max")
+                    if entry is not None:
+                        self.history.remove(entry)
+                    self.estats.blocks_merged += 1
+                    return
+        self.size_table.update(head, size, self.config.bb_size_policy)
+
+    # -- triggering reads sizes from the size table ------------------------------
+
+    def _trigger(self, line_addr: int):
+        from repro.prefetchers.base import PrefetchRequest
+
+        self.estats.trigger_lookups += 1
+        requests = []
+
+        # The head's own block is prefetchable even without a pair entry.
+        own_size = self.size_table.get(line_addr)
+        if self.config.prefetch_src_bb and own_size:
+            for offset in range(1, own_size + 1):
+                requests.append(PrefetchRequest(line_addr + offset))
+
+        entry = self.table.lookup(line_addr)
+        if entry is None:
+            return requests
+        self.estats.trigger_hits += 1
+        if self.config.prefetch_src_bb:
+            self.estats.sum_src_bb_size += own_size
+
+        if self.config.prefetch_dsts:
+            self.estats.sum_destinations += len(entry.dsts)
+            for dst_line, _confidence in entry.dsts:
+                pair = (line_addr, dst_line)
+                requests.append(PrefetchRequest(dst_line, src_meta=pair))
+                if not self.config.prefetch_dst_bb:
+                    continue
+                dst_size = self.size_table.get(dst_line)
+                self.estats.destinations_seen += 1
+                self.estats.sum_dst_bb_size += dst_size
+                for offset in range(1, dst_size + 1):
+                    requests.append(PrefetchRequest(dst_line + offset, src_meta=pair))
+        return requests
+
+    # -- storage --------------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return super().storage_bits() + self.size_table.storage_bits()
+
+
+def make_split_entangling(
+    pair_entries: int = 1024, size_entries: int = 2048
+) -> SplitEntanglingPrefetcher:
+    """A low-budget split configuration (pairs + sizes separated)."""
+    config = EntanglingConfig(entries=pair_entries, merge_distance=15)
+    return SplitEntanglingPrefetcher(config, size_entries=size_entries)

@@ -1,0 +1,6 @@
+"""Cache-hierarchy energy model (CACTI-P-class, 22nm; paper Table IV)."""
+
+from repro.energy.cacti import CacheEnergyParams, cacti_params_for
+from repro.energy.model import EnergyModel, EnergyReport
+
+__all__ = ["CacheEnergyParams", "cacti_params_for", "EnergyModel", "EnergyReport"]

@@ -1,0 +1,51 @@
+"""Energy accounting over simulation statistics (paper Table IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.energy.cacti import CacheEnergyParams, all_levels
+from repro.sim.stats import SimStats
+
+LEVELS = ("L1I", "L1D", "L2C", "LLC")
+
+
+@dataclass
+class EnergyReport:
+    """Per-level and total energy for one run, in nJ."""
+
+    per_level: Dict[str, float]
+
+    @property
+    def total_nj(self) -> float:
+        return sum(self.per_level.values())
+
+    def normalized_to(self, baseline: "EnergyReport") -> float:
+        if baseline.total_nj == 0:
+            return 0.0
+        return self.total_nj / baseline.total_nj
+
+    def __getitem__(self, level: str) -> float:
+        return self.per_level[level]
+
+
+class EnergyModel:
+    """Computes dynamic + leakage energy from cache access counts."""
+
+    def __init__(self, params: Optional[Mapping[str, CacheEnergyParams]] = None) -> None:
+        self.params: Dict[str, CacheEnergyParams] = dict(params or all_levels())
+        missing = [level for level in LEVELS if level not in self.params]
+        if missing:
+            raise ValueError(f"missing energy parameters for {missing}")
+
+    def report(self, stats: SimStats) -> EnergyReport:
+        """Energy per level for one simulation run."""
+        per_level: Dict[str, float] = {}
+        for level in LEVELS:
+            coeffs = self.params[level]
+            counts = stats.cache_accesses[level]
+            dynamic = counts.reads * coeffs.read_nj + counts.writes * coeffs.write_nj
+            leakage = stats.cycles * coeffs.leakage_nj_per_cycle
+            per_level[level] = dynamic + leakage
+        return EnergyReport(per_level=per_level)

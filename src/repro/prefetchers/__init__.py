@@ -1,0 +1,42 @@
+"""Instruction prefetchers: the shared interface and all evaluated baselines.
+
+The Entangling prefetcher itself (the paper's contribution) lives in
+:mod:`repro.core`; this package provides the event-driven interface every
+prefetcher implements plus from-scratch reimplementations of the paper's
+comparison points: Next-line, SN4L, MANA, RDIP, D-JOLT, FNL+MMA, EPI, and
+the Ideal prefetcher — plus PIF, the temporal-streaming reference point
+of the related-work discussion.
+"""
+
+from repro.prefetchers.base import (
+    FillInfo,
+    InstructionPrefetcher,
+    NullPrefetcher,
+    PrefetchRequest,
+)
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.sn4l import SN4LPrefetcher
+from repro.prefetchers.mana import ManaPrefetcher
+from repro.prefetchers.pif import PifPrefetcher
+from repro.prefetchers.rdip import RdipPrefetcher
+from repro.prefetchers.djolt import DJoltPrefetcher
+from repro.prefetchers.fnl_mma import FnlMmaPrefetcher
+from repro.prefetchers.ideal import IdealPrefetcher
+from repro.prefetchers.registry import available_prefetchers, make_prefetcher
+
+__all__ = [
+    "FillInfo",
+    "InstructionPrefetcher",
+    "NullPrefetcher",
+    "PrefetchRequest",
+    "NextLinePrefetcher",
+    "SN4LPrefetcher",
+    "ManaPrefetcher",
+    "PifPrefetcher",
+    "RdipPrefetcher",
+    "DJoltPrefetcher",
+    "FnlMmaPrefetcher",
+    "IdealPrefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+]

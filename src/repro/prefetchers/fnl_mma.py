@@ -1,0 +1,111 @@
+"""FNL+MMA: footprint-next-line + multiple-miss-ahead (Seznec, IPC-1 [44]).
+
+Two cooperating engines:
+
+* **FNL** — an enhanced next-line prefetcher: a worthiness table remembers,
+  per line, which of its next few lines were historically fetched soon
+  after it, and prefetches exactly those.
+* **MMA** — a look-ahead miss predictor: a table maps each L1I miss to the
+  miss observed ``n`` misses later (a fixed, "good-enough" look-ahead
+  distance); on a miss it prefetches the predicted nth-next miss and its
+  FNL footprint.
+
+The paper evaluates an 8K-entry miss table: 97KB total.  The fixed
+look-ahead distance is precisely the design point the Entangling paper
+argues against (Figures 1-2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Iterable, List
+
+from repro.prefetchers.base import InstructionPrefetcher, PrefetchRequest
+
+_PUBLISHED_STORAGE_BITS = int(97.0 * 8192)
+
+FNL_SPAN = 5   # worthiness bits for lines X+1 .. X+5
+
+
+class FnlMmaPrefetcher(InstructionPrefetcher):
+    """Footprint next line + multiple miss ahead."""
+
+    name = "FNL+MMA"
+
+    def __init__(
+        self,
+        fnl_entries: int = 8192,
+        mma_entries: int = 8192,
+        miss_ahead: int = 4,
+    ) -> None:
+        self.fnl_entries = fnl_entries
+        self.mma_entries = mma_entries
+        self.miss_ahead = miss_ahead
+        self._fnl: "OrderedDict[int, int]" = OrderedDict()   # line -> footprint bits
+        self._mma: "OrderedDict[int, int]" = OrderedDict()   # miss -> nth next miss
+        self._recent_lines: Deque[int] = deque(maxlen=FNL_SPAN)
+        self._recent_misses: Deque[int] = deque(maxlen=miss_ahead + 1)
+
+    def storage_bits(self) -> int:
+        if self.fnl_entries == 8192 and self.mma_entries == 8192:
+            return _PUBLISHED_STORAGE_BITS
+        return self.fnl_entries * (16 + FNL_SPAN) + self.mma_entries * (16 + 32)
+
+    # -- FNL training / lookup -----------------------------------------------
+
+    def _fnl_set(self, line_addr: int, offset: int) -> None:
+        if line_addr not in self._fnl and len(self._fnl) >= self.fnl_entries:
+            self._fnl.popitem(last=False)
+        self._fnl[line_addr] = self._fnl.get(line_addr, 0) | (1 << (offset - 1))
+
+    def _fnl_footprint(self, line_addr: int) -> List[int]:
+        bits = self._fnl.get(line_addr, 0)
+        lines = []
+        offset = 1
+        while bits:
+            if bits & 1:
+                lines.append(line_addr + offset)
+            bits >>= 1
+            offset += 1
+        return lines
+
+    # -- events ----------------------------------------------------------------
+
+    def on_demand_access(
+        self, line_addr: int, hit: bool, cycle: int
+    ) -> Iterable[PrefetchRequest]:
+        requests: List[PrefetchRequest] = []
+
+        # FNL training: this line followed each recent line closely.
+        for recent in self._recent_lines:
+            delta = line_addr - recent
+            if 0 < delta <= FNL_SPAN:
+                self._fnl_set(recent, delta)
+        if not self._recent_lines or self._recent_lines[-1] != line_addr:
+            self._recent_lines.append(line_addr)
+
+        # FNL prefetch: worthy next lines of the current access.
+        for worthy in self._fnl_footprint(line_addr):
+            requests.append(PrefetchRequest(worthy, src_meta=("fnl", line_addr)))
+
+        if not hit:
+            requests.extend(self._on_miss(line_addr))
+        return requests
+
+    def _on_miss(self, line_addr: int) -> List[PrefetchRequest]:
+        # MMA training: the miss from `miss_ahead` misses ago predicts us.
+        self._recent_misses.append(line_addr)
+        if len(self._recent_misses) > self.miss_ahead:
+            anchor = self._recent_misses[0]
+            if anchor not in self._mma and len(self._mma) >= self.mma_entries:
+                self._mma.popitem(last=False)
+            self._mma[anchor] = line_addr
+
+        # MMA prefetch: jump the look-ahead distance.
+        requests: List[PrefetchRequest] = []
+        predicted = self._mma.get(line_addr)
+        if predicted is not None:
+            requests.append(PrefetchRequest(predicted, src_meta=("mma", line_addr)))
+            for worthy in self._fnl_footprint(predicted):
+                requests.append(PrefetchRequest(worthy, src_meta=("mma", line_addr)))
+        return requests

@@ -1,0 +1,21 @@
+"""The ideal instruction prefetcher (paper Section IV-B, [34]).
+
+The L1I always returns a hit; every line that would have missed is still
+requested from the next cache level, so the pollution the instruction
+stream causes in the L2/LLC is modelled.  The simulator implements the
+always-hit semantics when it sees ``is_ideal``.
+"""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import InstructionPrefetcher
+
+
+class IdealPrefetcher(InstructionPrefetcher):
+    """Upper bound: a perfect L1I."""
+
+    name = "ideal"
+    is_ideal = True
+
+    def storage_bits(self) -> int:
+        return 0

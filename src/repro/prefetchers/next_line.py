@@ -1,0 +1,32 @@
+"""Pure next-line prefetcher (paper Section IV-B, [8]).
+
+Always prefetches the next cache line after the current access.  Adds no
+storage.  It is the classic low-cost baseline: decent coverage on
+sequential code, poor accuracy on branchy code (the paper's Figure 7 shows
+it can even degrade performance).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.prefetchers.base import InstructionPrefetcher, PrefetchRequest
+
+
+class NextLinePrefetcher(InstructionPrefetcher):
+    """Prefetch line ``X+1`` on every demand access to line ``X``."""
+
+    name = "NextLine"
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self.degree = degree
+
+    def storage_bits(self) -> int:
+        return 0
+
+    def on_demand_access(
+        self, line_addr: int, hit: bool, cycle: int
+    ) -> Iterable[PrefetchRequest]:
+        return [PrefetchRequest(line_addr + i) for i in range(1, self.degree + 1)]

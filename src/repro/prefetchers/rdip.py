@@ -1,0 +1,132 @@
+"""RDIP: return-address-stack-directed instruction prefetching (Kolli et
+al., MICRO 2013 [29]).
+
+RDIP observes that the call stack summarizes program context: it hashes
+the top of the RAS into a *signature*, associates the L1I misses observed
+under each signature with it, and on every call/return — when the
+signature changes — prefetches the misses recorded for the new signature.
+
+We model the configuration the paper evaluates: a 4K-entry miss table
+holding up to 3 discontinuous trigger regions per signature, each with an
+8-bit footprint vector (total 63KB).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List
+
+from repro.prefetchers.base import InstructionPrefetcher, PrefetchRequest
+from repro.workloads.trace import BranchType
+
+REGION_SPAN = 8
+_PUBLISHED_STORAGE_BITS = int(63.0 * 8192)
+
+
+class _MissSet:
+    """Per-signature record: up to ``max_regions`` trigger+footprint pairs."""
+
+    __slots__ = ("regions",)
+
+    def __init__(self) -> None:
+        self.regions: List[List[int]] = []  # [trigger_line, footprint]
+
+    def add_miss(self, line_addr: int, max_regions: int) -> None:
+        for region in self.regions:
+            delta = line_addr - region[0]
+            if delta == 0:
+                return
+            if 0 < delta <= REGION_SPAN:
+                region[1] |= 1 << (delta - 1)
+                return
+        if len(self.regions) < max_regions:
+            self.regions.append([line_addr, 0])
+
+
+class RdipPrefetcher(InstructionPrefetcher):
+    """RAS-signature-directed prefetcher."""
+
+    name = "RDIP"
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        ras_depth: int = 4,
+        max_regions: int = 3,
+    ) -> None:
+        self.entries = entries
+        self.ras_depth = ras_depth
+        self.max_regions = max_regions
+        self._table: "OrderedDict[int, _MissSet]" = OrderedDict()
+        self._ras: List[int] = []
+        self._signature = 0
+
+    def storage_bits(self) -> int:
+        if self.entries == 4096 and self.max_regions == 3:
+            return _PUBLISHED_STORAGE_BITS
+        # signature tag (~16b) + regions * (line ~32b + footprint 8b).
+        return self.entries * (16 + self.max_regions * (32 + REGION_SPAN))
+
+    # -- signature maintenance ------------------------------------------------
+
+    def _compute_signature(self) -> int:
+        sig = 0
+        for i, ret_addr in enumerate(self._ras[-self.ras_depth :]):
+            sig ^= (ret_addr >> 2) << (i % 4)
+        return sig & 0xFFFF_FFFF
+
+    def _miss_set(self, signature: int) -> _MissSet:
+        entry = self._table.get(signature)
+        if entry is None:
+            if len(self._table) >= self.entries:
+                self._table.popitem(last=False)
+            entry = _MissSet()
+            self._table[signature] = entry
+        return entry
+
+    # -- events ------------------------------------------------------------------
+
+    def on_demand_access(
+        self, line_addr: int, hit: bool, cycle: int
+    ) -> Iterable[PrefetchRequest]:
+        if not hit:
+            self._miss_set(self._signature).add_miss(line_addr, self.max_regions)
+        return ()
+
+    def on_branch(
+        self,
+        pc: int,
+        branch_type: BranchType,
+        taken: bool,
+        target: int,
+        cycle: int,
+    ) -> Iterable[PrefetchRequest]:
+        if branch_type.is_call:
+            self._ras.append(pc + 4)
+            if len(self._ras) > 64:
+                self._ras.pop(0)
+        elif branch_type == BranchType.RETURN:
+            if self._ras:
+                self._ras.pop()
+        else:
+            return ()
+        self._signature = self._compute_signature()
+        return self._prefetch_for(self._signature)
+
+    def _prefetch_for(self, signature: int) -> List[PrefetchRequest]:
+        entry = self._table.get(signature)
+        if entry is None:
+            return []
+        requests: List[PrefetchRequest] = []
+        for trigger, footprint in entry.regions:
+            requests.append(PrefetchRequest(trigger, src_meta=("rdip", signature)))
+            offset = 1
+            bits = footprint
+            while bits:
+                if bits & 1:
+                    requests.append(
+                        PrefetchRequest(trigger + offset, src_meta=("rdip", signature))
+                    )
+                bits >>= 1
+                offset += 1
+        return requests

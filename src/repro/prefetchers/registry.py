@@ -1,0 +1,75 @@
+"""Name-based prefetcher factory.
+
+Every evaluated configuration of the paper's Figure 6 is constructible by
+name, so experiment drivers and benchmarks can be parameterized by plain
+strings.  Fresh instances are returned on every call (prefetchers are
+stateful).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.djolt import DJoltPrefetcher
+from repro.prefetchers.fnl_mma import FnlMmaPrefetcher
+from repro.prefetchers.ideal import IdealPrefetcher
+from repro.prefetchers.mana import ManaPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.pif import PifPrefetcher
+from repro.prefetchers.rdip import RdipPrefetcher
+from repro.prefetchers.sn4l import SN4LPrefetcher
+
+
+def _entangling(entries: int, address_space: str = "virtual") -> InstructionPrefetcher:
+    # Imported lazily to avoid a circular import with repro.core.
+    from repro.core.variants import make_entangling
+
+    return make_entangling(entries, address_space)
+
+
+def _epi() -> InstructionPrefetcher:
+    from repro.core.variants import make_epi
+
+    return make_epi()
+
+
+_FACTORIES: Dict[str, Callable[[], InstructionPrefetcher]] = {
+    "no": NullPrefetcher,
+    "next_line": NextLinePrefetcher,
+    "sn4l": SN4LPrefetcher,
+    "mana_2k": lambda: ManaPrefetcher(entries=2048),
+    "mana_4k": lambda: ManaPrefetcher(entries=4096),
+    "mana_8k": lambda: ManaPrefetcher(entries=8192),
+    "pif": PifPrefetcher,
+    "rdip": RdipPrefetcher,
+    "djolt": DJoltPrefetcher,
+    "fnl_mma": FnlMmaPrefetcher,
+    "epi": _epi,
+    "entangling_2k": lambda: _entangling(2048),
+    "entangling_4k": lambda: _entangling(4096),
+    "entangling_8k": lambda: _entangling(8192),
+    "entangling_2k_phys": lambda: _entangling(2048, "physical"),
+    "entangling_4k_phys": lambda: _entangling(4096, "physical"),
+    "entangling_8k_phys": lambda: _entangling(8192, "physical"),
+    "ideal": IdealPrefetcher,
+}
+
+
+def available_prefetchers() -> List[str]:
+    """All registered configuration names."""
+    return sorted(_FACTORIES)
+
+
+def make_prefetcher(name: str) -> InstructionPrefetcher:
+    """Instantiate a fresh prefetcher by configuration name.
+
+    Raises:
+        KeyError: unknown name (message lists the valid ones).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown prefetcher {name!r}; available: {available_prefetchers()}"
+        )
+    return factory()

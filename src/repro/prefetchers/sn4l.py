@@ -1,0 +1,49 @@
+"""SN4L: a memory-efficient next-4-lines prefetcher (Ansari et al. [6]).
+
+A 16K-bit *worthiness* vector decides, per hashed line, whether prefetching
+that line is expected to be useful.  On an access to line ``X`` the next
+four lines are prefetched if their bits are set.  Bits are set when a line
+actually misses on demand (prefetching it would have been worth it) and
+cleared when a prefetched line is evicted unused.  Total storage: 2.06KB.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.prefetchers.base import InstructionPrefetcher, PrefetchRequest
+
+
+class SN4LPrefetcher(InstructionPrefetcher):
+    """Shared-Next-4-Lines with a worthiness bit vector."""
+
+    name = "SN4L"
+
+    def __init__(self, vector_bits: int = 16 * 1024, lookahead: int = 4) -> None:
+        self.vector_bits = vector_bits
+        self.lookahead = lookahead
+        self._worthy = bytearray(vector_bits)  # one byte per bit, for speed
+
+    def _index(self, line_addr: int) -> int:
+        return line_addr % self.vector_bits
+
+    def storage_bits(self) -> int:
+        # 16K-bit vector plus a few control registers (paper: 2.06KB total).
+        return self.vector_bits + 512
+
+    def on_demand_access(
+        self, line_addr: int, hit: bool, cycle: int
+    ) -> Iterable[PrefetchRequest]:
+        if not hit:
+            # This line was worth having: remember it for future triggers.
+            self._worthy[self._index(line_addr)] = 1
+        requests = []
+        for offset in range(1, self.lookahead + 1):
+            candidate = line_addr + offset
+            if self._worthy[self._index(candidate)]:
+                requests.append(PrefetchRequest(candidate, src_meta=("sn4l", candidate)))
+        return requests
+
+    def on_evict_unused(self, line_addr: int, src_meta: Any, cycle: int) -> None:
+        # The prefetch was wrong: stop considering this line worthy.
+        self._worthy[self._index(line_addr)] = 0

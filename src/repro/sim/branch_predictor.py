@@ -1,0 +1,86 @@
+"""Conditional branch direction predictors (gshare and bimodal)."""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """Classic gshare: PC XOR global history indexing 2-bit counters.
+
+    Args:
+        table_bits: log2 of the counter-table size.
+        history_bits: length of the global branch-history register.
+    """
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12) -> None:
+        if history_bits > table_bits:
+            raise ValueError("history cannot be wider than the table index")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [2] * (1 << table_bits)   # weakly taken
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the conditional at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the outcome into the history."""
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[idx] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def storage_bits(self) -> int:
+        return 2 * (1 << self.table_bits) + self.history_bits
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit counters without history (the classic baseline).
+
+    Cheaper and weaker than gshare on correlated patterns; selectable via
+    ``SimConfig(branch_predictor="bimodal")`` for sensitivity studies.
+    """
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 0) -> None:
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._counters = [2] * (1 << table_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[(pc >> 2) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._mask
+        counter = self._counters[idx]
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[idx] = counter - 1
+
+    def storage_bits(self) -> int:
+        return 2 * (1 << self.table_bits)
+
+
+def make_direction_predictor(kind: str, table_bits: int, history_bits: int):
+    """Factory for the configured conditional direction predictor."""
+    if kind == "gshare":
+        return GsharePredictor(table_bits, history_bits)
+    if kind == "bimodal":
+        return BimodalPredictor(table_bits)
+    raise ValueError(f"unknown branch predictor {kind!r}")

@@ -1,0 +1,52 @@
+"""Branch target buffer.
+
+Caches decoded branch targets.  A taken branch whose target misses in the
+BTB cannot be followed by the decoupled front end until the instruction is
+decoded, costing a decode-stage redirect (smaller than a full execute-stage
+flush), as in ChampSim's decoupled front-end model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative PC -> target cache with LRU replacement."""
+
+    def __init__(self, sets: int = 1024, ways: int = 8) -> None:
+        if sets < 1 or ways < 1:
+            raise ValueError("BTB needs at least one set and one way")
+        self.sets = sets
+        self.ways = ways
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(sets)]
+        self._tick = 0
+        self._lru: List[Dict[int, int]] = [dict() for _ in range(sets)]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.sets
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for ``pc``, or None on a BTB miss."""
+        idx = self._index(pc)
+        target = self._sets[idx].get(pc)
+        if target is not None:
+            self._tick += 1
+            self._lru[idx][pc] = self._tick
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target for ``pc``."""
+        idx = self._index(pc)
+        entries = self._sets[idx]
+        self._tick += 1
+        if pc not in entries and len(entries) >= self.ways:
+            victim = min(self._lru[idx], key=self._lru[idx].get)
+            del entries[victim]
+            del self._lru[idx][victim]
+        entries[pc] = target
+        self._lru[idx][pc] = self._tick
+
+    def storage_bits(self) -> int:
+        # tag (~16b) + target (~48b) per entry, a conventional estimate.
+        return self.sets * self.ways * (16 + 48)

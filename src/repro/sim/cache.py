@@ -1,0 +1,102 @@
+"""Generic set-associative cache operating on line addresses.
+
+Used for the L1I, L1D, L2 and LLC.  Lines carry the metadata the paper adds
+for the Entangling prefetcher: the *access bit* (``prefetched`` — set while
+a prefetched line has not yet been demanded) and an opaque source token
+(``src_meta``) identifying the entangled pair that triggered the prefetch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class CacheLine:
+    """One resident cache line."""
+
+    __slots__ = ("line_addr", "last_use", "inserted_at", "prefetched", "src_meta")
+
+    def __init__(self, line_addr: int, now: int) -> None:
+        self.line_addr = line_addr
+        self.last_use = now
+        self.inserted_at = now
+        self.prefetched = False   # access bit unset: brought by a prefetch
+        self.src_meta: Any = None
+
+    def __repr__(self) -> str:
+        return f"CacheLine(0x{self.line_addr:x}, prefetched={self.prefetched})"
+
+
+class SetAssociativeCache:
+    """Set-associative cache with LRU or FIFO replacement.
+
+    Args:
+        sets: number of sets (power of two recommended but not required).
+        ways: associativity.
+        replacement: ``"lru"`` or ``"fifo"``.
+    """
+
+    def __init__(self, sets: int, ways: int, replacement: str = "lru") -> None:
+        if sets < 1 or ways < 1:
+            raise ValueError("cache needs at least one set and one way")
+        if replacement not in ("lru", "fifo"):
+            raise ValueError(f"unknown replacement policy {replacement!r}")
+        self.sets = sets
+        self.ways = ways
+        self.replacement = replacement
+        # Per-set dict: line_addr -> CacheLine.  A dict per set keeps lookups
+        # O(1) and insertion order doubles as FIFO order.
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(sets)]
+        self._tick = 0
+
+    def _index(self, line_addr: int) -> int:
+        return line_addr % self.sets
+
+    def lookup(self, line_addr: int, update_lru: bool = True) -> Optional[CacheLine]:
+        """Return the resident line or None; touches LRU state on hit."""
+        entry = self._sets[self._index(line_addr)].get(line_addr)
+        if entry is not None and update_lru:
+            self._tick += 1
+            entry.last_use = self._tick
+        return entry
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self._index(line_addr)]
+
+    def insert(self, line_addr: int) -> Optional[CacheLine]:
+        """Insert a line, returning the evicted line (if any).
+
+        Re-inserting a resident line refreshes it in place and evicts
+        nothing.
+        """
+        cache_set = self._sets[self._index(line_addr)]
+        self._tick += 1
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.last_use = self._tick
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self.ways:
+            victim_addr = self._pick_victim(cache_set)
+            victim = cache_set.pop(victim_addr)
+        cache_set[line_addr] = CacheLine(line_addr, self._tick)
+        return victim
+
+    def _pick_victim(self, cache_set: Dict[int, CacheLine]) -> int:
+        if self.replacement == "fifo":
+            return min(cache_set.values(), key=lambda e: e.inserted_at).line_addr
+        return min(cache_set.values(), key=lambda e: e.last_use).line_addr
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        cache_set = self._sets[self._index(line_addr)]
+        return cache_set.pop(line_addr, None)
+
+    def resident_lines(self) -> List[int]:
+        return [addr for cache_set in self._sets for addr in cache_set]
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,84 @@
+"""Trace preprocessing into fetch units.
+
+The predict stage of the decoupled front end works at the granularity of
+*fetch units*: maximal runs of consecutive instructions that stay on one
+cache line and contain at most one branch (which, if present, terminates
+the unit).  Preprocessing the trace once into fetch units makes the
+cycle-level simulation independent of raw instruction count hot-loop work
+and lets every prefetcher configuration reuse the same preprocessed list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.workloads.trace import BranchType, Trace
+
+
+class FetchUnit:
+    """One line-visit of the front end.
+
+    Attributes:
+        line_addr: instruction-cache line (virtual byte address >> 6).
+        n_instrs: instructions in the unit (>= 1).
+        branch: ``(pc, branch_type, taken, target)`` of the terminating
+            branch, or None when the unit ends at a line boundary.
+        data_lines: data-cache line addresses touched by the unit's loads
+            and stores, each tagged with ``is_store``.
+    """
+
+    __slots__ = ("line_addr", "n_instrs", "branch", "data_lines")
+
+    def __init__(
+        self,
+        line_addr: int,
+        n_instrs: int,
+        branch: Optional[Tuple[int, BranchType, bool, int]],
+        data_lines: Tuple[Tuple[int, bool], ...],
+    ) -> None:
+        self.line_addr = line_addr
+        self.n_instrs = n_instrs
+        self.branch = branch
+        self.data_lines = data_lines
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchUnit(line=0x{self.line_addr:x}, n={self.n_instrs}, "
+            f"branch={self.branch is not None})"
+        )
+
+
+def build_fetch_units(trace: Trace, line_size: int = 64) -> List[FetchUnit]:
+    """Split a trace into fetch units (see :class:`FetchUnit`)."""
+    units: List[FetchUnit] = []
+    current_line: Optional[int] = None
+    count = 0
+    data: List[Tuple[int, bool]] = []
+
+    def flush(branch: Optional[Tuple[int, BranchType, bool, int]]) -> None:
+        nonlocal count, data, current_line
+        if current_line is None or count == 0:
+            return
+        units.append(FetchUnit(current_line, count, branch, tuple(data)))
+        count = 0
+        data = []
+
+    for inst in trace:
+        line = inst.pc // line_size
+        if current_line is None:
+            current_line = line
+        elif line != current_line:
+            flush(None)
+            current_line = line
+        count += 1
+        if inst.is_load or inst.is_store:
+            data.append((inst.data_addr // line_size, inst.is_store))
+        if inst.is_branch:
+            flush((inst.pc, inst.branch_type, inst.taken, inst.target))
+            current_line = None
+    flush(None)
+    return units
+
+
+def units_instruction_count(units: List[FetchUnit]) -> int:
+    return sum(u.n_instrs for u in units)

@@ -1,0 +1,35 @@
+"""Indirect target cache (ITC).
+
+Predicts targets of indirect jumps and calls from the branch PC hashed
+with a short target history, following the classic target-cache design
+(Chang et al., ISCA 1997) that the paper's ChampSim baseline models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class IndirectTargetCache:
+    """Direct-mapped PC ^ history -> target predictor."""
+
+    def __init__(self, table_bits: int = 9, history_bits: int = 6) -> None:
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._targets: List[Optional[int]] = [None] * (1 << table_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._targets[self._index(pc)]
+
+    def update(self, pc: int, target: int) -> None:
+        self._targets[self._index(pc)] = target
+        self._history = ((self._history << 2) ^ (target >> 2)) & self._history_mask
+
+    def storage_bits(self) -> int:
+        return (1 << self.table_bits) * 48 + self.history_bits

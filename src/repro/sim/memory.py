@@ -1,0 +1,81 @@
+"""The memory hierarchy behind the L1 caches: L2, LLC, and DRAM.
+
+``request_instruction`` / ``request_data`` look up the L2 then the LLC,
+fill both on the way back, and return the cycle at which the line reaches
+the requesting L1.  The varying return latencies (L2 hit vs. LLC hit vs.
+DRAM) are exactly what makes prefetch *timeliness* nontrivial and what the
+Entangling prefetcher measures and adapts to.
+
+When ``physical_addresses`` is enabled, instruction lines are translated
+through a deterministic randomized page mapping before indexing the caches,
+so consecutive virtual pages are no longer consecutive physically — the
+paper's §IV-E scenario that slightly reduces prefetcher coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import SimConfig
+from repro.sim.stats import SimStats
+
+
+class PageMapper:
+    """Deterministic random virtual-to-physical page mapping."""
+
+    def __init__(self, seed: int, page_size: int, line_size: int) -> None:
+        self._rng = random.Random(seed)
+        self._lines_per_page = page_size // line_size
+        self._mapping: Dict[int, int] = {}
+        self._next_frame = 0x100000  # arbitrary physical frame pool start
+
+    def translate_line(self, vline: int) -> int:
+        """Map a virtual line address to its physical line address."""
+        vpage, offset = divmod(vline, self._lines_per_page)
+        frame = self._mapping.get(vpage)
+        if frame is None:
+            # Allocate frames in a shuffled order: deterministic but
+            # non-contiguous, like a long-running system's page pool.
+            frame = self._next_frame + self._rng.randrange(1 << 20)
+            self._mapping[vpage] = frame
+        return frame * self._lines_per_page + offset
+
+
+class MemoryHierarchy:
+    """L2 + LLC + DRAM with fixed per-level latencies."""
+
+    def __init__(self, config: SimConfig, stats: SimStats) -> None:
+        self.config = config
+        self.stats = stats
+        self.l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
+        self.llc = SetAssociativeCache(config.llc_sets, config.llc_ways)
+
+    def _access(self, line_addr: int, cycle: int) -> int:
+        """Common L2 -> LLC -> DRAM walk; returns the completion cycle."""
+        l2_counts = self.stats.cache_accesses["L2C"]
+        llc_counts = self.stats.cache_accesses["LLC"]
+        l2_counts.reads += 1
+        if self.l2.lookup(line_addr) is not None:
+            return cycle + self.config.l2_latency
+        llc_counts.reads += 1
+        if self.llc.lookup(line_addr) is not None:
+            # Fill the L2 on the way back.
+            self.l2.insert(line_addr)
+            l2_counts.writes += 1
+            return cycle + self.config.llc_latency
+        # DRAM access; fill both levels.
+        self.llc.insert(line_addr)
+        llc_counts.writes += 1
+        self.l2.insert(line_addr)
+        l2_counts.writes += 1
+        return cycle + self.config.dram_latency
+
+    def request_instruction(self, line_addr: int, cycle: int) -> int:
+        """Fetch an instruction line for the L1I; returns the fill cycle."""
+        return self._access(line_addr, cycle)
+
+    def request_data(self, line_addr: int, cycle: int) -> int:
+        """Fetch a data line for the L1D; returns the fill cycle."""
+        return self._access(line_addr, cycle)

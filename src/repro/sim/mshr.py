@@ -1,0 +1,116 @@
+"""Miss-status holding registers for the L1I.
+
+Each entry carries the timing metadata the paper adds (Section III-A2):
+the issue timestamp, the access bit (*is_demand* — set for demand misses,
+initially unset for prefetches and flipped when a demand access finds the
+in-flight prefetch, marking it *late*), and the opaque source-entangled
+token threaded from the prefetch queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class MshrEntry:
+    """One outstanding L1I miss."""
+
+    __slots__ = (
+        "line_addr",
+        "issue_cycle",
+        "ready_cycle",
+        "is_demand",
+        "demand_cycle",
+        "was_prefetch",
+        "src_meta",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        issue_cycle: int,
+        ready_cycle: int,
+        is_demand: bool,
+        src_meta: Any = None,
+    ) -> None:
+        self.line_addr = line_addr
+        self.issue_cycle = issue_cycle
+        self.ready_cycle = ready_cycle
+        self.is_demand = is_demand
+        # Cycle of the first demand access (== issue_cycle for demand
+        # misses; set later for late prefetches).
+        self.demand_cycle: Optional[int] = issue_cycle if is_demand else None
+        self.was_prefetch = not is_demand
+        self.src_meta = src_meta
+
+    @property
+    def is_late_prefetch(self) -> bool:
+        """A prefetch whose line was demanded before it completed."""
+        return self.was_prefetch and self.is_demand
+
+    def mark_demanded(self, cycle: int) -> None:
+        """A demand access found this in-flight entry (access bit flips)."""
+        if not self.is_demand:
+            self.is_demand = True
+            self.demand_cycle = cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"MshrEntry(0x{self.line_addr:x}, issue={self.issue_cycle}, "
+            f"ready={self.ready_cycle}, demand={self.is_demand})"
+        )
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file keyed by line address."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_addr)
+
+    def allocate(
+        self,
+        line_addr: int,
+        issue_cycle: int,
+        ready_cycle: int,
+        is_demand: bool,
+        src_meta: Any = None,
+    ) -> MshrEntry:
+        """Allocate an entry; the caller must have checked `full`.
+
+        Raises:
+            RuntimeError: the file is full or the line already has an entry.
+        """
+        if self.full:
+            raise RuntimeError("MSHR file is full")
+        if line_addr in self._entries:
+            raise RuntimeError(f"duplicate MSHR entry for 0x{line_addr:x}")
+        entry = MshrEntry(line_addr, issue_cycle, ready_cycle, is_demand, src_meta)
+        self._entries[line_addr] = entry
+        return entry
+
+    def pop_ready(self, cycle: int) -> List[MshrEntry]:
+        """Remove and return all entries whose fill has arrived."""
+        ready = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        for entry in ready:
+            del self._entries[entry.line_addr]
+        ready.sort(key=lambda e: e.ready_cycle)
+        return ready
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest pending fill time, or None when empty."""
+        if not self._entries:
+            return None
+        return min(e.ready_cycle for e in self._entries.values())

@@ -1,0 +1,53 @@
+"""The L1I prefetch queue (PQ).
+
+A fixed-capacity FIFO of pending prefetch requests.  As in the paper, each
+entry records the request's source-entangled token; the issue timestamp is
+taken when the request leaves the queue for the memory hierarchy.  Requests
+arriving at a full queue are dropped (the paper notes its prefetcher would
+benefit from a larger PQ precisely because of these drops).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+
+class PrefetchQueue:
+    """FIFO prefetch queue with duplicate suppression."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("prefetch queue needs at least one entry")
+        self.capacity = capacity
+        self._queue: Deque[Tuple[int, Any]] = deque()
+        self._pending: set = set()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def push(self, line_addr: int, src_meta: Any = None) -> bool:
+        """Enqueue a prefetch; returns False if dropped (full or duplicate)."""
+        if self.full or line_addr in self._pending:
+            return False
+        self._queue.append((line_addr, src_meta))
+        self._pending.add(line_addr)
+        return True
+
+    def pop(self) -> Optional[Tuple[int, Any]]:
+        if not self._queue:
+            return None
+        line_addr, src_meta = self._queue.popleft()
+        self._pending.discard(line_addr)
+        return line_addr, src_meta
+
+    def peek(self) -> Optional[Tuple[int, Any]]:
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._pending.clear()

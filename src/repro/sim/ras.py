@@ -1,0 +1,39 @@
+"""Return address stack."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class ReturnAddressStack:
+    """Bounded RAS; overflow discards the oldest entry (circular wrap)."""
+
+    def __init__(self, size: int = 64) -> None:
+        if size < 1:
+            raise ValueError("RAS needs at least one entry")
+        self.size = size
+        self._stack: List[int] = []
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) >= self.size:
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def top_entries(self, n: int) -> Tuple[int, ...]:
+        """The ``n`` youngest entries (youngest last); used by RDIP/D-JOLT
+        to build call-context signatures."""
+        return tuple(self._stack[-n:])
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def storage_bits(self) -> int:
+        return self.size * 48

@@ -1,0 +1,467 @@
+"""The cycle-based front-end simulator.
+
+Each simulated cycle runs four phases, mirroring the paper's modified
+ChampSim front end:
+
+1. **Fills** — completed MSHR entries fill the L1I (possibly evicting a
+   never-used prefetch: a *wrong* prefetch) and wake waiting FTQ blocks.
+2. **Prefetch issue** — up to ``prefetch_issue_width`` requests leave the
+   PQ for the memory hierarchy (dropped if already resident or in flight).
+3. **Predict** — the decoupled predict stage walks the fetch units along
+   the (correct) path, enqueuing FTQ blocks and performing the demand L1I
+   access per line visit (Fetch-Directed Prefetching issues these as
+   demand accesses, as in the paper's baseline).  Branch prediction gates
+   progress: a mispredicted branch stalls the predict stage until the
+   branch resolves, charging a decode- or execute-stage redirect penalty.
+4. **Retire** — the back end consumes up to ``retire_width`` instructions
+   per cycle from ready FTQ blocks; wrong-path execution is not modelled
+   (neither does ChampSim).
+
+The simulation is trace-driven and deterministic.  Idle stretches (e.g. a
+DRAM miss with an empty FTQ) are skipped event-style, so wall-clock cost
+scales with activity rather than with cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence
+
+from repro.prefetchers.base import FillInfo, InstructionPrefetcher, PrefetchRequest
+from repro.sim.branch_predictor import make_direction_predictor
+from repro.sim.btb import BranchTargetBuffer
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import SimConfig
+from repro.sim.fetchunits import FetchUnit, build_fetch_units
+from repro.sim.indirect import IndirectTargetCache
+from repro.sim.memory import MemoryHierarchy, PageMapper
+from repro.sim.mshr import MshrFile
+from repro.sim.prefetch_queue import PrefetchQueue
+from repro.sim.ras import ReturnAddressStack
+from repro.sim.stats import SimStats
+from repro.workloads.trace import BranchType, Trace
+
+
+class _FtqBlock:
+    """One FTQ entry: a line visit waiting to be fetched and retired."""
+
+    __slots__ = ("line_addr", "remaining", "ready_cycle", "redirect_penalty", "data_lines")
+
+    def __init__(self, line_addr: int, n_instrs: int, data_lines) -> None:
+        self.line_addr = line_addr
+        self.remaining = n_instrs
+        self.ready_cycle: Optional[int] = None
+        self.redirect_penalty = 0
+        self.data_lines = data_lines
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation: counters plus run identity."""
+
+    trace_name: str
+    category: str
+    prefetcher_name: str
+    stats: SimStats
+    prefetcher: InstructionPrefetcher
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Simulator:
+    """Drives one trace through the configured front end and prefetcher."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        prefetcher: InstructionPrefetcher,
+        config: Optional[SimConfig] = None,
+        units: Optional[Sequence[FetchUnit]] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.trace = trace
+        self.prefetcher = prefetcher
+        self.units: Sequence[FetchUnit] = (
+            units if units is not None else build_fetch_units(trace, self.config.line_size)
+        )
+        self.stats = SimStats()
+        self.l1i = SetAssociativeCache(
+            self.config.l1i_sets,
+            self.config.l1i_ways,
+            replacement=self.config.l1i_replacement,
+        )
+        self.l1d = SetAssociativeCache(self.config.l1d_sets, self.config.l1d_ways)
+        self.mshr = MshrFile(self.config.l1i_mshrs)
+        self.pq = PrefetchQueue(self.config.prefetch_queue_size)
+        self.memory = MemoryHierarchy(self.config, self.stats)
+        self.gshare = make_direction_predictor(
+            self.config.branch_predictor,
+            self.config.gshare_bits,
+            self.config.gshare_history,
+        )
+        self.btb = BranchTargetBuffer(self.config.btb_sets, self.config.btb_ways)
+        self.ras = ReturnAddressStack(self.config.ras_size)
+        self.itc = IndirectTargetCache(self.config.itc_bits, self.config.itc_history)
+        self.mapper: Optional[PageMapper] = None
+        if self.config.physical_addresses:
+            self.mapper = PageMapper(
+                self.config.physical_page_seed,
+                self.config.page_size,
+                self.config.line_size,
+            )
+
+        self.cycle = 0
+        self._ftq: Deque[_FtqBlock] = deque()
+        self._waiting: Dict[int, List[_FtqBlock]] = {}
+        self._pred_idx = 0
+        self._pred_stall_until = 0
+        self._pred_blocked_on: Optional[_FtqBlock] = None
+        self._retired = 0
+
+    # -- address translation -------------------------------------------------
+
+    def _iline(self, vline: int) -> int:
+        """Instruction line address as seen by caches and the prefetcher."""
+        if self.mapper is None:
+            return vline
+        return self.mapper.translate_line(vline)
+
+    def _dline(self, vline: int) -> int:
+        if self.mapper is None:
+            return vline
+        return self.mapper.translate_line(vline)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, warmup_instructions: int = 0) -> SimStats:
+        """Simulate the whole trace; returns the (post-warmup) statistics."""
+        warm_pending = warmup_instructions > 0
+        total_units = len(self.units)
+        while self._pred_idx < total_units or self._ftq:
+            progress = False
+            progress |= self._do_fills()
+            progress |= self._do_predict()
+            progress |= self._do_prefetch_issue()
+            retired_now = self._do_retire()
+            progress |= retired_now > 0
+
+            if warm_pending and self._retired >= warmup_instructions:
+                warm_pending = False
+                self._reset_stats_for_measurement()
+
+            next_cycle = self.cycle + 1 if progress else self._next_event_cycle()
+            if retired_now == 0:
+                span = next_cycle - self.cycle
+                if self._ftq:
+                    self.stats.fetch_stall_cycles += span
+                else:
+                    self.stats.ftq_empty_cycles += span
+            self.cycle = next_cycle
+        self.stats.cycles = self.cycle - self._measure_start_cycle
+        self.stats.instructions = self._retired - self._measure_start_retired
+        return self.stats
+
+    _measure_start_cycle = 0
+    _measure_start_retired = 0
+
+    def _reset_stats_for_measurement(self) -> None:
+        """End of warm-up: zero the counters, keep all structures warm."""
+        self.stats.reset()
+        self._measure_start_cycle = self.cycle
+        self._measure_start_retired = self._retired
+
+    def _next_event_cycle(self) -> int:
+        candidates: List[int] = []
+        next_fill = self.mshr.next_ready_cycle()
+        if next_fill is not None:
+            candidates.append(next_fill)
+        if self._pred_stall_until > self.cycle and self._pred_blocked_on is None:
+            candidates.append(self._pred_stall_until)
+        if self._ftq:
+            head_ready = self._ftq[0].ready_cycle
+            if head_ready is not None and head_ready > self.cycle:
+                candidates.append(head_ready)
+        if not candidates:
+            return self.cycle + 1
+        return max(self.cycle + 1, min(candidates))
+
+    # -- phase 1: fills --------------------------------------------------------
+
+    def _do_fills(self) -> bool:
+        ready = self.mshr.pop_ready(self.cycle)
+        for entry in ready:
+            self._fill_line(entry)
+        return bool(ready)
+
+    def _fill_line(self, entry) -> None:
+        victim = self.l1i.insert(entry.line_addr)
+        self.stats.cache_accesses["L1I"].writes += 1
+        if victim is not None and victim.prefetched:
+            self.stats.wrong_prefetches += 1
+            self.prefetcher.on_evict_unused(victim.line_addr, victim.src_meta, self.cycle)
+        line = self.l1i.lookup(entry.line_addr, update_lru=False)
+        line.prefetched = not entry.is_demand
+        line.src_meta = entry.src_meta
+        info = FillInfo(
+            line_addr=entry.line_addr,
+            fill_cycle=self.cycle,
+            issue_cycle=entry.issue_cycle,
+            is_demand=entry.is_demand,
+            was_prefetch=entry.was_prefetch,
+            demand_cycle=entry.demand_cycle,
+            src_meta=entry.src_meta,
+        )
+        self._collect(self.prefetcher.on_fill(info))
+        waiters = self._waiting.pop(entry.line_addr, None)
+        if waiters:
+            ready_at = self.cycle + self.config.l1i_latency
+            for block in waiters:
+                block.ready_cycle = ready_at
+
+    # -- phase 2: prefetch issue ------------------------------------------------
+
+    def _do_prefetch_issue(self) -> bool:
+        issued = False
+        # Prefetches may not occupy the last MSHR slots: demand misses
+        # stall the predict stage when the file is full, so a prefetch
+        # burst must not starve them.
+        mshr_limit = self.mshr.capacity - self.config.mshr_demand_reserve
+        for _ in range(self.config.prefetch_issue_width):
+            item = self.pq.peek()
+            if item is None:
+                break
+            line_addr, src_meta = item
+            self.stats.cache_accesses["L1I"].reads += 1
+            if self.l1i.contains(line_addr):
+                self.pq.pop()
+                self.stats.prefetches_stale_in_cache += 1
+                continue
+            if self.mshr.lookup(line_addr) is not None:
+                self.pq.pop()
+                self.stats.prefetches_stale_in_flight += 1
+                continue
+            if len(self.mshr) >= mshr_limit:
+                break
+            self.pq.pop()
+            ready = self.memory.request_instruction(line_addr, self.cycle)
+            self.mshr.allocate(line_addr, self.cycle, ready, False, src_meta)
+            self.stats.prefetches_sent += 1
+            issued = True
+        return issued
+
+    # -- phase 3: predict stage ---------------------------------------------------
+
+    def _do_predict(self) -> bool:
+        if self._pred_blocked_on is not None or self.cycle < self._pred_stall_until:
+            return False
+        advanced = False
+        for _ in range(self.config.fetch_lines_per_cycle):
+            if self._pred_idx >= len(self.units):
+                break
+            if len(self._ftq) >= self.config.ftq_size:
+                break
+            unit = self.units[self._pred_idx]
+            block = self._enqueue_unit(unit)
+            if block is None:
+                # MSHR full: retry the same unit next cycle.
+                self.stats.mshr_full_events += 1
+                break
+            advanced = True
+            self._pred_idx += 1
+            if unit.branch is not None and self._handle_branch(unit, block):
+                break  # mispredicted: stall until resolution
+        return advanced
+
+    def _enqueue_unit(self, unit: FetchUnit) -> Optional[_FtqBlock]:
+        line_addr = self._iline(unit.line_addr)
+        block = _FtqBlock(line_addr, unit.n_instrs, unit.data_lines)
+        ready = self._demand_access(line_addr, block)
+        if ready == "retry":
+            return None
+        self._ftq.append(block)
+        return block
+
+    def _demand_access(self, line_addr: int, block: _FtqBlock):
+        """Perform the demand L1I access for one FTQ block."""
+        stats = self.stats
+        stats.cache_accesses["L1I"].reads += 1
+        stats.l1i_demand_accesses += 1
+        entry = self.l1i.lookup(line_addr)
+        if entry is not None:
+            stats.l1i_demand_hits += 1
+            if entry.prefetched:
+                entry.prefetched = False
+                stats.useful_prefetches += 1
+                self.prefetcher.on_prefetch_useful(line_addr, entry.src_meta, self.cycle)
+            block.ready_cycle = self.cycle + self.config.l1i_latency
+            self._collect(self.prefetcher.on_demand_access(line_addr, True, self.cycle))
+            return block.ready_cycle
+
+        if self.prefetcher.is_ideal:
+            # Ideal L1I: the access hits, but the line is still fetched from
+            # the next level to model the pollution it causes there.
+            stats.l1i_demand_hits += 1
+            self.memory.request_instruction(line_addr, self.cycle)
+            self.l1i.insert(line_addr)
+            stats.cache_accesses["L1I"].writes += 1
+            block.ready_cycle = self.cycle + self.config.l1i_latency
+            return block.ready_cycle
+
+        mshr_entry = self.mshr.lookup(line_addr)
+        if mshr_entry is not None:
+            stats.l1i_demand_misses += 1
+            if not mshr_entry.is_demand:
+                mshr_entry.mark_demanded(self.cycle)
+                stats.late_prefetches += 1
+                self.prefetcher.on_prefetch_late(line_addr, mshr_entry.src_meta, self.cycle)
+            else:
+                stats.l1i_mshr_merges += 1
+            self._wait_on(line_addr, block)
+            self._collect(self.prefetcher.on_demand_access(line_addr, False, self.cycle))
+            return None
+
+        if self.mshr.full:
+            # Retried next cycle: undo this attempt's access accounting so
+            # each architectural access is counted exactly once.
+            stats.cache_accesses["L1I"].reads -= 1
+            stats.l1i_demand_accesses -= 1
+            return "retry"
+
+        stats.l1i_demand_misses += 1
+        ready = self.memory.request_instruction(line_addr, self.cycle + self.config.l1i_latency)
+        self.mshr.allocate(line_addr, self.cycle, ready, True, None)
+        self._wait_on(line_addr, block)
+        self._collect(self.prefetcher.on_demand_access(line_addr, False, self.cycle))
+        return None
+
+    def _wait_on(self, line_addr: int, block: _FtqBlock) -> None:
+        self._waiting.setdefault(line_addr, []).append(block)
+
+    def _handle_branch(self, unit: FetchUnit, block: _FtqBlock) -> bool:
+        """Predict the unit's terminating branch; returns True on stall."""
+        pc, branch_type, taken, target = unit.branch
+        self.stats.branches += 1
+        penalty = 0
+
+        if branch_type == BranchType.CONDITIONAL:
+            predicted_taken = self.gshare.predict(pc)
+            self.gshare.update(pc, taken)
+            if predicted_taken != taken:
+                penalty = self.config.exec_redirect_penalty
+                self.stats.branch_mispredictions += 1
+            elif taken:
+                if self.btb.lookup(pc) is None:
+                    penalty = self.config.decode_redirect_penalty
+                    self.stats.btb_miss_redirects += 1
+                self.btb.update(pc, target)
+        elif branch_type in (BranchType.DIRECT_JUMP, BranchType.DIRECT_CALL):
+            if self.btb.lookup(pc) is None:
+                penalty = self.config.decode_redirect_penalty
+                self.stats.btb_miss_redirects += 1
+            self.btb.update(pc, target)
+        elif branch_type in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL):
+            predicted = self.itc.predict(pc)
+            if predicted != target:
+                penalty = self.config.exec_redirect_penalty
+                self.stats.branch_mispredictions += 1
+            self.itc.update(pc, target)
+        elif branch_type == BranchType.RETURN:
+            predicted = self.ras.pop()
+            if predicted != target:
+                penalty = self.config.exec_redirect_penalty
+                self.stats.branch_mispredictions += 1
+
+        if branch_type.is_call:
+            self.ras.push(pc + 4)
+
+        self._collect(
+            self.prefetcher.on_branch(pc, branch_type, taken, target, self.cycle)
+        )
+
+        if penalty:
+            block.redirect_penalty = penalty
+            self._pred_blocked_on = block
+            return True
+        return False
+
+    # -- phase 4: retire ------------------------------------------------------------
+
+    def _do_retire(self) -> int:
+        budget = self.config.retire_width
+        retired = 0
+        while budget > 0 and self._ftq:
+            block = self._ftq[0]
+            if block.ready_cycle is None or block.ready_cycle > self.cycle:
+                break
+            take = min(budget, block.remaining)
+            block.remaining -= take
+            budget -= take
+            retired += take
+            if block.remaining == 0:
+                self._ftq.popleft()
+                self._finish_block(block)
+        self._retired += retired
+        return retired
+
+    def _finish_block(self, block: _FtqBlock) -> None:
+        if block.redirect_penalty:
+            self._pred_stall_until = self.cycle + block.redirect_penalty
+            if self._pred_blocked_on is block:
+                self._pred_blocked_on = None
+        for data_line, is_store in block.data_lines:
+            self._l1d_access(self._dline(data_line), is_store)
+
+    def _l1d_access(self, line_addr: int, is_store: bool) -> None:
+        counts = self.stats.cache_accesses["L1D"]
+        if is_store:
+            counts.writes += 1
+        else:
+            counts.reads += 1
+        if self.l1d.lookup(line_addr) is None:
+            self.memory.request_data(line_addr, self.cycle)
+            self.l1d.insert(line_addr)
+            counts.writes += 1
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _collect(self, requests: Iterable[PrefetchRequest]) -> None:
+        """Accept prefetcher requests into the PQ.
+
+        Requests for lines already resident or already in flight are
+        filtered here so they do not occupy PQ slots (ChampSim's
+        ``prefetch_line`` filters these as well).
+        """
+        for request in requests:
+            self.stats.prefetches_requested += 1
+            if self.l1i.contains(request.line_addr):
+                self.stats.prefetches_dropped_in_cache += 1
+                continue
+            if self.mshr.lookup(request.line_addr) is not None:
+                self.stats.prefetches_dropped_in_flight += 1
+                continue
+            if self.pq.push(request.line_addr, request.src_meta):
+                self.stats.prefetches_enqueued += 1
+            else:
+                self.stats.prefetches_dropped_pq_full += 1
+
+
+def simulate(
+    trace: Trace,
+    prefetcher: InstructionPrefetcher,
+    config: Optional[SimConfig] = None,
+    units: Optional[Sequence[FetchUnit]] = None,
+    warmup_instructions: int = 0,
+) -> SimResult:
+    """Convenience wrapper: run one trace through one prefetcher."""
+    sim = Simulator(trace, prefetcher, config=config, units=units)
+    stats = sim.run(warmup_instructions=warmup_instructions)
+    return SimResult(
+        trace_name=trace.name,
+        category=trace.category,
+        prefetcher_name=prefetcher.name,
+        stats=stats,
+        prefetcher=prefetcher,
+    )

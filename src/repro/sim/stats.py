@@ -1,0 +1,135 @@
+"""Simulation statistics: counters, derived metrics, and cache access counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheAccessCounts:
+    """Per-cache access counters consumed by the energy model."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass
+class SimStats:
+    """All counters collected during one simulation run.
+
+    Prefetch bookkeeping follows the paper's Figure 5 taxonomy:
+
+    * *useful* (timely): a demand access hits a line whose access bit was
+      still unset (the prefetch arrived before the demand).
+    * *late*: a demand miss finds the line's MSHR entry allocated by a
+      prefetch that has not completed yet.
+    * *wrong*: a prefetched line is evicted with its access bit still
+      unset (never demanded).
+    """
+
+    instructions: int = 0
+    cycles: int = 0
+
+    # L1I demand behaviour
+    l1i_demand_accesses: int = 0
+    l1i_demand_hits: int = 0
+    l1i_demand_misses: int = 0
+    l1i_mshr_merges: int = 0
+
+    # prefetch behaviour
+    prefetches_requested: int = 0   # produced by the prefetcher
+    prefetches_enqueued: int = 0    # accepted by the PQ
+    prefetches_dropped_pq_full: int = 0
+    prefetches_dropped_in_cache: int = 0
+    prefetches_dropped_in_flight: int = 0
+    # Enqueued requests filtered at issue time (state changed while queued).
+    prefetches_stale_in_cache: int = 0
+    prefetches_stale_in_flight: int = 0
+    prefetches_sent: int = 0        # actually issued to the hierarchy
+    useful_prefetches: int = 0
+    late_prefetches: int = 0
+    wrong_prefetches: int = 0
+
+    # branch prediction
+    branches: int = 0
+    branch_mispredictions: int = 0
+    btb_miss_redirects: int = 0
+
+    # pipeline accounting
+    fetch_stall_cycles: int = 0    # retire idle, FTQ head not ready (I-miss)
+    ftq_empty_cycles: int = 0      # retire idle, FTQ drained (redirects)
+    mshr_full_events: int = 0
+
+    # per-cache access counts for the energy model
+    cache_accesses: Dict[str, CacheAccessCounts] = field(
+        default_factory=lambda: {
+            name: CacheAccessCounts() for name in ("L1I", "L1D", "L2C", "LLC")
+        }
+    )
+
+    def reset(self) -> None:
+        """Zero every counter in place (end-of-warm-up measurement start).
+
+        In-place so that components holding a reference to this object keep
+        counting into the same instance.
+        """
+        import dataclasses
+
+        fresh = SimStats()
+        for field_info in dataclasses.fields(self):
+            setattr(self, field_info.name, getattr(fresh, field_info.name))
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1i_miss_ratio(self) -> float:
+        if self.l1i_demand_accesses == 0:
+            return 0.0
+        return self.l1i_demand_misses / self.l1i_demand_accesses
+
+    @property
+    def l1i_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l1i_demand_misses / self.instructions
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches / prefetches issued to the hierarchy."""
+        if self.prefetches_sent == 0:
+            return 0.0
+        return self.useful_prefetches / self.prefetches_sent
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branches
+
+    def coverage_vs(self, baseline: "SimStats") -> float:
+        """Fraction of the baseline's misses this run eliminated."""
+        if baseline.l1i_demand_misses == 0:
+            return 0.0
+        saved = baseline.l1i_demand_misses - self.l1i_demand_misses
+        return max(0.0, saved / baseline.l1i_demand_misses)
+
+    def summary(self) -> str:
+        return (
+            f"instr={self.instructions} cycles={self.cycles} "
+            f"ipc={self.ipc:.3f} mpki={self.l1i_mpki:.2f} "
+            f"missratio={self.l1i_miss_ratio:.3f} "
+            f"pf_sent={self.prefetches_sent} useful={self.useful_prefetches} "
+            f"late={self.late_prefetches} wrong={self.wrong_prefetches} "
+            f"acc={self.accuracy:.3f}"
+        )

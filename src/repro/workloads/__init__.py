@@ -1,0 +1,46 @@
+"""Workload substrate: instruction traces and synthetic program generators.
+
+The paper evaluates on 959 proprietary Qualcomm CVP traces (crypto, int, fp,
+and srv categories) plus four CloudSuite applications.  Those traces are not
+publicly available, so this package provides a from-scratch substitute: a
+control-flow-graph program model (:mod:`repro.workloads.cfg`), an interpreter
+that executes such programs into instruction traces
+(:mod:`repro.workloads.synthetic`), and tuned per-category generator suites
+(:mod:`repro.workloads.generators`, :mod:`repro.workloads.cloudsuite`).
+"""
+
+from repro.workloads.trace import (
+    BranchType,
+    Instruction,
+    Trace,
+    read_trace,
+    write_trace,
+)
+from repro.workloads.cfg import BasicBlock, Function, Program, ProgramBuilder
+from repro.workloads.synthetic import CfgInterpreter, generate_trace
+from repro.workloads.generators import (
+    WorkloadSpec,
+    cvp_suite,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.cloudsuite import cloudsuite_suite
+
+__all__ = [
+    "BranchType",
+    "Instruction",
+    "Trace",
+    "read_trace",
+    "write_trace",
+    "BasicBlock",
+    "Function",
+    "Program",
+    "ProgramBuilder",
+    "CfgInterpreter",
+    "generate_trace",
+    "WorkloadSpec",
+    "cvp_suite",
+    "make_workload",
+    "workload_names",
+    "cloudsuite_suite",
+]

@@ -1,0 +1,94 @@
+"""CloudSuite-like workloads for Figure 16.
+
+The paper's Figure 16 evaluates four CloudSuite applications that exceed
+1 L1I MPKI: *cassandra* (data serving), *cloud9* (software testing),
+*nutch* (web search), and *streaming* (media streaming).  We model each as
+a synthetic program whose footprint and control-flow profile follows the
+published characterizations of these scale-out workloads (Ferdman et al.,
+ASPLOS 2012): multi-megabyte instruction working sets, deep Java-style call
+chains, and heavy use of virtual dispatch (indirect calls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.generators import ProgramParams, WorkloadSpec
+
+#: Parameter presets per CloudSuite application.  All four are server-class
+#: (large footprint, branchy) but differ in footprint size and dispatch
+#: intensity so the prefetchers separate, as in the paper's Figure 16.
+CLOUDSUITE_PARAMS: Dict[str, ProgramParams] = {
+    "cassandra": ProgramParams(
+        n_funcs=900,
+        n_handlers=44,
+        shared_utils=32,
+        blocks_per_func=(3, 9),
+        instrs_per_block=(3, 12),
+        loop_prob=0.06,
+        loop_taken_prob=0.80,
+        cond_prob=0.32,
+        call_prob=0.36,
+        indirect_frac=0.22,
+        cond_bias_choices=(0.2, 0.4, 0.6, 0.8),
+        zipf_s=0.85,
+    ),
+    "cloud9": ProgramParams(
+        n_funcs=560,
+        n_handlers=28,
+        shared_utils=20,
+        blocks_per_func=(4, 12),
+        instrs_per_block=(4, 14),
+        loop_prob=0.10,
+        loop_taken_prob=0.85,
+        cond_prob=0.34,
+        call_prob=0.28,
+        indirect_frac=0.10,
+        cond_bias_choices=(0.1, 0.3, 0.5, 0.7, 0.9),
+        zipf_s=1.0,
+    ),
+    "nutch": ProgramParams(
+        n_funcs=720,
+        n_handlers=36,
+        shared_utils=24,
+        blocks_per_func=(3, 10),
+        instrs_per_block=(3, 12),
+        loop_prob=0.08,
+        loop_taken_prob=0.82,
+        cond_prob=0.30,
+        call_prob=0.34,
+        indirect_frac=0.18,
+        cond_bias_choices=(0.2, 0.5, 0.8),
+        zipf_s=0.9,
+    ),
+    "streaming": ProgramParams(
+        n_funcs=440,
+        n_handlers=20,
+        shared_utils=16,
+        blocks_per_func=(3, 9),
+        instrs_per_block=(8, 30),
+        loop_prob=0.14,
+        loop_taken_prob=0.88,
+        cond_prob=0.24,
+        call_prob=0.28,
+        indirect_frac=0.08,
+        cond_bias_choices=(0.1, 0.2, 0.8, 0.9),
+        zipf_s=1.0,
+    ),
+}
+
+
+def cloudsuite_suite(n_instructions: int = 200_000) -> List[WorkloadSpec]:
+    """The four CloudSuite-like workloads of Figure 16."""
+    specs: List[WorkloadSpec] = []
+    for i, (name, params) in enumerate(sorted(CLOUDSUITE_PARAMS.items())):
+        specs.append(
+            WorkloadSpec(
+                name=name,
+                category="cloud",
+                seed=9000 + 17 * i,
+                n_instructions=n_instructions,
+                params=params,
+            )
+        )
+    return specs

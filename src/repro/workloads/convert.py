@@ -1,0 +1,162 @@
+"""Importing externally produced instruction traces.
+
+Users with their own traces (e.g. dumped from a binary-instrumentation
+tool) can convert them into :class:`~repro.workloads.trace.Trace` objects
+through a simple line-oriented text format:
+
+* **Minimal form** — one program counter per line (hex with ``0x`` prefix
+  or decimal).  Branches are inferred: any non-sequential successor marks
+  the previous instruction as a taken direct jump, as in
+  :func:`repro.workloads.trace.trace_from_pcs`.
+* **Extended form** — comma-separated
+  ``pc,branch_type,taken,target[,mem,data_addr]`` where ``branch_type``
+  is one of ``-`` (not a branch), ``cond``, ``jmp``, ``ijmp``, ``call``,
+  ``icall``, ``ret``; ``taken`` is ``0``/``1``; ``mem`` is ``-``/``load``/
+  ``store``.
+
+Lines starting with ``#`` and blank lines are ignored.  The two forms can
+be mixed freely (a line without commas is a minimal-form line).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.workloads.trace import BranchType, Instruction, Trace
+
+_BRANCH_NAMES = {
+    "-": BranchType.NOT_BRANCH,
+    "cond": BranchType.CONDITIONAL,
+    "jmp": BranchType.DIRECT_JUMP,
+    "ijmp": BranchType.INDIRECT_JUMP,
+    "call": BranchType.DIRECT_CALL,
+    "icall": BranchType.INDIRECT_CALL,
+    "ret": BranchType.RETURN,
+}
+
+_BRANCH_CODES = {v: k for k, v in _BRANCH_NAMES.items()}
+
+
+class TraceParseError(ValueError):
+    """A malformed line in an external trace file."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line!r}")
+        self.line_no = line_no
+
+
+def _parse_int(text: str, line_no: int, line: str) -> int:
+    text = text.strip()
+    try:
+        return int(text, 16) if text.lower().startswith("0x") else int(text)
+    except ValueError:
+        raise TraceParseError(line_no, line, f"not a number: {text!r}") from None
+
+
+def _parse_extended(parts: List[str], line_no: int, line: str) -> Instruction:
+    if len(parts) not in (4, 6):
+        raise TraceParseError(
+            line_no, line, f"expected 4 or 6 fields, got {len(parts)}"
+        )
+    pc = _parse_int(parts[0], line_no, line)
+    branch_name = parts[1].strip().lower()
+    if branch_name not in _BRANCH_NAMES:
+        raise TraceParseError(line_no, line, f"unknown branch type {branch_name!r}")
+    branch_type = _BRANCH_NAMES[branch_name]
+    taken_field = parts[2].strip()
+    if taken_field not in ("0", "1"):
+        raise TraceParseError(line_no, line, f"taken must be 0 or 1, got {taken_field!r}")
+    taken = taken_field == "1"
+    if taken and branch_type == BranchType.NOT_BRANCH:
+        raise TraceParseError(line_no, line, "non-branch marked taken")
+    target = _parse_int(parts[3], line_no, line)
+    is_load = is_store = False
+    data_addr = 0
+    if len(parts) == 6:
+        mem = parts[4].strip().lower()
+        if mem not in ("-", "load", "store"):
+            raise TraceParseError(line_no, line, f"unknown mem kind {mem!r}")
+        is_load = mem == "load"
+        is_store = mem == "store"
+        data_addr = _parse_int(parts[5], line_no, line)
+    return Instruction(
+        pc=pc,
+        branch_type=branch_type,
+        taken=taken,
+        target=target,
+        is_load=is_load,
+        is_store=is_store,
+        data_addr=data_addr,
+    )
+
+
+def parse_text_trace(
+    lines: Iterable[str], name: str = "imported", category: str = "unknown"
+) -> Trace:
+    """Parse the text format described in the module docstring."""
+    instructions: List[Instruction] = []
+    pending_pc: Optional[int] = None
+
+    def flush_pending(next_pc: Optional[int]) -> None:
+        nonlocal pending_pc
+        if pending_pc is None:
+            return
+        if next_pc is not None and next_pc != pending_pc + 4:
+            instructions.append(
+                Instruction(
+                    pc=pending_pc,
+                    branch_type=BranchType.DIRECT_JUMP,
+                    taken=True,
+                    target=next_pc,
+                )
+            )
+        else:
+            instructions.append(Instruction(pc=pending_pc))
+        pending_pc = None
+
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "," in line:
+            inst = _parse_extended(line.split(","), line_no, line)
+            flush_pending(inst.pc)
+            instructions.append(inst)
+        else:
+            pc = _parse_int(line, line_no, line)
+            flush_pending(pc)
+            pending_pc = pc
+    flush_pending(None)
+    return Trace(name=name, instructions=instructions, category=category)
+
+
+def read_text_trace(
+    path_or_file: Union[str, TextIO],
+    name: Optional[str] = None,
+    category: str = "unknown",
+) -> Trace:
+    """Read a text trace from a path or an open file object."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            trace = parse_text_trace(fh, name=name or path_or_file, category=category)
+        return trace
+    return parse_text_trace(path_or_file, name=name or "imported", category=category)
+
+
+def write_text_trace(trace: Trace, path_or_file: Union[str, TextIO]) -> None:
+    """Export a trace to the extended text form (lossless for our fields)."""
+
+    def emit(fh: TextIO) -> None:
+        fh.write(f"# trace {trace.name} category={trace.category}\n")
+        for inst in trace:
+            mem = "load" if inst.is_load else "store" if inst.is_store else "-"
+            fh.write(
+                f"0x{inst.pc:x},{_BRANCH_CODES[inst.branch_type]},"
+                f"{int(inst.taken)},0x{inst.target:x},{mem},0x{inst.data_addr:x}\n"
+            )
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            emit(fh)
+    else:
+        emit(path_or_file)

@@ -1,0 +1,448 @@
+"""Random program generation tuned per CVP workload category.
+
+The paper's evaluation uses proprietary Qualcomm CVP traces grouped as
+``crypto``, ``int`` (compute int), ``fp`` (compute fp), and ``srv`` (server),
+selected so each shows at least 1 L1I MPKI on the no-prefetch baseline.  We
+substitute seeded random CFG programs structured like server software:
+
+* an *event loop* entry function that indirect-calls one of ``n_handlers``
+  handler functions per iteration (a request dispatcher);
+* per-handler subtrees of *internal* functions (code locality: a handler
+  calls mostly its own segment of the program);
+* a pool of *shared utility* functions called from everywhere with Zipf
+  popularity (the hot common code).
+
+Because the dispatcher cycles through all handlers, the instruction
+footprint reliably exceeds the L1I while every path recurs often enough
+for prefetchers to train — the regime the paper studies.  Per-category
+knobs reproduce the properties the paper reports:
+
+* ``srv`` — the largest footprints, many small functions, deep call
+  chains, indirect calls, smallest basic blocks (Fig 14).
+* ``fp``  — long straight-line loop bodies: the largest basic blocks and
+  the most prefetches per Entangled-table hit (Fig 14/15).
+* ``int`` — medium footprint, branchy integer control flow.
+* ``crypto`` — unrolled round functions: large blocks, highly
+  compressible entangled destinations (Fig 12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.cfg import BasicBlock, Function, Program, Terminator, TermKind
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+CATEGORIES = ("crypto", "int", "fp", "srv")
+
+
+@dataclass(frozen=True)
+class ProgramParams:
+    """Knobs controlling random program generation.
+
+    Attributes:
+        n_funcs: total number of functions (dispatcher + handlers +
+            internals + shared utilities).
+        n_handlers: handler functions reachable from the dispatcher.
+        shared_utils: size of the Zipf-popular shared-utility pool.
+        blocks_per_func: inclusive (min, max) block count per function.
+        instrs_per_block: inclusive (min, max) instruction count per block.
+        loop_prob: probability a block's terminator is a backward
+            conditional (a loop back edge).
+        loop_taken_prob: taken probability for back edges (mean trip count
+            is ``1 / (1 - loop_taken_prob)``).
+        cond_prob: probability of a forward conditional skip.
+        call_prob: probability of a call terminator.
+        indirect_frac: fraction of calls through a pointer.
+        cond_bias_choices: taken probabilities for forward conditionals;
+            values near 0.5 create branch mispredictions.
+        zipf_s: skew of shared-utility popularity.
+        load_frac / store_frac: memory-instruction density.
+    """
+
+    n_funcs: int = 160
+    n_handlers: int = 16
+    shared_utils: int = 12
+    blocks_per_func: Tuple[int, int] = (4, 12)
+    instrs_per_block: Tuple[int, int] = (4, 16)
+    loop_prob: float = 0.10
+    loop_taken_prob: float = 0.85
+    cond_prob: float = 0.30
+    call_prob: float = 0.22
+    indirect_frac: float = 0.10
+    cond_bias_choices: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    zipf_s: float = 1.2
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    max_call_depth: int = 6
+
+    def __post_init__(self) -> None:
+        minimum = 1 + self.n_handlers + self.shared_utils + 1
+        if self.n_funcs < minimum:
+            raise ValueError(
+                f"n_funcs={self.n_funcs} too small for {self.n_handlers} "
+                f"handlers and {self.shared_utils} shared utilities"
+            )
+
+
+class _ProgramShape:
+    """Partition of the function list into dispatcher/handlers/utils/internals."""
+
+    def __init__(self, params: ProgramParams) -> None:
+        self.names = [f"f{idx:03d}" for idx in range(params.n_funcs)]
+        self.main = self.names[0]
+        self.handlers = self.names[1 : 1 + params.n_handlers]
+        utils_start = 1 + params.n_handlers
+        self.utils = self.names[utils_start : utils_start + params.shared_utils]
+        self.internals = self.names[utils_start + params.shared_utils :]
+        # Contiguous internal segment per handler (code locality).
+        self.segment: Dict[str, List[str]] = {}
+        n_handlers = len(self.handlers)
+        per_handler = max(1, len(self.internals) // max(1, n_handlers))
+        for i, handler in enumerate(self.handlers):
+            start = i * per_handler
+            end = len(self.internals) if i == n_handlers - 1 else start + per_handler
+            self.segment[handler] = self.internals[start:end]
+
+    def segment_of(self, func_name: str) -> List[str]:
+        """Internal segment a function belongs to (its handler's segment)."""
+        if func_name in self.segment:
+            return self.segment[func_name]
+        for members in self.segment.values():
+            if func_name in members:
+                return members
+        return self.internals
+
+
+def build_program(params: ProgramParams, seed: int) -> Program:
+    """Generate a random dispatcher-structured program deterministically.
+
+    The *layout* order of functions is shuffled: call-graph neighbours are
+    not address-space neighbours, as in real binaries without profile-
+    guided layout.  This is what makes purely spatial prefetching (next
+    line, aggressive block merging) pay an accuracy cost.
+    """
+    rng = random.Random(seed)
+    shape = _ProgramShape(params)
+    util_weights = _zipf_weights(len(shape.utils), params.zipf_s)
+    functions = [_build_main(shape, params, rng)]
+    for name in shape.handlers + shape.utils + shape.internals:
+        functions.append(
+            _build_function(name, shape, params, util_weights, rng)
+        )
+    layout = functions[1:]
+    rng.shuffle(layout)
+    return Program([functions[0]] + layout, entry=shape.main)
+
+
+def _zipf_weights(n: int, s: float) -> List[float]:
+    return [1.0 / (rank + 1) ** s for rank in range(max(1, n))]
+
+
+def _build_main(shape: _ProgramShape, params: ProgramParams, rng: random.Random) -> Function:
+    """The event loop: dispatch to a handler, then loop forever."""
+    candidates = [(h, rng.uniform(0.6, 1.6)) for h in shape.handlers]
+    blocks = [
+        BasicBlock(
+            label="dispatch",
+            n_instructions=rng.randint(*params.instrs_per_block),
+            terminator=Terminator(TermKind.INDIRECT_CALL, candidates=candidates),
+            load_frac=params.load_frac,
+            store_frac=params.store_frac,
+        ),
+        BasicBlock(
+            label="loop",
+            n_instructions=max(2, params.instrs_per_block[0]),
+            terminator=Terminator(TermKind.JUMP, target="dispatch"),
+            load_frac=params.load_frac,
+            store_frac=params.store_frac,
+        ),
+    ]
+    return Function(shape.main, blocks)
+
+
+def _build_function(
+    name: str,
+    shape: _ProgramShape,
+    params: ProgramParams,
+    util_weights: List[float],
+    rng: random.Random,
+) -> Function:
+    if name in shape.segment:
+        return _build_handler(name, shape, params, rng)
+    n_blocks = rng.randint(*params.blocks_per_func)
+    blocks: List[BasicBlock] = []
+    for b in range(n_blocks):
+        n_instr = rng.randint(*params.instrs_per_block)
+        is_last = b == n_blocks - 1
+        term = (
+            Terminator(TermKind.RETURN)
+            if is_last
+            else _pick_terminator(name, b, n_blocks, shape, params, util_weights, rng)
+        )
+        blocks.append(
+            BasicBlock(
+                label=f"b{b}",
+                n_instructions=n_instr,
+                terminator=term,
+                load_frac=params.load_frac,
+                store_frac=params.store_frac,
+            )
+        )
+    return Function(name, blocks)
+
+
+def _build_handler(
+    name: str, shape: _ProgramShape, params: ProgramParams, rng: random.Random
+) -> Function:
+    """A request handler: indirect-calls across its whole internal segment.
+
+    The segment is partitioned into slices, one call block per slice, so
+    every internal function is statically reachable and repeated requests
+    of the same type traverse the handler's full code footprint over time.
+    """
+    segment = shape.segment[name] or shape.utils or [name]
+    slice_size = 6
+    slices = [segment[i : i + slice_size] for i in range(0, len(segment), slice_size)]
+    blocks: List[BasicBlock] = []
+    for b, chunk in enumerate(slices):
+        # One dominant callee per slice: real dispatch sites have a hot
+        # common case, which gives prefetchers a recurring path to learn,
+        # plus occasional cold alternatives.
+        weights = [12.0] + [1.0] * (len(chunk) - 1)
+        order = list(range(len(chunk)))
+        rng.shuffle(order)
+        candidates = [(chunk[i], weights[rank]) for rank, i in enumerate(order)]
+        blocks.append(
+            BasicBlock(
+                label=f"b{b}",
+                n_instructions=rng.randint(*params.instrs_per_block),
+                terminator=Terminator(TermKind.INDIRECT_CALL, candidates=candidates),
+                load_frac=params.load_frac,
+                store_frac=params.store_frac,
+            )
+        )
+    blocks.append(
+        BasicBlock(
+            label=f"b{len(slices)}",
+            n_instructions=rng.randint(*params.instrs_per_block),
+            terminator=Terminator(TermKind.RETURN),
+            load_frac=params.load_frac,
+            store_frac=params.store_frac,
+        )
+    )
+    return Function(name, blocks)
+
+
+def _pick_terminator(
+    func_name: str,
+    block_idx: int,
+    n_blocks: int,
+    shape: _ProgramShape,
+    params: ProgramParams,
+    util_weights: List[float],
+    rng: random.Random,
+) -> Terminator:
+    roll = rng.random()
+    if roll < params.loop_prob:
+        # Self-loop: re-execute this block with probability loop_taken_prob
+        # (mean trip count 1/(1-p)).  Self-loops keep per-function dwell
+        # time bounded — back edges to earlier blocks would nest loops
+        # multiplicatively and let one function absorb the whole trace.
+        return Terminator(
+            TermKind.COND, target=f"b{block_idx}", taken_prob=params.loop_taken_prob
+        )
+    roll -= params.loop_prob
+    if roll < params.cond_prob and block_idx + 2 < n_blocks:
+        forward = rng.randint(block_idx + 1, n_blocks - 1)
+        bias = rng.choice(list(params.cond_bias_choices))
+        return Terminator(TermKind.COND, target=f"b{forward}", taken_prob=bias)
+    roll -= params.cond_prob
+    if roll < params.call_prob:
+        if rng.random() < params.indirect_frac:
+            callees = _pick_callees(func_name, shape, util_weights, rng, k=3)
+            weights = [10.0] + [1.0] * (len(callees) - 1)
+            candidates = list(zip(callees, weights))
+            return Terminator(TermKind.INDIRECT_CALL, candidates=candidates)
+        callee = _pick_callees(func_name, shape, util_weights, rng, k=1)[0]
+        return Terminator(TermKind.CALL, target=callee)
+    return Terminator(TermKind.FALLTHROUGH)
+
+
+def _pick_callees(
+    func_name: str,
+    shape: _ProgramShape,
+    util_weights: List[float],
+    rng: random.Random,
+    k: int,
+) -> List[str]:
+    """Pick ``k`` distinct callees: mostly the caller's own segment, with a
+    Zipf-weighted chance of a shared utility."""
+    segment = shape.segment_of(func_name)
+    chosen: List[str] = []
+    seen = {func_name}
+    attempts = 0
+    while len(chosen) < k and attempts < 40:
+        attempts += 1
+        if shape.utils and rng.random() < 0.35:
+            cand = rng.choices(shape.utils, weights=util_weights, k=1)[0]
+        elif segment:
+            cand = rng.choice(segment)
+        else:
+            cand = rng.choice(shape.internals or shape.utils or [func_name])
+        if cand in seen:
+            continue
+        seen.add(cand)
+        chosen.append(cand)
+    if not chosen:
+        fallback = shape.utils[0] if shape.utils else shape.internals[0]
+        chosen.append(fallback)
+    return chosen
+
+
+#: Per-category parameter presets.  ``n_funcs`` x mean function size sets the
+#: instruction footprint; block-size ranges set the basic-block statistics
+#: the paper reports in Figures 12-15.
+CATEGORY_PARAMS: Dict[str, ProgramParams] = {
+    "crypto": ProgramParams(
+        n_funcs=120,
+        n_handlers=10,
+        shared_utils=8,
+        blocks_per_func=(3, 7),
+        instrs_per_block=(16, 56),
+        loop_prob=0.14,
+        loop_taken_prob=0.80,
+        cond_prob=0.08,
+        call_prob=0.46,
+        indirect_frac=0.02,
+        cond_bias_choices=(0.05, 0.1, 0.9, 0.95),
+        zipf_s=0.8,
+        max_call_depth=4,
+    ),
+    "int": ProgramParams(
+        n_funcs=800,
+        n_handlers=26,
+        shared_utils=18,
+        blocks_per_func=(4, 13),
+        instrs_per_block=(4, 20),
+        loop_prob=0.10,
+        loop_taken_prob=0.85,
+        cond_prob=0.28,
+        call_prob=0.26,
+        indirect_frac=0.08,
+        cond_bias_choices=(0.1, 0.3, 0.5, 0.7, 0.9),
+        zipf_s=1.1,
+        max_call_depth=5,
+    ),
+    "fp": ProgramParams(
+        n_funcs=230,
+        n_handlers=14,
+        shared_utils=10,
+        blocks_per_func=(3, 7),
+        instrs_per_block=(24, 96),
+        loop_prob=0.16,
+        loop_taken_prob=0.85,
+        cond_prob=0.10,
+        call_prob=0.42,
+        indirect_frac=0.03,
+        cond_bias_choices=(0.05, 0.1, 0.9),
+        zipf_s=1.0,
+        max_call_depth=4,
+    ),
+    "srv": ProgramParams(
+        n_funcs=2600,
+        n_handlers=40,
+        shared_utils=30,
+        blocks_per_func=(3, 10),
+        instrs_per_block=(3, 14),
+        loop_prob=0.05,
+        loop_taken_prob=0.80,
+        cond_prob=0.28,
+        call_prob=0.40,
+        indirect_frac=0.16,
+        cond_bias_choices=(0.1, 0.2, 0.5, 0.8, 0.9),
+        zipf_s=0.9,
+        max_call_depth=4,
+    ),
+}
+
+
+#: Default trace lengths per category: sized so each category's footprint
+#: is fully traversed a few times (srv needs the longest traces to pressure
+#: the 2K-entry Entangled table the way the paper's server traces do).
+DEFAULT_INSTRUCTIONS: Dict[str, int] = {
+    "crypto": 300_000,
+    "int": 400_000,
+    "fp": 400_000,
+    "srv": 500_000,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Identity of one synthetic workload.
+
+    ``make_workload`` turns a spec into a concrete :class:`Trace`; equal
+    specs always generate identical traces.
+    """
+
+    name: str
+    category: str
+    seed: int
+    n_instructions: int = 200_000
+    params: Optional[ProgramParams] = None
+
+    def resolve_params(self) -> ProgramParams:
+        if self.params is not None:
+            return self.params
+        if self.category not in CATEGORY_PARAMS:
+            raise ValueError(f"unknown category {self.category!r}")
+        return CATEGORY_PARAMS[self.category]
+
+
+def cvp_suite(
+    per_category: int = 6, n_instructions: Optional[int] = None
+) -> List[WorkloadSpec]:
+    """The default evaluation suite: ``per_category`` workloads per category.
+
+    Stands in for the paper's 959 CVP traces; seeds vary both the program
+    shape and the execution path.
+    """
+    specs: List[WorkloadSpec] = []
+    for category in CATEGORIES:
+        for i in range(per_category):
+            length = (
+                n_instructions
+                if n_instructions is not None
+                else DEFAULT_INSTRUCTIONS[category]
+            )
+            specs.append(
+                WorkloadSpec(
+                    name=f"{category}_{i:02d}",
+                    category=category,
+                    seed=1000 * (CATEGORIES.index(category) + 1) + i,
+                    n_instructions=length,
+                )
+            )
+    return specs
+
+
+def make_workload(spec: WorkloadSpec) -> Trace:
+    """Generate the trace for ``spec`` (deterministic in the spec)."""
+    params = spec.resolve_params()
+    program = build_program(params, seed=spec.seed)
+    return generate_trace(
+        program,
+        n_instructions=spec.n_instructions,
+        name=spec.name,
+        category=spec.category,
+        seed=spec.seed + 7919,
+        max_call_depth=params.max_call_depth,
+    )
+
+
+def workload_names(specs: Sequence[WorkloadSpec]) -> List[str]:
+    return [spec.name for spec in specs]

@@ -1,0 +1,232 @@
+"""Execution of CFG programs into instruction traces.
+
+:class:`CfgInterpreter` performs a seeded stochastic walk over a
+:class:`~repro.workloads.cfg.Program`: conditional branches are taken with
+their configured probability, indirect transfers pick a weighted candidate,
+calls push a software return stack, and a return from the entry function
+restarts the program (modelling a server event loop).  The walk emits
+retire-order :class:`~repro.workloads.trace.Instruction` records.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Tuple
+
+from repro.workloads.cfg import (
+    INSTRUCTION_SIZE,
+    BasicBlock,
+    Program,
+    TermKind,
+)
+from repro.workloads.trace import BranchType, Instruction, Trace
+
+_DATA_REGION_BASE = 0x10_0000_0000
+_DATA_REGION_SIZE = 32 * 1024
+_SHARED_REGION_BASE = 0x20_0000_0000
+_SHARED_REGION_SIZE = 4 * 1024 * 1024
+
+
+class CfgInterpreter:
+    """Walks a program's CFG emitting a retire-order instruction stream.
+
+    Args:
+        program: the laid-out program.
+        seed: RNG seed; the walk is fully deterministic given the seed.
+        max_call_depth: calls beyond this depth are demoted to plain
+            (non-branch) instructions, bounding the software stack the
+            same way real servers bound recursion.
+    """
+
+    def __init__(
+        self, program: Program, seed: int = 0, max_call_depth: int = 24
+    ) -> None:
+        self.program = program
+        self.rng = random.Random(seed)
+        self.max_call_depth = max_call_depth
+        # Call stack of (function name, resume block index).
+        self._stack: List[Tuple[str, int]] = []
+        self._func = program.entry
+        self._block_idx = 0
+        self._restarts = 0
+
+    @property
+    def restarts(self) -> int:
+        """How many times the walk returned from the entry and restarted."""
+        return self._restarts
+
+    def run(self, n_instructions: int) -> List[Instruction]:
+        """Emit at least ``n_instructions`` records (rounded up to a block)."""
+        out: List[Instruction] = []
+        while len(out) < n_instructions:
+            self._step_block(out)
+        return out
+
+    # -- block execution ---------------------------------------------------
+
+    def _step_block(self, out: List[Instruction]) -> None:
+        func = self.program.functions[self._func]
+        block = func.blocks[self._block_idx]
+        base = self.program.block_address(self._func, block.label)
+        term = block.terminator
+        has_branch = term.kind != TermKind.FALLTHROUGH
+
+        body_count = block.n_instructions - 1 if has_branch else block.n_instructions
+        for i in range(body_count):
+            out.append(self._body_instruction(base + i * INSTRUCTION_SIZE, block))
+
+        if not has_branch:
+            self._advance_fallthrough(func)
+            return
+
+        branch_pc = base + (block.n_instructions - 1) * INSTRUCTION_SIZE
+        out.append(self._terminate(branch_pc, func, block))
+
+    def _body_instruction(self, pc: int, block: BasicBlock) -> Instruction:
+        roll = self.rng.random()
+        if roll < block.load_frac:
+            return Instruction(pc=pc, is_load=True, data_addr=self._data_address())
+        if roll < block.load_frac + block.store_frac:
+            return Instruction(pc=pc, is_store=True, data_addr=self._data_address())
+        return Instruction(pc=pc)
+
+    def _data_address(self) -> int:
+        """Pick a data address: mostly function-local, sometimes shared."""
+        if self.rng.random() < 0.8:
+            # Stable per-function region id (process-independent, unlike
+            # the built-in str hash which varies with PYTHONHASHSEED).
+            region = zlib.crc32(self._func.encode()) & 0xFFFF
+            base = _DATA_REGION_BASE + region * _DATA_REGION_SIZE
+            return base + self.rng.randrange(_DATA_REGION_SIZE) & ~0x7
+        return _SHARED_REGION_BASE + self.rng.randrange(_SHARED_REGION_SIZE) & ~0x7
+
+    # -- terminators ---------------------------------------------------------
+
+    def _terminate(self, pc: int, func, block: BasicBlock) -> Instruction:
+        term = block.terminator
+        if term.kind == TermKind.COND:
+            return self._do_cond(pc, func, block)
+        if term.kind == TermKind.JUMP:
+            target = self.program.block_address(self._func, term.target)
+            self._block_idx = func.block_index(term.target)
+            return Instruction(
+                pc=pc,
+                branch_type=BranchType.DIRECT_JUMP,
+                taken=True,
+                target=target,
+            )
+        if term.kind == TermKind.INDIRECT_JUMP:
+            label = self._weighted_choice(term.candidates)
+            target = self.program.block_address(self._func, label)
+            self._block_idx = func.block_index(label)
+            return Instruction(
+                pc=pc,
+                branch_type=BranchType.INDIRECT_JUMP,
+                taken=True,
+                target=target,
+            )
+        if term.kind == TermKind.CALL:
+            return self._do_call(pc, func, block, term.target, indirect=False)
+        if term.kind == TermKind.INDIRECT_CALL:
+            callee = self._weighted_choice(term.candidates)
+            return self._do_call(pc, func, block, callee, indirect=True)
+        if term.kind == TermKind.RETURN:
+            return self._do_return(pc)
+        raise AssertionError(f"unhandled terminator {term.kind}")
+
+    def _do_cond(self, pc: int, func, block: BasicBlock) -> Instruction:
+        term = block.terminator
+        taken = self.rng.random() < term.taken_prob
+        target = self.program.block_address(self._func, term.target)
+        if taken:
+            self._block_idx = func.block_index(term.target)
+        else:
+            self._advance_fallthrough(func)
+        return Instruction(
+            pc=pc,
+            branch_type=BranchType.CONDITIONAL,
+            taken=taken,
+            target=target,
+        )
+
+    def _do_call(
+        self, pc: int, func, block: BasicBlock, callee: str, indirect: bool
+    ) -> Instruction:
+        if len(self._stack) >= self.max_call_depth:
+            # Depth-bounded: demote the call to a plain instruction and
+            # continue with the fall-through block.
+            self._advance_fallthrough(func)
+            return Instruction(pc=pc)
+        resume_idx = self._block_idx + 1
+        self._stack.append((self._func, resume_idx))
+        target = self.program.function_address(callee)
+        self._func = callee
+        self._block_idx = 0
+        btype = BranchType.INDIRECT_CALL if indirect else BranchType.DIRECT_CALL
+        return Instruction(pc=pc, branch_type=btype, taken=True, target=target)
+
+    def _do_return(self, pc: int) -> Instruction:
+        while self._stack:
+            caller, resume_idx = self._stack.pop()
+            caller_func = self.program.functions[caller]
+            if resume_idx < len(caller_func.blocks):
+                self._func = caller
+                self._block_idx = resume_idx
+                target = self.program.block_address(
+                    caller, caller_func.blocks[resume_idx].label
+                )
+                return Instruction(
+                    pc=pc, branch_type=BranchType.RETURN, taken=True, target=target
+                )
+            # The call was the caller's last block: keep unwinding.
+        # Returned from the entry function: restart the event loop.
+        self._restarts += 1
+        self._func = self.program.entry
+        self._block_idx = 0
+        target = self.program.function_address(self._func)
+        return Instruction(
+            pc=pc, branch_type=BranchType.RETURN, taken=True, target=target
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _advance_fallthrough(self, func) -> None:
+        if self._block_idx + 1 < len(func.blocks):
+            self._block_idx += 1
+            return
+        # Implicit return at the end of the function.
+        while self._stack:
+            caller, resume_idx = self._stack.pop()
+            caller_func = self.program.functions[caller]
+            if resume_idx < len(caller_func.blocks):
+                self._func = caller
+                self._block_idx = resume_idx
+                return
+        self._restarts += 1
+        self._func = self.program.entry
+        self._block_idx = 0
+
+    def _weighted_choice(self, candidates) -> str:
+        total = sum(w for _c, w in candidates)
+        roll = self.rng.random() * total
+        acc = 0.0
+        for cand, weight in candidates:
+            acc += weight
+            if roll < acc:
+                return cand
+        return candidates[-1][0]
+
+
+def generate_trace(
+    program: Program,
+    n_instructions: int,
+    name: str,
+    category: str = "unknown",
+    seed: int = 0,
+    max_call_depth: int = 24,
+) -> Trace:
+    """Interpret ``program`` and return a trace of ``n_instructions`` records."""
+    interp = CfgInterpreter(program, seed=seed, max_call_depth=max_call_depth)
+    instructions = interp.run(n_instructions)
+    return Trace(name=name, instructions=instructions[:n_instructions], category=category)

@@ -1,0 +1,262 @@
+"""Instruction-trace representation and file IO.
+
+A trace is the correct-path, retire-order instruction stream of a program,
+the same abstraction ChampSim consumes.  Each record carries the program
+counter, the instruction size in bytes, and — for branches — the branch
+type, the taken/not-taken outcome, and the target.  Memory instructions
+carry an effective data address so the L1D energy model has something to
+count.
+
+The binary file format is a small custom fixed-width encoding (no external
+dependencies); see :func:`write_trace` / :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class BranchType(enum.IntEnum):
+    """Branch classification used by the front end.
+
+    Mirrors ChampSim's branch taxonomy; the front end uses the type to pick
+    the prediction structure (BTB, RAS, indirect target cache) and the
+    misprediction-detection stage (decode vs. execute).
+    """
+
+    NOT_BRANCH = 0
+    CONDITIONAL = 1        # direction predicted, target from BTB
+    DIRECT_JUMP = 2        # always taken, target from BTB
+    INDIRECT_JUMP = 3      # always taken, target from indirect target cache
+    DIRECT_CALL = 4        # always taken, pushes RAS
+    INDIRECT_CALL = 5      # always taken, pushes RAS, target from ITC
+    RETURN = 6             # always taken, target from RAS
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchType.DIRECT_CALL, BranchType.INDIRECT_CALL)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL)
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self not in (BranchType.NOT_BRANCH, BranchType.CONDITIONAL)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One retire-order trace record.
+
+    Attributes:
+        pc: virtual address of the instruction.
+        size: instruction size in bytes (used to compute the next PC).
+        branch_type: :class:`BranchType` classification.
+        taken: branch outcome; always False for non-branches.
+        target: branch target when taken, else 0.
+        is_load: instruction reads data memory.
+        is_store: instruction writes data memory.
+        data_addr: effective data address for loads/stores, else 0.
+    """
+
+    pc: int
+    size: int = 4
+    branch_type: BranchType = BranchType.NOT_BRANCH
+    taken: bool = False
+    target: int = 0
+    is_load: bool = False
+    is_store: bool = False
+    data_addr: int = 0
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch_type != BranchType.NOT_BRANCH
+
+    @property
+    def next_pc(self) -> int:
+        """Architectural next PC given the recorded outcome."""
+        if self.is_branch and self.taken:
+            return self.target
+        return self.pc + self.size
+
+
+class Trace:
+    """A materialized instruction trace with identity metadata.
+
+    Attributes:
+        name: workload name (e.g. ``srv_02``).
+        category: workload category (``crypto``, ``int``, ``fp``, ``srv``,
+            or ``cloud``).
+        instructions: the retire-order records.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instruction],
+        category: str = "unknown",
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.instructions: List[Instruction] = list(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, category={self.category!r}, "
+            f"len={len(self.instructions)})"
+        )
+
+    def footprint_lines(self, line_size: int = 64) -> int:
+        """Number of distinct instruction-cache lines touched."""
+        return len({inst.pc // line_size for inst in self.instructions})
+
+    def branch_fraction(self) -> float:
+        """Fraction of instructions that are branches."""
+        if not self.instructions:
+            return 0.0
+        branches = sum(1 for inst in self.instructions if inst.is_branch)
+        return branches / len(self.instructions)
+
+    def taken_branch_count(self) -> int:
+        return sum(1 for inst in self.instructions if inst.taken)
+
+
+_MAGIC = b"EPTR"
+_VERSION = 2
+_RECORD = struct.Struct("<QIBBQQ")  # pc, size, branch_type|flags, pad, target, data_addr
+
+_FLAG_TAKEN = 0x10
+_FLAG_LOAD = 0x20
+_FLAG_STORE = 0x40
+_TYPE_MASK = 0x0F
+
+
+def _pack_record(inst: Instruction) -> bytes:
+    flags = int(inst.branch_type) & _TYPE_MASK
+    if inst.taken:
+        flags |= _FLAG_TAKEN
+    if inst.is_load:
+        flags |= _FLAG_LOAD
+    if inst.is_store:
+        flags |= _FLAG_STORE
+    return _RECORD.pack(inst.pc, inst.size, flags, 0, inst.target, inst.data_addr)
+
+
+def _unpack_record(raw: bytes) -> Instruction:
+    pc, size, flags, _pad, target, data_addr = _RECORD.unpack(raw)
+    return Instruction(
+        pc=pc,
+        size=size,
+        branch_type=BranchType(flags & _TYPE_MASK),
+        taken=bool(flags & _FLAG_TAKEN),
+        target=target,
+        is_load=bool(flags & _FLAG_LOAD),
+        is_store=bool(flags & _FLAG_STORE),
+        data_addr=data_addr,
+    )
+
+
+def write_trace(trace: Trace, path: str, compress: bool = True) -> None:
+    """Serialize a trace to ``path``.
+
+    The format is ``EPTR`` magic, version byte, compression byte, name and
+    category as length-prefixed UTF-8, a record count, and the (optionally
+    zlib-compressed) fixed-width record block.
+    """
+    body = io.BytesIO()
+    for inst in trace.instructions:
+        body.write(_pack_record(inst))
+    payload = body.getvalue()
+    if compress:
+        payload = zlib.compress(payload, level=6)
+    name_bytes = trace.name.encode("utf-8")
+    cat_bytes = trace.category.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(bytes([_VERSION, 1 if compress else 0]))
+        fh.write(struct.pack("<H", len(name_bytes)))
+        fh.write(name_bytes)
+        fh.write(struct.pack("<H", len(cat_bytes)))
+        fh.write(cat_bytes)
+        fh.write(struct.pack("<Q", len(trace.instructions)))
+        fh.write(payload)
+
+
+def read_trace(path: str) -> Trace:
+    """Deserialize a trace written by :func:`write_trace`.
+
+    Raises:
+        ValueError: the file is not a valid trace (bad magic, version, or a
+            truncated record block).
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not a trace file (magic {magic!r})")
+        version, compressed = fh.read(2)
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported trace version {version}")
+        (name_len,) = struct.unpack("<H", fh.read(2))
+        name = fh.read(name_len).decode("utf-8")
+        (cat_len,) = struct.unpack("<H", fh.read(2))
+        category = fh.read(cat_len).decode("utf-8")
+        (count,) = struct.unpack("<Q", fh.read(8))
+        payload = fh.read()
+    if compressed:
+        payload = zlib.decompress(payload)
+    expected = count * _RECORD.size
+    if len(payload) != expected:
+        raise ValueError(
+            f"{path}: truncated trace ({len(payload)} bytes, expected {expected})"
+        )
+    instructions = [
+        _unpack_record(payload[i : i + _RECORD.size])
+        for i in range(0, expected, _RECORD.size)
+    ]
+    return Trace(name=name, instructions=instructions, category=category)
+
+
+def trace_from_pcs(
+    name: str,
+    pcs: Iterable[int],
+    category: str = "unknown",
+    size: int = 4,
+) -> Trace:
+    """Build a trace from a bare PC sequence, inferring taken branches.
+
+    Any PC that does not follow its predecessor sequentially is encoded as
+    the target of a taken direct jump on the predecessor.  Useful for unit
+    tests that want to drive the simulator with a hand-written line stream.
+    """
+    pc_list = list(pcs)
+    instructions: List[Instruction] = []
+    for i, pc in enumerate(pc_list):
+        nxt: Optional[int] = pc_list[i + 1] if i + 1 < len(pc_list) else None
+        if nxt is not None and nxt != pc + size:
+            instructions.append(
+                Instruction(
+                    pc=pc,
+                    size=size,
+                    branch_type=BranchType.DIRECT_JUMP,
+                    taken=True,
+                    target=nxt,
+                )
+            )
+        else:
+            instructions.append(Instruction(pc=pc, size=size))
+    return Trace(name=name, instructions=instructions, category=category)

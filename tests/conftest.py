@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic traces and programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.workloads.cfg import ProgramBuilder, Terminator, TermKind
+from repro.workloads.generators import WorkloadSpec, make_workload
+from repro.workloads.trace import Trace, trace_from_pcs
+
+
+@pytest.fixture
+def tiny_config():
+    """A small L1I so capacity effects show up with short traces."""
+    return SimConfig(l1i_size=4 * 1024, l1i_ways=4)
+
+
+@pytest.fixture
+def default_config():
+    return SimConfig()
+
+
+@pytest.fixture
+def sequential_trace():
+    """64 sequential instructions spanning 4 cache lines."""
+    return trace_from_pcs("seq", [0x1000 + 4 * i for i in range(64)])
+
+
+@pytest.fixture
+def loop_program():
+    """A two-function program with a call and a biased loop."""
+    return (
+        ProgramBuilder(entry="main")
+        .function("main")
+        .block("entry", 8, Terminator(TermKind.CALL, target="leaf"))
+        .block("post", 4, Terminator(TermKind.COND, target="post", taken_prob=0.6))
+        .block("exit", 2, Terminator(TermKind.RETURN))
+        .function("leaf")
+        .block("body", 16, Terminator(TermKind.RETURN))
+        .build()
+    )
+
+
+@pytest.fixture
+def small_srv_trace():
+    """A small server-like workload (fast to simulate, still misses)."""
+    spec = WorkloadSpec(
+        name="test_srv", category="srv", seed=42, n_instructions=60_000
+    )
+    return make_workload(spec)
+
+
+@pytest.fixture
+def small_crypto_trace():
+    spec = WorkloadSpec(
+        name="test_crypto", category="crypto", seed=7, n_instructions=60_000
+    )
+    return make_workload(spec)
+
+
+def make_line_trace(line_sequence, instrs_per_line=4, line_size=64):
+    """Build a trace that visits the given cache lines in order."""
+    pcs = []
+    for line in line_sequence:
+        base = line * line_size
+        pcs.extend(base + 4 * i for i in range(instrs_per_line))
+    return trace_from_pcs("lines", pcs)

@@ -1,0 +1,227 @@
+"""Tests for the baseline prefetchers (NextLine, SN4L, MANA, RDIP, D-JOLT,
+FNL+MMA, Ideal) and the registry."""
+
+import pytest
+
+from repro.prefetchers import (
+    DJoltPrefetcher,
+    FnlMmaPrefetcher,
+    IdealPrefetcher,
+    ManaPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    RdipPrefetcher,
+    SN4LPrefetcher,
+    available_prefetchers,
+    make_prefetcher,
+)
+from repro.workloads.trace import BranchType
+
+
+def lines(requests):
+    return [r.line_addr for r in requests]
+
+
+class TestNextLine:
+    def test_prefetches_next_line(self):
+        pf = NextLinePrefetcher()
+        assert lines(pf.on_demand_access(100, True, 0)) == [101]
+
+    def test_degree(self):
+        pf = NextLinePrefetcher(degree=3)
+        assert lines(pf.on_demand_access(100, False, 0)) == [101, 102, 103]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_no_storage(self):
+        assert NextLinePrefetcher().storage_bits() == 0
+
+
+class TestSN4L:
+    def test_untrained_vector_prefetches_nothing(self):
+        pf = SN4LPrefetcher()
+        assert lines(pf.on_demand_access(100, True, 0)) == []
+
+    def test_miss_trains_worthiness(self):
+        pf = SN4LPrefetcher()
+        pf.on_demand_access(101, False, 0)      # 101 missed: worth prefetching
+        assert lines(pf.on_demand_access(100, True, 1)) == [101]
+
+    def test_prefetches_up_to_four_lines(self):
+        pf = SN4LPrefetcher()
+        for line in (101, 102, 103, 104, 105):
+            pf.on_demand_access(line, False, 0)
+        out = lines(pf.on_demand_access(100, True, 1))
+        assert out == [101, 102, 103, 104]      # 105 beyond the window
+
+    def test_wrong_prefetch_clears_bit(self):
+        pf = SN4LPrefetcher()
+        pf.on_demand_access(101, False, 0)
+        pf.on_evict_unused(101, ("sn4l", 101), 5)
+        assert lines(pf.on_demand_access(100, True, 6)) == []
+
+    def test_storage_close_to_published(self):
+        assert SN4LPrefetcher().storage_kb == pytest.approx(2.06, abs=0.1)
+
+
+class TestMana:
+    def test_records_spatial_footprint(self):
+        pf = ManaPrefetcher(entries=64)
+        pf.on_demand_access(100, False, 0)      # region trigger
+        pf.on_demand_access(101, False, 1)
+        pf.on_demand_access(103, False, 2)
+        pf.on_demand_access(500, False, 3)      # new region
+        # Revisit the first trigger: footprint lines are prefetched.
+        out = lines(pf.on_demand_access(100, True, 10))
+        assert 101 in out and 103 in out
+
+    def test_successor_chain_prefetched(self):
+        pf = ManaPrefetcher(entries=64, lookahead_regions=2)
+        pf.on_demand_access(100, False, 0)
+        pf.on_demand_access(500, False, 1)
+        pf.on_demand_access(900, False, 2)
+        out = lines(pf.on_demand_access(100, True, 10))
+        assert 500 in out and 900 in out
+
+    def test_within_region_access_does_not_trigger(self):
+        pf = ManaPrefetcher(entries=64)
+        pf.on_demand_access(100, False, 0)
+        assert lines(pf.on_demand_access(104, False, 1)) == []
+
+    def test_capacity_fifo(self):
+        pf = ManaPrefetcher(entries=2)
+        for trigger in (0, 100, 200, 300):
+            pf.on_demand_access(trigger, False, 0)
+        assert len(pf._table) == 2
+
+    def test_published_storage(self):
+        assert ManaPrefetcher(entries=2048).storage_kb == pytest.approx(9.0)
+        assert ManaPrefetcher(entries=4096).storage_kb == pytest.approx(17.25)
+        assert ManaPrefetcher(entries=8192).storage_kb == pytest.approx(74.18)
+
+    def test_name_by_size(self):
+        assert ManaPrefetcher(entries=2048).name == "MANA-2K"
+
+
+def _call(pf, pc, target):
+    return pf.on_branch(pc, BranchType.DIRECT_CALL, True, target, 0)
+
+
+def _ret(pf, pc, target):
+    return pf.on_branch(pc, BranchType.RETURN, True, target, 0)
+
+
+class TestRdip:
+    def test_misses_attributed_and_replayed(self):
+        pf = RdipPrefetcher()
+        _call(pf, 0x1000, 0x9000)               # establish a signature
+        pf.on_demand_access(700, False, 1)       # misses under that signature
+        pf.on_demand_access(703, False, 2)
+        _ret(pf, 0x9100, 0x1004)                 # leave the context
+        out = lines(_call(pf, 0x1000, 0x9000))   # re-enter the same context
+        assert 700 in out and 703 in out
+
+    def test_non_call_branches_ignored(self):
+        pf = RdipPrefetcher()
+        out = pf.on_branch(0x100, BranchType.CONDITIONAL, True, 0x200, 0)
+        assert list(out) == []
+
+    def test_region_limit(self):
+        pf = RdipPrefetcher(max_regions=2)
+        _call(pf, 0x1000, 0x9000)
+        for line in (100, 300, 500):             # three distant regions
+            pf.on_demand_access(line, False, 0)
+        _ret(pf, 0x9100, 0x1004)
+        out = lines(_call(pf, 0x1000, 0x9000))
+        assert 500 not in out                    # third region dropped
+
+    def test_hits_not_recorded(self):
+        pf = RdipPrefetcher()
+        _call(pf, 0x1000, 0x9000)
+        pf.on_demand_access(700, True, 1)        # a hit, not a miss
+        _ret(pf, 0x9100, 0x1004)
+        assert lines(_call(pf, 0x1000, 0x9000)) == []
+
+    def test_published_storage(self):
+        assert RdipPrefetcher().storage_kb == pytest.approx(63.0)
+
+
+class TestDJolt:
+    def test_dual_lookahead_replay(self):
+        pf = DJoltPrefetcher(short_lookahead=1, long_lookahead=3)
+
+        def run_chain():
+            requests = []
+            for i in range(6):
+                requests.extend(
+                    lines(_call(pf, 0x1000 + 16 * i, 0x9000 + 0x100 * i))
+                )
+            return requests
+
+        run_chain()                       # iteration 1: signatures first seen
+        run_chain()                       # iteration 2: recurring signatures
+        pf.on_demand_access(777, False, 0)  # miss attributed to them
+        # Iteration 3 revisits the same signatures and must prefetch 777
+        # the configured number of call events in advance.
+        assert 777 in run_chain()
+
+    def test_published_storage(self):
+        assert DJoltPrefetcher().storage_kb == pytest.approx(125.0)
+
+    def test_tables_split_capacity(self):
+        pf = DJoltPrefetcher(entries=100)
+        assert pf.short_table.entries == 50
+        assert pf.long_table.entries == 50
+
+
+class TestFnlMma:
+    def test_fnl_learns_follower_lines(self):
+        pf = FnlMmaPrefetcher()
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(102, True, 1)        # 102 follows 100 closely
+        out = lines(pf.on_demand_access(100, True, 10))
+        assert 102 in out
+
+    def test_mma_predicts_nth_next_miss(self):
+        pf = FnlMmaPrefetcher(miss_ahead=2)
+        for line in (100, 300, 500, 700):        # miss stream
+            pf.on_demand_access(line, False, 0)
+        # 500 is the 2nd miss after 100; revisiting miss 100 prefetches it.
+        out = lines(pf.on_demand_access(100, False, 10))
+        assert 500 in out
+
+    def test_published_storage(self):
+        assert FnlMmaPrefetcher().storage_kb == pytest.approx(97.0)
+
+
+class TestIdealAndNull:
+    def test_ideal_flag(self):
+        assert IdealPrefetcher().is_ideal
+        assert not NullPrefetcher().is_ideal
+
+    def test_null_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert list(pf.on_demand_access(100, False, 0)) == []
+        assert list(pf.on_branch(0, BranchType.RETURN, True, 0, 0)) == []
+
+
+class TestRegistry:
+    def test_known_names_construct(self):
+        for name in available_prefetchers():
+            pf = make_prefetcher(name)
+            assert pf.storage_bits() >= 0
+
+    def test_fresh_instances(self):
+        assert make_prefetcher("next_line") is not make_prefetcher("next_line")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown prefetcher"):
+            make_prefetcher("hal9000")
+
+    def test_expected_names_present(self):
+        names = available_prefetchers()
+        for expected in ("no", "next_line", "sn4l", "mana_4k", "rdip",
+                         "djolt", "fnl_mma", "epi", "entangling_4k", "ideal"):
+            assert expected in names

@@ -1,0 +1,120 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+
+from repro.sim.cache import SetAssociativeCache
+
+
+class TestConstruction:
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="replacement"):
+            SetAssociativeCache(4, 4, replacement="random")
+
+    def test_capacity(self):
+        assert SetAssociativeCache(64, 8).capacity == 512
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(4, 2)
+        assert cache.lookup(100) is None
+        cache.insert(100)
+        assert cache.lookup(100) is not None
+
+    def test_insert_returns_no_victim_when_room(self):
+        cache = SetAssociativeCache(4, 2)
+        assert cache.insert(0) is None
+        assert cache.insert(4) is None  # different set
+
+    def test_reinsert_resident_line_is_noop(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.insert(1)
+        cache.insert(2)
+        victim = cache.insert(1)  # already resident
+        assert victim is None
+        assert cache.occupancy() == 2
+
+    def test_contains(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.insert(7)
+        assert cache.contains(7)
+        assert not cache.contains(8)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.insert(7)
+        evicted = cache.invalidate(7)
+        assert evicted is not None
+        assert not cache.contains(7)
+        assert cache.invalidate(7) is None
+
+    def test_sets_are_independent(self):
+        cache = SetAssociativeCache(2, 1)
+        cache.insert(0)  # set 0
+        cache.insert(1)  # set 1
+        assert cache.contains(0) and cache.contains(1)
+
+
+class TestLruReplacement:
+    def test_lru_victim(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)           # touch 1, making 2 the LRU
+        victim = cache.insert(3)
+        assert victim.line_addr == 2
+
+    def test_lookup_without_touch(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1, update_lru=False)  # does not refresh 1
+        victim = cache.insert(3)
+        assert victim.line_addr == 1
+
+    def test_occupancy_never_exceeds_ways(self):
+        cache = SetAssociativeCache(1, 4)
+        for line in range(100):
+            cache.insert(line)
+        assert cache.occupancy() == 4
+
+
+class TestFifoReplacement:
+    def test_fifo_ignores_touches(self):
+        cache = SetAssociativeCache(1, 2, replacement="fifo")
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)           # touching does not protect under FIFO
+        victim = cache.insert(3)
+        assert victim.line_addr == 1
+
+
+class TestLineMetadata:
+    def test_prefetch_bit_defaults_false(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.insert(5)
+        assert cache.lookup(5).prefetched is False
+
+    def test_metadata_survives_lookups(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.insert(5)
+        line = cache.lookup(5)
+        line.prefetched = True
+        line.src_meta = ("src", 5)
+        again = cache.lookup(5)
+        assert again.prefetched is True
+        assert again.src_meta == ("src", 5)
+
+    def test_resident_lines(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.insert(1)
+        cache.insert(2)
+        assert sorted(cache.resident_lines()) == [1, 2]

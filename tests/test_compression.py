@@ -1,0 +1,174 @@
+"""Tests for the destination compression scheme (paper Tables I and II)."""
+
+import pytest
+
+from repro.core.compression import (
+    CONFIDENCE_BITS,
+    MODE_FIELD_BITS,
+    CompressionScheme,
+    mode_table,
+)
+
+
+class TestModeTables:
+    def test_table_i_virtual(self):
+        """Table I: 1-6 destinations in 60 bits."""
+        rows = {mode: bits for mode, _cap, bits in mode_table("virtual")}
+        assert rows == {1: 58, 2: 28, 3: 18, 4: 13, 5: 10, 6: 8}
+
+    def test_table_ii_physical(self):
+        """Table II: 1-4 destinations in 44 bits."""
+        rows = {mode: bits for mode, _cap, bits in mode_table("physical")}
+        assert rows == {1: 42, 2: 20, 3: 12, 4: 9}
+
+    def test_capacity_equals_mode(self):
+        for kind in ("virtual", "physical"):
+            for mode, capacity, _bits in mode_table(kind):
+                assert capacity == mode
+
+    def test_slots_fit_payload(self):
+        for kind in ("virtual", "physical"):
+            scheme = CompressionScheme(kind)
+            for spec in scheme.modes.values():
+                if spec.mode == 1:
+                    continue  # mode 1 stores the full address
+                total = spec.capacity * (spec.addr_bits + CONFIDENCE_BITS)
+                assert total <= scheme.payload_bits
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionScheme("oracle")
+
+    def test_mode_field_bits(self):
+        assert MODE_FIELD_BITS["virtual"] == 3
+        assert MODE_FIELD_BITS["physical"] == 2
+
+    def test_entry_dst_field_bits(self):
+        assert CompressionScheme.virtual().entry_dst_field_bits == 63
+        assert CompressionScheme.physical().entry_dst_field_bits == 46
+
+
+class TestSignificantBits:
+    def test_identical_lines_need_one_bit(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.significant_bits(0x1000, 0x1000) == 1
+
+    def test_adjacent_lines(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.significant_bits(0x1000, 0x1001) == 1
+
+    def test_small_distance(self):
+        scheme = CompressionScheme.virtual()
+        # 0x1000 ^ 0x1014 = 0x14 -> 5 bits
+        assert scheme.significant_bits(0x1000, 0x1014) == 5
+
+    def test_far_destination(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.significant_bits(0x1000, 0x100_0000) > 20
+
+    def test_symmetric(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.significant_bits(5, 900) == scheme.significant_bits(900, 5)
+
+
+class TestFitting:
+    def test_single_far_destination_always_fits(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.fits(0, [1 << 57])
+
+    def test_six_near_destinations_fit_virtual(self):
+        scheme = CompressionScheme.virtual()
+        src = 0x1000
+        dsts = [src + d for d in range(1, 7)]  # all within 8 bits
+        assert scheme.fits(src, dsts)
+
+    def test_seventh_destination_does_not_fit(self):
+        scheme = CompressionScheme.virtual()
+        src = 0x1000
+        dsts = [src + d for d in range(1, 8)]
+        assert not scheme.fits(src, dsts)
+
+    def test_two_far_destinations_do_not_fit(self):
+        scheme = CompressionScheme.virtual()
+        # Each needs >28 bits, so only mode 1 (capacity 1) would hold them.
+        dsts = [1 << 40, 1 << 41]
+        assert not scheme.fits(0, dsts)
+
+    def test_wide_dst_limits_capacity(self):
+        scheme = CompressionScheme.virtual()
+        src = 0x1000
+        near = [src + 1, src + 2]
+        far = src ^ (1 << 20)  # needs 21 bits -> mode 2 (28-bit slots)
+        assert scheme.capacity_for_widths(
+            [scheme.significant_bits(src, d) for d in near + [far]]
+        ) == 2
+
+    def test_physical_capacity_is_four(self):
+        scheme = CompressionScheme.physical()
+        src = 0x1000
+        dsts = [src + d for d in range(1, 5)]
+        assert scheme.fits(src, dsts)
+        assert not scheme.fits(src, dsts + [src + 5])
+
+    def test_mode_for_widths_empty(self):
+        scheme = CompressionScheme.virtual()
+        assert scheme.mode_for_widths([]) == 6
+
+    def test_encoded_addr_bits(self):
+        scheme = CompressionScheme.virtual()
+        src = 0x1000
+        assert scheme.encoded_addr_bits(src, [src + 1]) == 8
+        far = src ^ (1 << 17)  # 18 significant bits -> mode 3
+        assert scheme.encoded_addr_bits(src, [far]) == 18
+
+    def test_encoded_addr_bits_raises_when_overfull(self):
+        scheme = CompressionScheme.virtual()
+        src = 0x1000
+        with pytest.raises(ValueError):
+            scheme.encoded_addr_bits(src, [src + d for d in range(1, 8)])
+
+
+class TestHypothesisProperties:
+    def test_fits_is_monotone_under_removal(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            src=st.integers(min_value=0, max_value=(1 << 58) - 1),
+            dsts=st.lists(
+                st.integers(min_value=0, max_value=(1 << 58) - 1),
+                min_size=1,
+                max_size=6,
+            ),
+        )
+        def check(src, dsts):
+            scheme = CompressionScheme.virtual()
+            if scheme.fits(src, dsts):
+                assert scheme.fits(src, dsts[:-1])
+
+        check()
+
+    def test_single_destination_always_fits(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            src=st.integers(min_value=0, max_value=(1 << 58) - 1),
+            dst=st.integers(min_value=0, max_value=(1 << 58) - 1),
+        )
+        def check(src, dst):
+            assert CompressionScheme.virtual().fits(src, [dst])
+            assert CompressionScheme.physical().fits(src % (1 << 42), [dst % (1 << 42)])
+
+        check()
+
+    def test_significant_bits_bounds(self):
+        from hypothesis import given, strategies as st
+
+        @given(
+            src=st.integers(min_value=0, max_value=(1 << 58) - 1),
+            dst=st.integers(min_value=0, max_value=(1 << 58) - 1),
+        )
+        def check(src, dst):
+            bits = CompressionScheme.virtual().significant_bits(src, dst)
+            assert 1 <= bits <= 58
+
+        check()

@@ -1,0 +1,139 @@
+"""Tests for the confidence counter and History buffer."""
+
+import pytest
+
+from repro.core.confidence import SaturatingCounter
+from repro.core.history import HistoryBuffer, HistoryEntry
+
+
+class TestSaturatingCounter:
+    def test_defaults_to_max(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 3
+        assert counter.is_max
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2, initial=0)
+        counter.decrement()
+        assert counter.value == 0
+        assert counter.is_zero
+
+    def test_up_down(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        assert counter.increment() == 2
+        assert counter.decrement() == 1
+        assert counter.decrement() == 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=9)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(bits=3, initial=5)) == 5
+
+
+class TestHistoryEntry:
+    def test_covers_or_abuts(self):
+        entry = HistoryEntry(line_addr=100, timestamp=0, bb_size=3)
+        # Block covers 100..103, plus the directly-following line 104.
+        for line in range(100, 105):
+            assert entry.covers_or_abuts(line)
+        assert not entry.covers_or_abuts(99)
+        assert not entry.covers_or_abuts(105)
+
+
+class TestHistoryBuffer:
+    def test_bounded_size(self):
+        history = HistoryBuffer(size=4)
+        for i in range(10):
+            history.push(i, timestamp=i)
+        assert len(history) == 4
+        assert [e.line_addr for e in history] == [6, 7, 8, 9]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryBuffer(0)
+
+    def test_newest(self):
+        history = HistoryBuffer(4)
+        assert history.newest() is None
+        history.push(1, 10)
+        history.push(2, 20)
+        assert history.newest().line_addr == 2
+
+    def test_remove(self):
+        history = HistoryBuffer(4)
+        entry = history.push(1, 10)
+        history.push(2, 20)
+        history.remove(entry)
+        assert [e.line_addr for e in history] == [2]
+
+    def test_remove_aged_out_entry_is_noop(self):
+        history = HistoryBuffer(2)
+        entry = history.push(1, 10)
+        history.push(2, 20)
+        history.push(3, 30)  # entry for line 1 aged out
+        history.remove(entry)
+        assert len(history) == 2
+
+    def test_find_source_picks_most_recent_eligible(self):
+        history = HistoryBuffer(8)
+        history.push(10, timestamp=100)
+        history.push(20, timestamp=200)
+        history.push(30, timestamp=300)
+        found = history.find_source(deadline=250)
+        assert found.line_addr == 20
+
+    def test_find_source_none_when_all_too_young(self):
+        history = HistoryBuffer(8)
+        history.push(10, timestamp=100)
+        assert history.find_source(deadline=50) is None
+
+    def test_find_source_excludes_line(self):
+        history = HistoryBuffer(8)
+        history.push(10, timestamp=100)
+        history.push(20, timestamp=150)
+        found = history.find_source(deadline=200, exclude_line=20)
+        assert found.line_addr == 10
+
+    def test_sources_iterate_newest_first(self):
+        history = HistoryBuffer(8)
+        for i, ts in enumerate((10, 20, 30)):
+            history.push(i, ts)
+        lines = [e.line_addr for e in history.sources_not_younger_than(100)]
+        assert lines == [2, 1, 0]
+
+    def test_merge_candidate_found(self):
+        history = HistoryBuffer(8)
+        a = history.push(100, 10)
+        a.bb_size = 2  # covers 100..102, abuts 103
+        history.push(500, 20)
+        candidate = history.find_merge_candidate(103, merge_distance=4)
+        assert candidate is a
+
+    def test_merge_candidate_respects_distance(self):
+        history = HistoryBuffer(8)
+        a = history.push(100, 10)
+        a.bb_size = 2
+        for i in range(4):
+            history.push(1000 + 10 * i, 20 + i)
+        # Distance 2 only scans the two most recent entries.
+        assert history.find_merge_candidate(103, merge_distance=2) is None
+        assert history.find_merge_candidate(103, merge_distance=8) is a
+
+    def test_merge_candidate_excludes_self(self):
+        history = HistoryBuffer(8)
+        entry = history.push(100, 10)
+        entry.bb_size = 2
+        assert history.find_merge_candidate(
+            101, merge_distance=4, exclude=entry
+        ) is None

@@ -1,0 +1,87 @@
+"""Tests for the configurable replacement policy and branch predictor."""
+
+import pytest
+
+from repro.prefetchers import NullPrefetcher
+from repro.sim.branch_predictor import (
+    BimodalPredictor,
+    GsharePredictor,
+    make_direction_predictor,
+)
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        bp = BimodalPredictor(table_bits=8)
+        for _ in range(4):
+            bp.update(0x100, False)
+        assert not bp.predict(0x100)
+
+    def test_cannot_learn_alternation(self):
+        bp = BimodalPredictor(table_bits=8)
+        outcome = True
+        correct = 0
+        for _ in range(200):
+            if bp.predict(0x100) == outcome:
+                correct += 1
+            bp.update(0x100, outcome)
+            outcome = not outcome
+        # Bimodal flaps on T/N/T/N: far from the >90% gshare achieves.
+        assert correct < 150
+
+    def test_storage(self):
+        assert BimodalPredictor(table_bits=10).storage_bits() == 2048
+
+
+class TestFactory:
+    def test_gshare(self):
+        assert isinstance(make_direction_predictor("gshare", 10, 4), GsharePredictor)
+
+    def test_bimodal(self):
+        assert isinstance(make_direction_predictor("bimodal", 10, 4), BimodalPredictor)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown branch predictor"):
+            make_direction_predictor("tage", 10, 4)
+
+
+class TestSimulatorWithVariants:
+    def test_bimodal_runs_and_differs(self, small_srv_trace):
+        gshare = simulate(small_srv_trace, NullPrefetcher()).stats
+        bimodal = simulate(
+            small_srv_trace,
+            NullPrefetcher(),
+            config=SimConfig(branch_predictor="bimodal"),
+        ).stats
+        assert bimodal.instructions == gshare.instructions
+        # The two predictors genuinely disagree on this workload.  (Which
+        # one wins depends on path repetition: gshare needs per-history
+        # training that low-repetition server code may not provide.)
+        assert bimodal.branch_mispredictions != gshare.branch_mispredictions
+
+    def test_fifo_l1i_runs(self, small_srv_trace):
+        stats = simulate(
+            small_srv_trace,
+            NullPrefetcher(),
+            config=SimConfig(l1i_replacement="fifo"),
+        ).stats
+        assert stats.instructions == len(small_srv_trace)
+
+    def test_fifo_l1i_differs_from_lru(self, small_srv_trace):
+        lru = simulate(small_srv_trace, NullPrefetcher()).stats
+        fifo = simulate(
+            small_srv_trace,
+            NullPrefetcher(),
+            config=SimConfig(l1i_replacement="fifo"),
+        ).stats
+        assert lru.l1i_demand_misses != fifo.l1i_demand_misses
+
+    def test_invalid_replacement_rejected(self, small_srv_trace):
+        with pytest.raises(ValueError):
+            simulate(
+                small_srv_trace,
+                NullPrefetcher(),
+                config=SimConfig(l1i_replacement="plru"),
+            )

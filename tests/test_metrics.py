@@ -1,0 +1,114 @@
+"""Tests for analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    accuracy,
+    category_means,
+    coverage,
+    geometric_mean,
+    normalized_ipc,
+    percentile_curve,
+    speedup_percent,
+)
+from repro.sim.stats import SimStats
+
+
+def stats(instructions=1000, cycles=1000, misses=0, accesses=0,
+          useful=0, sent=0):
+    s = SimStats()
+    s.instructions = instructions
+    s.cycles = cycles
+    s.l1i_demand_misses = misses
+    s.l1i_demand_accesses = accesses
+    s.useful_prefetches = useful
+    s.prefetches_sent = sent
+    return s
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_less_than_arithmetic(self):
+        values = [1.0, 2.0, 9.0]
+        assert geometric_mean(values) < sum(values) / 3
+
+
+class TestIpcMetrics:
+    def test_normalized_ipc(self):
+        fast = stats(cycles=500)
+        slow = stats(cycles=1000)
+        assert normalized_ipc(fast, slow) == pytest.approx(2.0)
+
+    def test_speedup_percent(self):
+        fast = stats(cycles=800)
+        slow = stats(cycles=1000)
+        assert speedup_percent(fast, slow) == pytest.approx(25.0)
+
+    def test_zero_baseline(self):
+        assert normalized_ipc(stats(), SimStats()) == 0.0
+
+
+class TestCoverageAccuracy:
+    def test_coverage(self):
+        base = stats(misses=100)
+        run = stats(misses=40)
+        assert coverage(run, base) == pytest.approx(0.6)
+
+    def test_coverage_clamped_at_zero(self):
+        base = stats(misses=100)
+        worse = stats(misses=150)
+        assert coverage(worse, base) == 0.0
+
+    def test_coverage_of_empty_baseline(self):
+        assert coverage(stats(), stats(misses=0)) == 0.0
+
+    def test_accuracy(self):
+        run = stats(useful=30, sent=60)
+        assert accuracy(run) == pytest.approx(0.5)
+
+    def test_accuracy_no_prefetches(self):
+        assert accuracy(stats()) == 0.0
+
+
+class TestCurvesAndGroups:
+    def test_percentile_curve_sorts(self):
+        assert percentile_curve([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_category_means(self):
+        values = {"a1": 1.0, "a2": 3.0, "b1": 10.0}
+        categories = {"a1": "a", "a2": "a", "b1": "b"}
+        means = category_means(values, categories)
+        assert means == {"a": 2.0, "b": 10.0}
+
+
+class TestGeomeanNormalizedIpc:
+    def test_matches_manual_computation(self):
+        from repro.analysis.metrics import geomean_normalized_ipc
+
+        fast = stats(cycles=500)
+        slow = stats(cycles=1000)
+        per_workload = {"a": fast, "b": slow}
+        baselines = {"a": slow, "b": slow}
+        # ratios: a = 2.0, b = 1.0 -> geomean sqrt(2)
+        value = geomean_normalized_ipc(per_workload, baselines)
+        assert value == pytest.approx(2.0 ** 0.5)
+
+    def test_single_workload(self):
+        from repro.analysis.metrics import geomean_normalized_ipc
+
+        fast = stats(cycles=800)
+        slow = stats(cycles=1000)
+        assert geomean_normalized_ipc({"w": fast}, {"w": slow}) == pytest.approx(1.25)

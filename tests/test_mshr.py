@@ -1,0 +1,90 @@
+"""Tests for the MSHR file and its timing metadata."""
+
+import pytest
+
+from repro.sim.mshr import MshrEntry, MshrFile
+
+
+class TestMshrEntry:
+    def test_demand_entry_has_demand_cycle(self):
+        entry = MshrEntry(1, issue_cycle=10, ready_cycle=30, is_demand=True)
+        assert entry.demand_cycle == 10
+        assert not entry.was_prefetch
+        assert not entry.is_late_prefetch
+
+    def test_prefetch_entry_starts_undemanded(self):
+        entry = MshrEntry(1, issue_cycle=10, ready_cycle=30, is_demand=False)
+        assert entry.demand_cycle is None
+        assert entry.was_prefetch
+
+    def test_mark_demanded_flips_access_bit(self):
+        entry = MshrEntry(1, 10, 30, is_demand=False)
+        entry.mark_demanded(20)
+        assert entry.is_demand
+        assert entry.demand_cycle == 20
+        assert entry.is_late_prefetch
+
+    def test_mark_demanded_idempotent(self):
+        entry = MshrEntry(1, 10, 30, is_demand=True)
+        entry.mark_demanded(25)
+        assert entry.demand_cycle == 10  # first demand wins
+
+
+class TestMshrFile:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    def test_allocate_and_lookup(self):
+        mshr = MshrFile(2)
+        mshr.allocate(5, 0, 20, True)
+        assert mshr.lookup(5) is not None
+        assert mshr.lookup(6) is None
+
+    def test_full(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, 0, 10, True)
+        assert not mshr.full
+        mshr.allocate(2, 0, 10, True)
+        assert mshr.full
+
+    def test_allocate_when_full_raises(self):
+        mshr = MshrFile(1)
+        mshr.allocate(1, 0, 10, True)
+        with pytest.raises(RuntimeError, match="full"):
+            mshr.allocate(2, 0, 10, True)
+
+    def test_duplicate_allocation_raises(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 0, 10, True)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            mshr.allocate(1, 5, 20, False)
+
+    def test_pop_ready_removes_completed(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 0, 10, True)
+        mshr.allocate(2, 0, 20, True)
+        ready = mshr.pop_ready(15)
+        assert [e.line_addr for e in ready] == [1]
+        assert mshr.lookup(1) is None
+        assert mshr.lookup(2) is not None
+
+    def test_pop_ready_sorted_by_fill_time(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 0, 30, True)
+        mshr.allocate(2, 0, 10, True)
+        ready = mshr.pop_ready(100)
+        assert [e.line_addr for e in ready] == [2, 1]
+
+    def test_next_ready_cycle(self):
+        mshr = MshrFile(4)
+        assert mshr.next_ready_cycle() is None
+        mshr.allocate(1, 0, 30, True)
+        mshr.allocate(2, 0, 10, True)
+        assert mshr.next_ready_cycle() == 10
+
+    def test_len(self):
+        mshr = MshrFile(4)
+        assert len(mshr) == 0
+        mshr.allocate(1, 0, 10, True)
+        assert len(mshr) == 1

@@ -1,0 +1,75 @@
+"""Tests for the PIF temporal-stream prefetcher."""
+
+from repro.prefetchers.pif import PifPrefetcher
+
+
+def lines(requests):
+    return [r.line_addr for r in requests]
+
+
+class TestStreamRecording:
+    def test_replays_the_stream_after_a_trigger(self):
+        pf = PifPrefetcher(stream_length=4)
+        stream = [100, 200, 300, 400, 500]
+        for line in stream:
+            pf.on_demand_access(line, False, 0)
+        # Re-encounter the first trigger: the following stream replays.
+        out = lines(pf.on_demand_access(100, True, 10))
+        for expected in (200, 300, 400):
+            assert expected in out
+
+    def test_footprint_lines_included(self):
+        pf = PifPrefetcher(stream_length=2)
+        pf.on_demand_access(100, False, 0)
+        pf.on_demand_access(200, False, 1)   # new region
+        pf.on_demand_access(202, False, 2)   # inside region 200
+        pf.on_demand_access(300, False, 3)   # new region (logs 200+footprint)
+        pf.on_demand_access(900, False, 4)   # logs 300
+        out = lines(pf.on_demand_access(100, True, 10))
+        assert 200 in out and 202 in out
+
+    def test_within_region_accesses_do_not_trigger(self):
+        pf = PifPrefetcher()
+        pf.on_demand_access(100, False, 0)
+        assert lines(pf.on_demand_access(102, False, 1)) == []
+
+    def test_unknown_trigger_prefetches_nothing(self):
+        pf = PifPrefetcher()
+        assert lines(pf.on_demand_access(100, False, 0)) == []
+
+    def test_stream_length_bounds_replay(self):
+        pf = PifPrefetcher(stream_length=2)
+        for line in (100, 200, 300, 400, 500, 600):
+            pf.on_demand_access(line, False, 0)
+        out = lines(pf.on_demand_access(100, True, 10))
+        assert 200 in out and 300 in out
+        assert 400 not in out
+
+    def test_history_wraps(self):
+        pf = PifPrefetcher(history_entries=4, index_entries=4, stream_length=2)
+        for line in range(100, 2000, 100):
+            pf.on_demand_access(line, False, 0)
+        # Old triggers age out of the small history.
+        assert lines(pf.on_demand_access(100, True, 10)) == []
+
+
+class TestStorageAndRegistry:
+    def test_storage_is_large(self):
+        """PIF's storage exceeds every Figure 6 budget (why the paper
+        excludes it)."""
+        assert PifPrefetcher().storage_kb > 128.0
+
+    def test_registry_constructs_pif(self):
+        from repro.prefetchers import make_prefetcher
+
+        assert make_prefetcher("pif").name == "PIF"
+
+    def test_pif_improves_ipc(self, small_srv_trace):
+        from repro.prefetchers import NullPrefetcher
+        from repro.sim import simulate
+
+        base = simulate(small_srv_trace, NullPrefetcher(),
+                        warmup_instructions=20_000).stats
+        pif = simulate(small_srv_trace, PifPrefetcher(),
+                       warmup_instructions=20_000).stats
+        assert pif.ipc > base.ipc

@@ -1,0 +1,68 @@
+"""Tests for the prefetch queue."""
+
+import pytest
+
+from repro.sim.prefetch_queue import PrefetchQueue
+
+
+class TestPrefetchQueue:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)
+
+    def test_fifo_order(self):
+        pq = PrefetchQueue(4)
+        pq.push(1)
+        pq.push(2)
+        assert pq.pop() == (1, None)
+        assert pq.pop() == (2, None)
+
+    def test_pop_empty_returns_none(self):
+        assert PrefetchQueue(4).pop() is None
+
+    def test_metadata_travels(self):
+        pq = PrefetchQueue(4)
+        pq.push(1, src_meta=("a", "b"))
+        assert pq.pop() == (1, ("a", "b"))
+
+    def test_full_drops(self):
+        pq = PrefetchQueue(2)
+        assert pq.push(1)
+        assert pq.push(2)
+        assert not pq.push(3)
+        assert len(pq) == 2
+
+    def test_duplicate_suppression(self):
+        pq = PrefetchQueue(4)
+        assert pq.push(1)
+        assert not pq.push(1)
+        assert len(pq) == 1
+
+    def test_duplicate_allowed_after_pop(self):
+        pq = PrefetchQueue(4)
+        pq.push(1)
+        pq.pop()
+        assert pq.push(1)
+
+    def test_peek_does_not_remove(self):
+        pq = PrefetchQueue(4)
+        pq.push(1)
+        assert pq.peek() == (1, None)
+        assert len(pq) == 1
+
+    def test_peek_empty(self):
+        assert PrefetchQueue(4).peek() is None
+
+    def test_clear(self):
+        pq = PrefetchQueue(4)
+        pq.push(1)
+        pq.push(2)
+        pq.clear()
+        assert len(pq) == 0
+        assert pq.push(1)  # dedupe state also cleared
+
+    def test_full_property(self):
+        pq = PrefetchQueue(1)
+        assert not pq.full
+        pq.push(9)
+        assert pq.full

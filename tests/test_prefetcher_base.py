@@ -1,0 +1,67 @@
+"""Tests for the prefetcher interface types."""
+
+from repro.prefetchers.base import (
+    FillInfo,
+    InstructionPrefetcher,
+    NullPrefetcher,
+    PrefetchRequest,
+)
+
+
+class TestPrefetchRequest:
+    def test_frozen_value_type(self):
+        a = PrefetchRequest(10, src_meta=("s", 10))
+        b = PrefetchRequest(10, src_meta=("s", 10))
+        assert a == b
+
+    def test_default_meta(self):
+        assert PrefetchRequest(10).src_meta is None
+
+
+class TestFillInfo:
+    def _info(self, **overrides):
+        base = dict(
+            line_addr=7,
+            fill_cycle=120,
+            issue_cycle=100,
+            is_demand=True,
+            was_prefetch=False,
+            demand_cycle=100,
+        )
+        base.update(overrides)
+        return FillInfo(**base)
+
+    def test_latency(self):
+        assert self._info().latency == 20
+
+    def test_demand_miss_is_not_late(self):
+        assert not self._info().is_late_prefetch
+
+    def test_late_prefetch_flag(self):
+        info = self._info(was_prefetch=True, is_demand=True, demand_cycle=110)
+        assert info.is_late_prefetch
+
+    def test_pure_prefetch_not_late(self):
+        info = self._info(was_prefetch=True, is_demand=False, demand_cycle=None)
+        assert not info.is_late_prefetch
+
+
+class TestBaseClassDefaults:
+    def test_default_hooks_are_silent(self):
+        pf = InstructionPrefetcher()
+        assert list(pf.on_demand_access(1, True, 0)) == []
+        assert list(pf.on_fill(FillInfo(1, 10, 0, True, False, 0))) == []
+        pf.on_prefetch_useful(1, None, 0)
+        pf.on_prefetch_late(1, None, 0)
+        pf.on_evict_unused(1, None, 0)
+        assert pf.storage_bits() == 0
+
+    def test_storage_kb(self):
+        class EightKb(InstructionPrefetcher):
+            def storage_bits(self):
+                return 8 * 8192
+
+        assert EightKb().storage_kb == 8.0
+
+    def test_repr(self):
+        assert "no" in repr(NullPrefetcher())

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.compression import CompressionScheme
+from repro.core.entangled_table import MAX_BB_SIZE, MAX_CONFIDENCE, EntangledTable
+from repro.core.history import HistoryBuffer
+from repro.prefetchers.base import NullPrefetcher
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.mshr import MshrFile
+from repro.sim.prefetch_queue import PrefetchQueue
+from repro.sim.simulator import simulate
+from repro.workloads.trace import Instruction, Trace, read_trace, write_trace
+
+lines = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestCacheProperties:
+    @given(st.lists(lines, max_size=200), st.integers(1, 8), st.integers(1, 8))
+    def test_occupancy_bounded(self, addresses, sets, ways):
+        cache = SetAssociativeCache(sets, ways)
+        for addr in addresses:
+            cache.insert(addr)
+        assert cache.occupancy() <= sets * ways
+        for cache_set in cache._sets:
+            assert len(cache_set) <= ways
+
+    @given(st.lists(lines, min_size=1, max_size=100))
+    def test_inserted_line_resident_until_evicted(self, addresses):
+        cache = SetAssociativeCache(4, 4)
+        evicted = set()
+        for addr in addresses:
+            victim = cache.insert(addr)
+            evicted.discard(addr)
+            if victim is not None:
+                evicted.add(victim.line_addr)
+        for addr in set(addresses):
+            assert cache.contains(addr) != (addr in evicted)
+
+
+class TestPrefetchQueueProperties:
+    @given(st.lists(st.tuples(st.booleans(), lines), max_size=100))
+    def test_never_exceeds_capacity_and_no_duplicates(self, ops):
+        pq = PrefetchQueue(8)
+        for is_push, addr in ops:
+            if is_push:
+                pq.push(addr)
+            else:
+                pq.pop()
+            assert len(pq) <= 8
+            queued = [a for a, _m in pq._queue]
+            assert len(queued) == len(set(queued))
+
+
+class TestMshrProperties:
+    @given(st.lists(st.tuples(lines, st.integers(0, 100)), max_size=60))
+    def test_pop_ready_only_returns_completed(self, requests):
+        mshr = MshrFile(64)
+        seen = set()
+        for addr, ready in requests:
+            if addr in seen:
+                continue
+            seen.add(addr)
+            mshr.allocate(addr, 0, ready, True)
+        popped = mshr.pop_ready(50)
+        assert all(e.ready_cycle <= 50 for e in popped)
+        assert all(
+            e.ready_cycle > 50
+            for e in [mshr.lookup(a) for a in seen]
+            if e is not None
+        )
+
+
+class TestHistoryProperties:
+    @given(st.lists(st.tuples(lines, st.integers(0, 10_000)), max_size=60))
+    def test_bounded_and_source_respects_deadline(self, pushes):
+        history = HistoryBuffer(16)
+        timestamp = 0
+        for addr, delta in pushes:
+            timestamp += delta
+            history.push(addr, timestamp)
+        assert len(history) <= 16
+        deadline = timestamp // 2
+        found = history.find_source(deadline)
+        if found is not None:
+            assert found.timestamp <= deadline
+
+
+class TestEntangledTableProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 500)),
+            max_size=150,
+        )
+    )
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_invariants_under_random_operations(self, pairs):
+        table = EntangledTable(entries=32, ways=4)
+        for src, dst in pairs:
+            table.add_dest(src, dst, evict_if_full=(src % 2 == 0))
+        scheme = table.scheme
+        for table_set in table._sets:
+            assert len(table_set) <= table.ways
+            for entry in table_set.values():
+                # Destination arrays always fit their compression mode.
+                assert scheme.fits(entry.src_line, entry.dst_lines())
+                # Confidence stays in [1, MAX]; zero-confidence pairs die.
+                assert all(1 <= c <= MAX_CONFIDENCE for _d, c in entry.dsts)
+                assert 0 <= entry.bb_size <= MAX_BB_SIZE
+                # No duplicate destinations.
+                dsts = entry.dst_lines()
+                assert len(dsts) == len(set(dsts))
+
+    @given(st.lists(st.tuples(st.integers(0, 300), st.integers(0, 63)), max_size=80))
+    def test_bb_sizes_bounded(self, updates):
+        table = EntangledTable(entries=32, ways=4)
+        for src, size in updates:
+            table.update_bb_size(src, size * 3)  # may exceed the cap
+        for src, _size in updates:
+            assert 0 <= table.bb_size_of(src) <= MAX_BB_SIZE
+
+
+class TestCompressionProperties:
+    @given(
+        src=st.integers(0, (1 << 58) - 1),
+        dsts=st.lists(st.integers(0, (1 << 58) - 1), min_size=1, max_size=6),
+    )
+    def test_mode_consistency(self, src, dsts):
+        scheme = CompressionScheme.virtual()
+        widths = [scheme.significant_bits(src, d) for d in dsts]
+        mode = scheme.mode_for_widths(widths)
+        if mode is not None:
+            assert mode >= len(dsts)
+            assert all(w <= scheme.modes[mode].addr_bits or mode == 1 for w in widths)
+
+
+class TestTraceProperties:
+    instruction_strategy = st.builds(
+        Instruction,
+        pc=st.integers(0, (1 << 48) - 1),
+        size=st.just(4),
+        taken=st.booleans(),
+        target=st.integers(0, (1 << 48) - 1),
+        is_load=st.booleans(),
+        data_addr=st.integers(0, (1 << 48) - 1),
+    )
+
+    @given(st.lists(instruction_strategy, max_size=50))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_io_roundtrip(self, instructions):
+        import tempfile, os
+
+        trace = Trace("prop", instructions, category="int")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "t.bin")
+            write_trace(trace, path)
+            loaded = read_trace(path)
+        assert loaded.instructions == trace.instructions
+
+
+class TestSimulatorConservation:
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=120), st.booleans())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_all_instructions_retire_and_counters_consistent(self, line_seq, tiny):
+        from tests.conftest import make_line_trace
+        from repro.sim.config import SimConfig
+
+        trace = make_line_trace(line_seq)
+        config = SimConfig(l1i_size=4 * 1024, l1i_ways=4) if tiny else SimConfig()
+        stats = simulate(trace, NullPrefetcher(), config=config).stats
+        assert stats.instructions == len(trace)
+        assert stats.l1i_demand_hits + stats.l1i_demand_misses == (
+            stats.l1i_demand_accesses
+        )
+        assert stats.cycles >= len(trace) // config.retire_width
+        assert 0.0 <= stats.l1i_miss_ratio <= 1.0

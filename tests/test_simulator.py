@@ -1,0 +1,283 @@
+"""Tests for the cycle-based front-end simulator."""
+
+import pytest
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher, PrefetchRequest
+from repro.prefetchers.ideal import IdealPrefetcher
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.trace import BranchType, Instruction, Trace, trace_from_pcs
+
+from tests.conftest import make_line_trace
+
+
+class ScriptedPrefetcher(InstructionPrefetcher):
+    """Issues a fixed set of prefetches on the very first demand access."""
+
+    name = "scripted"
+
+    def __init__(self, lines, fire_on=0):
+        self.lines = list(lines)
+        self.fire_on = fire_on
+        self._accesses = 0
+        self.feedback = []
+
+    def on_demand_access(self, line_addr, hit, cycle):
+        self._accesses += 1
+        if self._accesses - 1 != self.fire_on:
+            return ()
+        return [PrefetchRequest(line, src_meta=("s", line)) for line in self.lines]
+
+    def on_prefetch_useful(self, line_addr, src_meta, cycle):
+        self.feedback.append(("useful", line_addr))
+
+    def on_prefetch_late(self, line_addr, src_meta, cycle):
+        self.feedback.append(("late", line_addr))
+
+    def on_evict_unused(self, line_addr, src_meta, cycle):
+        self.feedback.append(("wrong", line_addr))
+
+
+class TestBasicExecution:
+    def test_all_instructions_retire(self, sequential_trace):
+        result = simulate(sequential_trace, NullPrefetcher())
+        assert result.stats.instructions == len(sequential_trace)
+
+    def test_ipc_bounded_by_retire_width(self, sequential_trace, default_config):
+        result = simulate(sequential_trace, NullPrefetcher(), config=default_config)
+        assert 0 < result.stats.ipc <= default_config.retire_width
+
+    def test_empty_trace(self):
+        result = simulate(Trace("empty", []), NullPrefetcher())
+        assert result.stats.instructions == 0
+        assert result.stats.cycles == 0
+
+    def test_deterministic(self, small_srv_trace):
+        a = simulate(small_srv_trace, NullPrefetcher()).stats
+        b = simulate(small_srv_trace, NullPrefetcher()).stats
+        assert a.cycles == b.cycles
+        assert a.l1i_demand_misses == b.l1i_demand_misses
+
+    def test_result_identity(self, sequential_trace):
+        result = simulate(sequential_trace, NullPrefetcher())
+        assert result.trace_name == "seq"
+        assert result.prefetcher_name == "no"
+        assert result.ipc == result.stats.ipc
+
+
+class TestCacheBehaviour:
+    def test_cold_lines_miss_once(self, sequential_trace):
+        result = simulate(sequential_trace, NullPrefetcher())
+        # 4 distinct lines => 4 cold misses, no repeats.
+        assert result.stats.l1i_demand_misses == 4
+
+    def test_repeated_lines_hit(self):
+        trace = make_line_trace([0x40, 0x41, 0x40, 0x41, 0x40, 0x41])
+        result = simulate(trace, NullPrefetcher())
+        assert result.stats.l1i_demand_misses == 2
+        assert result.stats.l1i_demand_hits >= 4
+
+    def test_capacity_misses(self, tiny_config):
+        # 4KB 4-way L1I = 64 lines; stream 128 lines twice.
+        lines = list(range(0x100, 0x180))
+        trace = make_line_trace(lines + lines)
+        result = simulate(trace, NullPrefetcher(), config=tiny_config)
+        assert result.stats.l1i_demand_misses > 128  # second pass misses too
+
+    def test_miss_costs_cycles(self):
+        hit_trace = make_line_trace([0x40] * 50)
+        miss_trace = make_line_trace(list(range(0x40, 0x40 + 50)))
+        hit_cycles = simulate(hit_trace, NullPrefetcher()).stats.cycles
+        miss_cycles = simulate(miss_trace, NullPrefetcher()).stats.cycles
+        assert miss_cycles > hit_cycles
+
+
+class TestPrefetchFlow:
+    def test_useful_prefetch(self):
+        # Warm line 0x40 region, then a long dwell, then jump to 0x500.
+        trace = make_line_trace([0x40] * 200 + [0x500])
+        pf = ScriptedPrefetcher([0x500])
+        result = simulate(trace, pf)
+        assert result.stats.useful_prefetches == 1
+        assert ("useful", 0x500) in pf.feedback
+        assert result.stats.l1i_demand_misses == 1  # only line 0x40
+
+    def test_wrong_prefetch_detected_on_eviction(self, tiny_config):
+        # Prefetch a line never used; stream enough lines to evict it.
+        lines = list(range(0x100, 0x200))
+        trace = make_line_trace(lines)
+        pf = ScriptedPrefetcher([0x999])
+        result = simulate(trace, pf, config=tiny_config)
+        assert result.stats.wrong_prefetches == 1
+        assert ("wrong", 0x999) in pf.feedback
+
+    def test_late_prefetch(self):
+        # Prefetch fired on the third access (line 0x40 already warm); the
+        # demand for 0x41 arrives a cycle later -- after the prefetch was
+        # issued but long before its fill.
+        trace = make_line_trace([0x40, 0x40, 0x40, 0x41])
+        pf = ScriptedPrefetcher([0x41], fire_on=2)
+        result = simulate(trace, pf)
+        assert result.stats.late_prefetches == 1
+        assert ("late", 0x41) in pf.feedback
+
+    def test_prefetch_of_resident_line_dropped(self):
+        trace = make_line_trace([0x40, 0x40, 0x41])
+        pf = ScriptedPrefetcher([0x40])  # fires at first access (miss), 0x40 in flight
+        result = simulate(trace, pf)
+        assert result.stats.prefetches_dropped_in_flight == 1
+
+    def test_prefetch_reduces_cycles(self, tiny_config, small_srv_trace):
+        from repro.core import make_entangling
+
+        base = simulate(small_srv_trace, NullPrefetcher(), config=tiny_config).stats
+        ent = simulate(small_srv_trace, make_entangling(4096), config=tiny_config).stats
+        assert ent.cycles < base.cycles
+
+
+class TestIdealPrefetcher:
+    def test_ideal_never_misses(self, small_srv_trace):
+        result = simulate(small_srv_trace, IdealPrefetcher())
+        assert result.stats.l1i_demand_misses == 0
+        assert result.stats.l1i_miss_ratio == 0.0
+
+    def test_ideal_still_loads_l2(self, small_srv_trace):
+        result = simulate(small_srv_trace, IdealPrefetcher())
+        assert result.stats.cache_accesses["L2C"].reads > 0
+
+    def test_ideal_is_fastest(self, small_srv_trace):
+        ideal = simulate(small_srv_trace, IdealPrefetcher()).stats
+        base = simulate(small_srv_trace, NullPrefetcher()).stats
+        assert ideal.cycles < base.cycles
+
+
+class TestBranchHandling:
+    def _branchy_trace(self, taken_pattern):
+        """Conditional at the end of line 0x40 jumping to 0x80 or falling
+        through, repeated per the pattern."""
+        insts = []
+        for taken in taken_pattern:
+            insts.append(Instruction(pc=0x1000))
+            insts.append(
+                Instruction(
+                    pc=0x1004,
+                    branch_type=BranchType.CONDITIONAL,
+                    taken=taken,
+                    target=0x2000,
+                )
+            )
+            if taken:
+                insts.append(Instruction(pc=0x2000))
+                insts.append(
+                    Instruction(
+                        pc=0x2004,
+                        branch_type=BranchType.DIRECT_JUMP,
+                        taken=True,
+                        target=0x1000,
+                    )
+                )
+            else:
+                insts.append(
+                    Instruction(
+                        pc=0x1008,
+                        branch_type=BranchType.DIRECT_JUMP,
+                        taken=True,
+                        target=0x1000,
+                    )
+                )
+        return Trace("branchy", insts)
+
+    def test_branches_counted(self):
+        trace = self._branchy_trace([True, False] * 10)
+        result = simulate(trace, NullPrefetcher())
+        assert result.stats.branches == 40  # 2 branches per iteration
+
+    def test_predictable_branches_stop_mispredicting(self):
+        trace = self._branchy_trace([True] * 200)
+        result = simulate(trace, NullPrefetcher())
+        # After warm-up the all-taken conditional is learned.
+        assert result.stats.branch_mispredictions < 20
+
+    def test_random_pattern_mispredicts_more(self):
+        import random
+
+        rng = random.Random(1)
+        pattern = [rng.random() < 0.5 for _ in range(200)]
+        random_trace = self._branchy_trace(pattern)
+        steady_trace = self._branchy_trace([True] * 200)
+        r1 = simulate(random_trace, NullPrefetcher()).stats
+        r2 = simulate(steady_trace, NullPrefetcher()).stats
+        assert r1.branch_mispredictions > r2.branch_mispredictions
+
+    def test_mispredictions_cost_cycles(self):
+        import random
+
+        rng = random.Random(1)
+        pattern = [rng.random() < 0.5 for _ in range(200)]
+        r1 = simulate(self._branchy_trace(pattern), NullPrefetcher()).stats
+        r2 = simulate(self._branchy_trace([True] * 200), NullPrefetcher()).stats
+        assert r1.cycles > r2.cycles
+
+    def test_btb_miss_redirects_counted(self):
+        trace = self._branchy_trace([True] * 50)
+        result = simulate(trace, NullPrefetcher())
+        assert result.stats.btb_miss_redirects >= 1
+
+
+class TestWarmup:
+    def test_warmup_excludes_cold_misses(self, small_srv_trace):
+        cold = simulate(small_srv_trace, NullPrefetcher()).stats
+        warm = simulate(
+            small_srv_trace, NullPrefetcher(), warmup_instructions=30_000
+        ).stats
+        # Retirement advances a few instructions per cycle, so the reset
+        # lands within one retire group of the requested boundary.
+        assert abs(warm.instructions - (cold.instructions - 30_000)) <= 8
+        assert warm.l1i_mpki < cold.l1i_mpki
+
+    def test_warmup_zero_equals_full(self, small_srv_trace):
+        a = simulate(small_srv_trace, NullPrefetcher(), warmup_instructions=0).stats
+        b = simulate(small_srv_trace, NullPrefetcher()).stats
+        assert a.cycles == b.cycles
+
+
+class TestPhysicalAddresses:
+    def test_physical_mode_runs(self, small_srv_trace):
+        config = SimConfig().with_physical_addresses()
+        result = simulate(small_srv_trace, NullPrefetcher(), config=config)
+        assert result.stats.instructions == len(small_srv_trace)
+
+    def test_physical_changes_cache_indexing(self, small_srv_trace):
+        virt = simulate(small_srv_trace, NullPrefetcher()).stats
+        phys = simulate(
+            small_srv_trace,
+            NullPrefetcher(),
+            config=SimConfig().with_physical_addresses(),
+        ).stats
+        # The L1I index bits fit inside the page offset, so L1I behaviour
+        # is unchanged -- but the L2/LLC index from translated lines makes
+        # the runs observably different.
+        virt_sig = (virt.cycles, virt.cache_accesses["L2C"].writes,
+                    virt.cache_accesses["LLC"].writes)
+        phys_sig = (phys.cycles, phys.cache_accesses["L2C"].writes,
+                    phys.cache_accesses["LLC"].writes)
+        assert virt_sig != phys_sig
+
+
+class TestConfigVariants:
+    def test_larger_l1i_reduces_misses(self, small_srv_trace):
+        base = simulate(small_srv_trace, NullPrefetcher()).stats
+        big = simulate(
+            small_srv_trace, NullPrefetcher(), config=SimConfig().with_l1i_kb(96)
+        ).stats
+        assert big.l1i_demand_misses < base.l1i_demand_misses
+
+    def test_with_l1i_kb_geometry(self):
+        config = SimConfig().with_l1i_kb(64)
+        assert config.l1i_size == 64 * 1024
+        assert config.l1i_ways == 16
+        assert config.l1i_sets == SimConfig().l1i_sets
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(l1i_size=1000)  # not divisible into ways x lines

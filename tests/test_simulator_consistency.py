@@ -1,0 +1,64 @@
+"""Cross-cutting consistency checks on the simulator."""
+
+from repro.prefetchers import NullPrefetcher, make_prefetcher
+from repro.sim.fetchunits import build_fetch_units
+from repro.sim.simulator import simulate
+
+
+class TestUnitsParameter:
+    def test_precomputed_units_equivalent(self, small_srv_trace):
+        units = build_fetch_units(small_srv_trace)
+        direct = simulate(small_srv_trace, NullPrefetcher()).stats
+        precomputed = simulate(small_srv_trace, NullPrefetcher(), units=units).stats
+        assert direct.cycles == precomputed.cycles
+        assert direct.l1i_demand_misses == precomputed.l1i_demand_misses
+
+    def test_units_are_not_mutated(self, small_srv_trace):
+        units = build_fetch_units(small_srv_trace)
+        before = [(u.line_addr, u.n_instrs, u.branch) for u in units]
+        simulate(small_srv_trace, make_prefetcher("entangling_2k"), units=units)
+        after = [(u.line_addr, u.n_instrs, u.branch) for u in units]
+        assert before == after
+
+    def test_units_reusable_across_prefetchers(self, small_srv_trace):
+        """The experiment driver reuses units across configs; a second run
+        with the same units must match a fresh run."""
+        units = build_fetch_units(small_srv_trace)
+        simulate(small_srv_trace, make_prefetcher("next_line"), units=units)
+        reused = simulate(small_srv_trace, NullPrefetcher(), units=units).stats
+        fresh = simulate(small_srv_trace, NullPrefetcher()).stats
+        assert reused.cycles == fresh.cycles
+
+
+class TestCounterConsistency:
+    def test_prefetch_accounting_balances(self, small_srv_trace):
+        stats = simulate(small_srv_trace, make_prefetcher("entangling_4k")).stats
+        assert stats.prefetches_requested == (
+            stats.prefetches_enqueued
+            + stats.prefetches_dropped_pq_full
+            + stats.prefetches_dropped_in_cache
+            + stats.prefetches_dropped_in_flight
+        )
+        # Everything issued was first enqueued (minus what is still queued
+        # or filtered at issue time).
+        assert stats.prefetches_sent <= stats.prefetches_enqueued
+
+    def test_useful_bounded_by_sent(self, small_srv_trace):
+        stats = simulate(small_srv_trace, make_prefetcher("entangling_4k")).stats
+        assert stats.useful_prefetches <= stats.prefetches_sent
+        assert stats.wrong_prefetches <= stats.prefetches_sent
+
+    def test_hits_plus_misses_equals_accesses(self, small_srv_trace):
+        for config_name in ("no", "next_line", "entangling_2k"):
+            stats = simulate(small_srv_trace, make_prefetcher(config_name)).stats
+            assert stats.l1i_demand_hits + stats.l1i_demand_misses == (
+                stats.l1i_demand_accesses
+            )
+
+    def test_stall_accounting_covers_idle_cycles(self, small_srv_trace):
+        stats = simulate(small_srv_trace, NullPrefetcher()).stats
+        busy_upper_bound = stats.instructions  # <= retire_width per cycle
+        assert stats.fetch_stall_cycles + stats.ftq_empty_cycles <= stats.cycles
+        assert stats.cycles <= busy_upper_bound + (
+            stats.fetch_stall_cycles + stats.ftq_empty_cycles
+        )

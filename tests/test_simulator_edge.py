@@ -1,0 +1,130 @@
+"""Edge-case tests for the simulator: resource limits and odd traces."""
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher, PrefetchRequest
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
+from repro.workloads.trace import BranchType, Instruction, Trace
+
+from tests.conftest import make_line_trace
+
+
+class FloodPrefetcher(InstructionPrefetcher):
+    """Requests a burst of useless lines on every demand access."""
+
+    name = "flood"
+
+    def __init__(self, burst=64):
+        self.burst = burst
+        self._base = 0x10_0000
+
+    def on_demand_access(self, line_addr, hit, cycle):
+        self._base += self.burst
+        return [PrefetchRequest(self._base + i) for i in range(self.burst)]
+
+
+class TestResourceLimits:
+    def test_pq_full_drops_counted(self):
+        trace = make_line_trace(list(range(0x100, 0x140)))
+        result = simulate(trace, FloodPrefetcher(burst=64))
+        assert result.stats.prefetches_dropped_pq_full > 0
+        # Drops are bounded: requested = enqueued + all drop categories.
+        s = result.stats
+        assert s.prefetches_requested == (
+            s.prefetches_enqueued
+            + s.prefetches_dropped_pq_full
+            + s.prefetches_dropped_in_cache
+            + s.prefetches_dropped_in_flight
+        )
+
+    def test_prefetches_respect_mshr_reserve(self):
+        config = SimConfig(l1i_mshrs=4, mshr_demand_reserve=2)
+        trace = make_line_trace(list(range(0x100, 0x180)))
+        result = simulate(trace, FloodPrefetcher(burst=16), config=config)
+        # The run completes (no deadlock) and demand misses were served.
+        assert result.stats.instructions == len(trace)
+        assert result.stats.l1i_demand_misses > 0
+
+    def test_tiny_mshr_file_still_completes(self):
+        from repro.workloads.trace import trace_from_pcs
+
+        config = SimConfig(l1i_mshrs=1, mshr_demand_reserve=0)
+        # Branch-free sequential code: the predict stage runs ahead and
+        # piles misses onto the single MSHR.
+        trace = trace_from_pcs("seq", [0x4000 + 4 * i for i in range(1024)])
+        result = simulate(trace, NullPrefetcher(), config=config)
+        assert result.stats.instructions == len(trace)
+        assert result.stats.mshr_full_events > 0
+
+    def test_tiny_ftq_still_completes(self):
+        config = SimConfig(ftq_size=2)
+        trace = make_line_trace(list(range(0x100, 0x140)))
+        result = simulate(trace, NullPrefetcher(), config=config)
+        assert result.stats.instructions == len(trace)
+
+    def test_small_ftq_is_slower(self):
+        trace = make_line_trace(list(range(0x100, 0x180)) * 2)
+        wide = simulate(trace, NullPrefetcher(), config=SimConfig(ftq_size=64)).stats
+        narrow = simulate(trace, NullPrefetcher(), config=SimConfig(ftq_size=2)).stats
+        assert narrow.cycles >= wide.cycles
+
+
+class TestOddTraces:
+    def test_trace_ending_in_taken_branch(self):
+        insts = [
+            Instruction(pc=0x1000),
+            Instruction(pc=0x1004, branch_type=BranchType.DIRECT_JUMP,
+                        taken=True, target=0x2000),
+        ]
+        result = simulate(Trace("t", insts), NullPrefetcher())
+        assert result.stats.instructions == 2
+
+    def test_single_instruction(self):
+        result = simulate(Trace("t", [Instruction(pc=0x1000)]), NullPrefetcher())
+        assert result.stats.instructions == 1
+        assert result.stats.l1i_demand_misses == 1
+
+    def test_return_without_call(self):
+        insts = [
+            Instruction(pc=0x1000, branch_type=BranchType.RETURN,
+                        taken=True, target=0x2000),
+            Instruction(pc=0x2000),
+        ]
+        result = simulate(Trace("t", insts), NullPrefetcher())
+        # An empty-RAS return is simply a mispredict, not a crash.
+        assert result.stats.instructions == 2
+        assert result.stats.branch_mispredictions >= 1
+
+    def test_dense_branches_one_per_instruction(self):
+        insts = []
+        pc = 0x1000
+        for i in range(50):
+            target = 0x1000 + 0x100 * ((i + 1) % 7)
+            insts.append(
+                Instruction(pc=pc, branch_type=BranchType.DIRECT_JUMP,
+                            taken=True, target=target)
+            )
+            pc = target
+        result = simulate(Trace("t", insts), NullPrefetcher())
+        assert result.stats.instructions == 50
+        assert result.stats.branches == 50
+
+
+class TestDataPath:
+    def test_l1d_accesses_counted(self):
+        insts = [
+            Instruction(pc=0x1000, is_load=True, data_addr=0x9000),
+            Instruction(pc=0x1004, is_store=True, data_addr=0xA000),
+        ]
+        result = simulate(Trace("t", insts), NullPrefetcher())
+        counts = result.stats.cache_accesses["L1D"]
+        assert counts.reads >= 1
+        assert counts.writes >= 1
+
+    def test_repeated_loads_hit_l1d(self):
+        insts = [
+            Instruction(pc=0x1000 + 4 * i, is_load=True, data_addr=0x9000)
+            for i in range(10)
+        ]
+        result = simulate(Trace("t", insts), NullPrefetcher())
+        # Only the first load misses into L2.
+        assert result.stats.cache_accesses["L2C"].reads <= 2

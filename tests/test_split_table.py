@@ -1,0 +1,102 @@
+"""Tests for the split Entangled table (the paper's future-work study)."""
+
+import pytest
+
+from repro.core.entangled_table import MAX_BB_SIZE
+from repro.core.entangling import EntanglingConfig
+from repro.core.split_table import (
+    BlockSizeTable,
+    SplitEntanglingPrefetcher,
+    make_split_entangling,
+)
+
+
+class TestBlockSizeTable:
+    def test_update_and_get(self):
+        table = BlockSizeTable(64)
+        table.update(100, 5)
+        assert table.get(100) == 5
+
+    def test_unknown_line_is_zero(self):
+        assert BlockSizeTable(64).get(42) == 0
+
+    def test_max_policy(self):
+        table = BlockSizeTable(64)
+        table.update(100, 5)
+        table.update(100, 3)
+        assert table.get(100) == 5
+
+    def test_latest_policy(self):
+        table = BlockSizeTable(64)
+        table.update(100, 5, policy="latest")
+        table.update(100, 3, policy="latest")
+        assert table.get(100) == 3
+
+    def test_size_capped(self):
+        table = BlockSizeTable(64)
+        table.update(100, 1000)
+        assert table.get(100) == MAX_BB_SIZE
+
+    def test_direct_mapped_conflicts_evict(self):
+        table = BlockSizeTable(1)  # every line maps to slot 0
+        table.update(100, 5)
+        table.update(200, 7)
+        assert table.get(200) == 7
+        assert table.get(100) == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSizeTable(0)
+
+    def test_storage_bits(self):
+        assert BlockSizeTable(2048).storage_bits() == 2048 * 16
+
+
+class TestSplitEntanglingPrefetcher:
+    def test_sizes_live_outside_the_pair_table(self):
+        pf = SplitEntanglingPrefetcher(EntanglingConfig(entries=64, ways=4))
+        pf.on_demand_access(100, True, 0)
+        pf.on_demand_access(101, True, 1)
+        pf.on_demand_access(900, True, 2)       # completes block [100,101]
+        assert pf.size_table.get(100) == 1
+        # No pair-table entry is allocated for a size-only source.
+        assert pf.table.peek(100) is None
+
+    def test_trigger_uses_size_table_without_pair_entry(self):
+        pf = SplitEntanglingPrefetcher(EntanglingConfig(entries=64, ways=4))
+        pf.size_table.update(100, 2)
+        requests = list(pf.on_demand_access(100, True, 0))
+        assert [r.line_addr for r in requests] == [101, 102]
+
+    def test_destination_blocks_use_size_table(self):
+        pf = SplitEntanglingPrefetcher(EntanglingConfig(entries=64, ways=4))
+        pf.table.add_dest(100, 500)
+        pf.size_table.update(500, 2)
+        requests = [r.line_addr for r in pf.on_demand_access(100, True, 0)]
+        assert requests == [500, 501, 502]
+
+    def test_storage_includes_both_tables(self):
+        pf = make_split_entangling(pair_entries=1024, size_entries=2048)
+        base = SplitEntanglingPrefetcher(
+            EntanglingConfig(entries=1024, merge_distance=15), size_entries=1
+        )
+        assert pf.storage_bits() > base.storage_bits()
+
+    def test_split_low_budget_cheaper_than_unified_2k(self):
+        """The design goal: similar reach at a lower storage cost."""
+        from repro.core.variants import make_entangling
+
+        split = make_split_entangling(pair_entries=1024, size_entries=2048)
+        unified = make_entangling(2048)
+        assert split.storage_kb < unified.storage_kb
+
+    def test_runs_in_simulator(self, small_srv_trace):
+        from repro.prefetchers import NullPrefetcher
+        from repro.sim import simulate
+
+        base = simulate(small_srv_trace, NullPrefetcher(),
+                        warmup_instructions=20_000).stats
+        split = simulate(small_srv_trace, make_split_entangling(),
+                         warmup_instructions=20_000).stats
+        assert split.ipc > base.ipc
+        assert split.prefetches_sent > 0

@@ -1,0 +1,129 @@
+"""Tests for SimStats derived metrics and SimConfig geometry."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.stats import CacheAccessCounts, SimStats
+
+
+class TestCacheAccessCounts:
+    def test_total(self):
+        counts = CacheAccessCounts(reads=3, writes=4)
+        assert counts.total == 7
+
+
+class TestSimStatsDerived:
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_ipc(self):
+        stats = SimStats()
+        stats.instructions = 600
+        stats.cycles = 200
+        assert stats.ipc == pytest.approx(3.0)
+
+    def test_miss_ratio(self):
+        stats = SimStats()
+        stats.l1i_demand_accesses = 100
+        stats.l1i_demand_misses = 25
+        assert stats.l1i_miss_ratio == 0.25
+
+    def test_miss_ratio_no_accesses(self):
+        assert SimStats().l1i_miss_ratio == 0.0
+
+    def test_mpki(self):
+        stats = SimStats()
+        stats.instructions = 10_000
+        stats.l1i_demand_misses = 50
+        assert stats.l1i_mpki == pytest.approx(5.0)
+
+    def test_mpki_no_instructions(self):
+        assert SimStats().l1i_mpki == 0.0
+
+    def test_accuracy(self):
+        stats = SimStats()
+        stats.prefetches_sent = 40
+        stats.useful_prefetches = 10
+        assert stats.accuracy == 0.25
+
+    def test_accuracy_no_prefetches(self):
+        assert SimStats().accuracy == 0.0
+
+    def test_branch_misprediction_rate(self):
+        stats = SimStats()
+        stats.branches = 200
+        stats.branch_mispredictions = 20
+        assert stats.branch_misprediction_rate == 0.1
+        assert SimStats().branch_misprediction_rate == 0.0
+
+    def test_coverage_vs(self):
+        base = SimStats()
+        base.l1i_demand_misses = 100
+        run = SimStats()
+        run.l1i_demand_misses = 30
+        assert run.coverage_vs(base) == pytest.approx(0.7)
+
+    def test_coverage_vs_zero_baseline(self):
+        assert SimStats().coverage_vs(SimStats()) == 0.0
+
+    def test_coverage_never_negative(self):
+        base = SimStats()
+        base.l1i_demand_misses = 10
+        worse = SimStats()
+        worse.l1i_demand_misses = 50
+        assert worse.coverage_vs(base) == 0.0
+
+    def test_summary_is_string(self):
+        assert "ipc=" in SimStats().summary()
+
+    def test_reset_zeroes_everything(self):
+        stats = SimStats()
+        stats.instructions = 10
+        stats.cache_accesses["L2C"].reads = 5
+        stats.reset()
+        assert stats.instructions == 0
+        assert stats.cache_accesses["L2C"].reads == 0
+
+    def test_reset_keeps_identity(self):
+        stats = SimStats()
+        counts_before = id(stats.cache_accesses)
+        stats.reset()
+        # The dict object is replaced but the stats object itself is not;
+        # holders of the SimStats reference keep counting into it.
+        assert id(stats) == id(stats)
+        assert stats.cache_accesses["L1I"].reads == 0
+
+
+class TestSimConfig:
+    def test_default_geometry_matches_paper(self):
+        config = SimConfig()
+        assert config.l1i_size == 32 * 1024
+        assert config.l1i_ways == 8
+        assert config.l1i_latency == 4
+        assert config.l1i_mshrs == 10
+        assert config.prefetch_queue_size == 32
+
+    def test_set_counts(self):
+        config = SimConfig()
+        assert config.l1i_sets == 64
+        assert config.l2_sets == 1024
+        assert config.llc_sets == 2048
+
+    def test_with_physical(self):
+        config = SimConfig().with_physical_addresses()
+        assert config.physical_addresses
+        assert not SimConfig().physical_addresses
+
+    def test_with_l1i_kb_96(self):
+        config = SimConfig().with_l1i_kb(96)
+        assert config.l1i_ways == 24
+        assert config.l1i_latency == SimConfig().l1i_latency
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimConfig().l1i_size = 1
+
+    def test_latency_ordering(self):
+        config = SimConfig()
+        assert (config.l1i_latency < config.l2_latency
+                < config.llc_latency < config.dram_latency)

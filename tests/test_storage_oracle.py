@@ -1,0 +1,161 @@
+"""Tests for storage accounting and the look-ahead oracle."""
+
+import pytest
+
+from repro.analysis.oracle import LookaheadOracle, OracleObserver
+from repro.analysis.storage import (
+    paper_reference_storage_kb,
+    prefetcher_storage_kb,
+    storage_table,
+)
+
+
+class TestStorageAccounting:
+    @pytest.mark.parametrize(
+        "name,tolerance",
+        [
+            ("next_line", 0.01),
+            ("sn4l", 0.1),
+            ("mana_2k", 0.01),
+            ("mana_4k", 0.01),
+            ("mana_8k", 0.01),
+            ("rdip", 0.01),
+            ("djolt", 0.01),
+            ("fnl_mma", 0.01),
+            ("entangling_2k", 0.1),
+            ("entangling_4k", 0.1),
+            ("entangling_2k_phys", 0.15),
+            ("entangling_4k_phys", 0.15),
+        ],
+    )
+    def test_matches_paper_reference(self, name, tolerance):
+        reference = paper_reference_storage_kb()[name]
+        assert prefetcher_storage_kb(name) == pytest.approx(reference, abs=tolerance)
+
+    def test_large_l1i_budgets(self):
+        assert prefetcher_storage_kb("l1i_64kb") == 32.0
+        assert prefetcher_storage_kb("l1i_96kb") == 64.0
+
+    def test_storage_table_sorted(self):
+        rows = storage_table(["entangling_4k", "next_line", "rdip"])
+        budgets = [kb for _name, kb in rows]
+        assert budgets == sorted(budgets)
+
+    def test_entangling_8k_within_tolerance(self):
+        """Our first-principles arithmetic lands within ~4% of the paper's
+        77.44KB for the 8K configuration (documented deviation)."""
+        assert prefetcher_storage_kb("entangling_8k") == pytest.approx(77.44, rel=0.05)
+
+
+def observer_with(misses, disc_times, disc_targets=None):
+    obs = OracleObserver()
+    obs.misses = misses
+    obs.discontinuity_times = disc_times
+    obs.discontinuity_targets = disc_targets or [0x40] * len(disc_times)
+    return obs
+
+
+class TestOracleMinDistance:
+    def test_recent_disc_is_too_late(self):
+        # Miss at t=100 with latency 50: a disc at t=80 is too recent; the
+        # one at t=40 works at distance 2.
+        obs = observer_with([(100, 50, 7)], [40, 80])
+        oracle = LookaheadOracle(obs, cycles=200)
+        assert oracle.min_distance(100, 50) == 2
+
+    def test_immediate_disc_works_for_short_latency(self):
+        obs = observer_with([(100, 10, 7)], [40, 80])
+        oracle = LookaheadOracle(obs, cycles=200)
+        assert oracle.min_distance(100, 10) == 1
+
+    def test_all_discs_too_recent(self):
+        # No recorded discontinuity is old enough: infeasible within the
+        # studied range, reported uniformly as max_distance + 1.
+        obs = observer_with([(100, 99, 7)], [95, 98])
+        oracle = LookaheadOracle(obs, cycles=200, max_distance=10)
+        assert oracle.min_distance(100, 99) == 11
+
+
+class TestOracleReplay:
+    def test_timely_fraction_monotone_in_distance(self):
+        misses = [(100 * i, 30, i) for i in range(2, 30)]
+        discs = list(range(0, 3000, 10))
+        obs = observer_with(misses, discs, [d % 64 for d in discs])
+        oracle = LookaheadOracle(obs, cycles=3000)
+        result = oracle.replay("w")
+        fractions = [result.timely_fraction[d] for d in range(1, 11)]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_histogram_counts_all_misses(self):
+        misses = [(100 * i, 30, i) for i in range(2, 12)]
+        discs = list(range(0, 1200, 10))
+        obs = observer_with(misses, discs, [d % 64 for d in discs])
+        oracle = LookaheadOracle(obs, cycles=1200)
+        result = oracle.replay("w")
+        assert sum(result.min_distance_histogram.values()) == len(misses)
+        assert result.total_misses == len(misses)
+
+    def test_divergent_paths_reduce_accuracy(self):
+        # One discontinuity target followed by two different miss lines in
+        # alternation: at any distance, predictions are 50% right.
+        misses = []
+        discs = []
+        targets = []
+        for i in range(40):
+            discs.append(100 * i)
+            targets.append(0x40)                # same context every time
+            misses.append((100 * i + 50, 30, 7 if i % 2 else 9))
+        obs = observer_with(misses, discs, targets)
+        oracle = LookaheadOracle(obs, cycles=5000)
+        result = oracle.replay("w")
+        assert result.accuracy[1] < 0.7
+
+    def test_deterministic_path_keeps_accuracy(self):
+        misses = []
+        discs = []
+        targets = []
+        for i in range(40):
+            discs.append(100 * i)
+            targets.append(0x40 + (i % 4))      # 4 contexts ...
+            misses.append((100 * i + 50, 30, 100 + (i % 4)))  # ... 1 miss each
+        obs = observer_with(misses, discs, targets)
+        oracle = LookaheadOracle(obs, cycles=5000)
+        result = oracle.replay("w")
+        assert result.accuracy[1] > 0.9
+
+    def test_empty_observer(self):
+        oracle = LookaheadOracle(observer_with([], []), cycles=100)
+        result = oracle.replay("w")
+        assert result.total_misses == 0
+        assert result.timely_fraction[1] == 0.0
+
+
+class TestOracleProperties:
+    def test_min_distance_monotone_in_latency(self):
+        """Longer miss latencies require equal-or-older trigger points."""
+        from hypothesis import given, strategies as st
+
+        @given(
+            demand=st.integers(min_value=100, max_value=10_000),
+            lat_a=st.integers(min_value=1, max_value=500),
+            lat_b=st.integers(min_value=1, max_value=500),
+        )
+        def check(demand, lat_a, lat_b):
+            discs = list(range(0, 10_000, 37))
+            obs = observer_with([(demand, max(lat_a, lat_b), 7)], discs,
+                                [d % 64 for d in discs])
+            oracle = LookaheadOracle(obs, cycles=10_000)
+            short, long_ = sorted((lat_a, lat_b))
+            assert oracle.min_distance(demand, long_) >= (
+                oracle.min_distance(demand, short)
+            )
+
+        check()
+
+    def test_timely_plus_untimely_is_total(self):
+        misses = [(200 * i + 50, 40, i % 13) for i in range(1, 25)]
+        discs = list(range(0, 6000, 25))
+        obs = observer_with(misses, discs, [d % 64 for d in discs])
+        result = LookaheadOracle(obs, cycles=6000).replay("w")
+        # The min-distance histogram partitions the misses exactly.
+        assert sum(result.min_distance_histogram.values()) == len(misses)

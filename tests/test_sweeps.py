@@ -1,0 +1,53 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    render_sweep,
+    sweep_entangling_parameter,
+    sweep_sim_parameter,
+)
+from repro.workloads.generators import WorkloadSpec
+
+TINY = [WorkloadSpec(name="sw_srv", category="srv", seed=13, n_instructions=30_000)]
+
+
+class TestSimSweep:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="no field"):
+            sweep_sim_parameter(TINY, "flux_capacitor", [1])
+
+    def test_points_carry_values(self):
+        points = sweep_sim_parameter(TINY, "prefetch_queue_size", [16, 64])
+        assert [p.value for p in points] == [16, 64]
+        assert all(p.geomean_speedup > 0 for p in points)
+
+    def test_bigger_pq_drops_fewer(self):
+        """The paper's Section IV-D observation, quantified."""
+        points = sweep_sim_parameter(TINY, "prefetch_queue_size", [8, 128])
+        assert points[0].mean_pq_drops >= points[1].mean_pq_drops
+
+    def test_custom_prefetcher_factory(self):
+        from repro.prefetchers import NextLinePrefetcher
+
+        points = sweep_sim_parameter(
+            TINY, "l1i_mshrs", [8], make_prefetcher=NextLinePrefetcher
+        )
+        assert len(points) == 1
+
+
+class TestEntanglingSweep:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="no field"):
+            sweep_entangling_parameter(TINY, "bogus", [1])
+
+    def test_table_size_sweep(self):
+        points = sweep_entangling_parameter(TINY, "entries", [1024, 4096])
+        assert [p.value for p in points] == [1024, 4096]
+        assert all(0 <= p.mean_coverage <= 1 for p in points)
+
+    def test_render(self):
+        points = sweep_entangling_parameter(TINY, "history_size", [16])
+        text = render_sweep("history sweep", points)
+        assert "history sweep" in text
+        assert "speedup=" in text

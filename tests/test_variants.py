@@ -1,0 +1,79 @@
+"""Tests for the Entangling configuration variants and ablations."""
+
+import pytest
+
+from repro.core.variants import (
+    ABLATION_NAMES,
+    ablation_variants,
+    entangling_sweep,
+    make_ablation,
+    make_entangling,
+    make_epi,
+)
+
+
+class TestMakeEntangling:
+    @pytest.mark.parametrize("entries", [2048, 4096, 8192])
+    def test_sizes(self, entries):
+        pf = make_entangling(entries)
+        assert pf.config.entries == entries
+        assert pf.name == f"Entangling-{entries // 1024}K"
+
+    def test_physical(self):
+        pf = make_entangling(4096, address_space="physical")
+        assert pf.table.scheme.kind == "physical"
+
+    def test_sweep(self):
+        sweep = entangling_sweep()
+        assert [p.config.entries for p in sweep] == [2048, 4096, 8192]
+
+
+class TestAblations:
+    def test_bb_disables_entangling(self):
+        pf = make_ablation("BB")
+        assert pf.config.prefetch_src_bb
+        assert not pf.config.prefetch_dsts
+        assert not pf.config.merge_blocks
+
+    def test_bbent_disables_dst_blocks(self):
+        pf = make_ablation("BBEnt")
+        assert pf.config.prefetch_dsts
+        assert not pf.config.prefetch_dst_bb
+
+    def test_bbentbb_disables_merging_only(self):
+        pf = make_ablation("BBEntBB")
+        assert pf.config.prefetch_dst_bb
+        assert not pf.config.merge_blocks
+
+    def test_ent_disables_block_tracking(self):
+        pf = make_ablation("Ent")
+        assert not pf.config.track_basic_blocks
+        assert not pf.config.prefetch_src_bb
+
+    def test_full_variant_is_default_config(self):
+        pf = make_ablation("BBEntBB-Merge")
+        assert pf.config.merge_blocks
+        assert pf.config.prefetch_dst_bb
+
+    def test_names_include_size(self):
+        assert make_ablation("BB", 2048).name == "BB-2K"
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            make_ablation("BBQ")
+
+    def test_all_variants_constructible(self):
+        variants = ablation_variants(4096)
+        assert set(variants) == set(ABLATION_NAMES)
+
+
+class TestEpi:
+    def test_epi_is_large(self):
+        pf = make_epi()
+        assert pf.config.history_size == 1024
+        assert pf.config.ways == 34
+        assert pf.config.entries > 8192
+        assert pf.name == "EPI"
+
+    def test_epi_storage_exceeds_8k(self):
+        assert make_epi().storage_kb > make_entangling(8192).storage_kb

@@ -1,0 +1,105 @@
+"""Statistical-shape tests on the generated workload categories.
+
+These pin the properties DESIGN.md claims the synthetic categories
+reproduce from the paper's workload characterization.
+"""
+
+import pytest
+
+from repro.workloads.cloudsuite import cloudsuite_suite
+from repro.workloads.generators import (
+    CATEGORIES,
+    DEFAULT_INSTRUCTIONS,
+    WorkloadSpec,
+    make_workload,
+)
+from repro.workloads.trace import BranchType
+
+
+@pytest.fixture(scope="module")
+def category_traces():
+    return {
+        category: make_workload(
+            WorkloadSpec(
+                name=category,
+                category=category,
+                seed=11,
+                n_instructions=min(150_000, DEFAULT_INSTRUCTIONS[category]),
+            )
+        )
+        for category in CATEGORIES
+    }
+
+
+class TestCategoryShape:
+    def test_srv_has_indirect_calls(self, category_traces):
+        srv = category_traces["srv"]
+        indirect = sum(
+            1 for i in srv if i.branch_type == BranchType.INDIRECT_CALL
+        )
+        assert indirect > 100
+
+    def test_crypto_mostly_direct_control_flow(self, category_traces):
+        crypto = category_traces["crypto"]
+        branches = [i for i in crypto if i.is_branch]
+        indirect = sum(1 for b in branches if b.branch_type.is_indirect)
+        # The dispatcher is indirect, but handler bodies are direct.
+        assert indirect / len(branches) < 0.25
+
+    def test_calls_and_returns_balance(self, category_traces):
+        for category, trace in category_traces.items():
+            calls = sum(1 for i in trace if i.branch_type.is_call and i.taken)
+            rets = sum(1 for i in trace if i.branch_type == BranchType.RETURN)
+            assert abs(calls - rets) < max(60, 0.1 * calls), category
+
+    def test_fp_runs_are_long(self, category_traces):
+        """fp has the longest straight-line runs (basis of Figure 14)."""
+
+        def mean_run_length(trace):
+            runs, current = [], 1
+            prev_line = None
+            for inst in trace:
+                line = inst.pc // 64
+                if prev_line is None or line in (prev_line, prev_line + 1):
+                    current += 1
+                else:
+                    runs.append(current)
+                    current = 1
+                prev_line = line
+                if inst.taken:
+                    runs.append(current)
+                    current = 1
+                    prev_line = None
+            return sum(runs) / max(1, len(runs))
+
+        assert mean_run_length(category_traces["fp"]) > mean_run_length(
+            category_traces["srv"]
+        )
+
+    def test_all_branch_targets_within_code(self, category_traces):
+        for category, trace in category_traces.items():
+            pcs = {i.pc for i in trace}
+            lo, hi = min(pcs), max(pcs)
+            for inst in trace:
+                if inst.taken:
+                    assert lo <= inst.target <= hi + 64, category
+
+    def test_memory_instruction_density(self, category_traces):
+        for category, trace in category_traces.items():
+            mem = sum(1 for i in trace if i.is_load or i.is_store)
+            frac = mem / len(trace)
+            assert 0.1 < frac < 0.5, (category, frac)
+
+
+class TestCloudSuiteShape:
+    def test_four_distinct_applications(self):
+        specs = cloudsuite_suite(n_instructions=50_000)
+        traces = [make_workload(spec) for spec in specs]
+        footprints = {t.name: t.footprint_lines() for t in traces}
+        assert len(set(footprints.values())) == 4  # all different
+
+    def test_cassandra_larger_than_streaming(self):
+        specs = {s.name: s for s in cloudsuite_suite(n_instructions=100_000)}
+        cassandra = make_workload(specs["cassandra"])
+        streaming = make_workload(specs["streaming"])
+        assert cassandra.footprint_lines() > streaming.footprint_lines()
