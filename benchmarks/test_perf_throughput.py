@@ -1,0 +1,108 @@
+"""Simulator throughput telemetry: the speed-tracking harness.
+
+Runs the no-prefetch baseline and Entangling-4K over a small fixed suite,
+reads the per-run wall-clock/throughput telemetry that every simulation
+now records in ``SimStats``, and appends one record to the
+``BENCH_throughput.json`` trajectory file at the repository root.  Future
+performance PRs compare their record against the trajectory to show the
+simulator got faster (or at least not slower).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.analysis.experiments import run_suite
+from repro.analysis.runcache import RunCache
+from repro.workloads.generators import CATEGORIES, WorkloadSpec
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_throughput.json"
+)
+
+#: Fixed small suite so records are comparable across PRs.
+BENCH_SUITE = [
+    WorkloadSpec(
+        name=f"bench_{category}",
+        category=category,
+        seed=17 + i,
+        n_instructions=100_000,
+    )
+    for i, category in enumerate(CATEGORIES)
+]
+
+BENCH_CONFIGS = ("no", "entangling_4k")
+
+
+def _load_trajectory(path: str) -> list:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        return data if isinstance(data, list) else []
+    except (OSError, ValueError):
+        return []
+
+
+def test_perf_throughput():
+    # Fresh, isolated cache: telemetry must reflect real simulations, not
+    # results memoized by other benchmarks in the same session.
+    evaluation = run_suite(
+        BENCH_SUITE, list(BENCH_CONFIGS), include_baseline=True,
+        cache=RunCache(),
+    )
+
+    runs = []
+    total_wall = 0.0
+    total_instrs = 0
+    total_cycles = 0
+    for config, workload, stats in evaluation.timing_entries():
+        assert stats.wall_seconds > 0.0, (config, workload)
+        assert stats.instrs_per_second > 0.0, (config, workload)
+        total_wall += stats.wall_seconds
+        total_instrs += stats.instructions
+        total_cycles += stats.cycles
+        runs.append(
+            {
+                "config": config,
+                "workload": workload,
+                "wall_seconds": round(stats.wall_seconds, 4),
+                "instructions": stats.instructions,
+                "cycles": stats.cycles,
+                "instrs_per_sec": round(stats.instrs_per_second, 1),
+                "cycles_per_sec": round(stats.cycles_per_second, 1),
+            }
+        )
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "suite": [spec.name for spec in BENCH_SUITE],
+        "configs": list(BENCH_CONFIGS),
+        "runs": runs,
+        "aggregate": {
+            "total_wall_seconds": round(total_wall, 4),
+            "instrs_per_sec": round(total_instrs / total_wall, 1),
+            "cycles_per_sec": round(total_cycles / total_wall, 1),
+        },
+    }
+
+    trajectory = _load_trajectory(TRAJECTORY_PATH)
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+
+    print()
+    print(
+        f"simulator throughput: {record['aggregate']['instrs_per_sec']:,.0f} "
+        f"instrs/s over {len(runs)} runs "
+        f"({record['aggregate']['total_wall_seconds']:.1f}s wall)"
+    )
+
+    # The trajectory file is valid JSON and carries this run.
+    reloaded = _load_trajectory(TRAJECTORY_PATH)
+    assert reloaded and reloaded[-1]["aggregate"]["instrs_per_sec"] > 0

@@ -3,11 +3,17 @@
 
 Prints the complete text report recorded in EXPERIMENTS.md.  With the
 default scale (one workload per CVP category) this takes ~10 minutes on
-one core; pass ``--per-category N`` for a larger sweep.
+one core; pass ``--per-category N`` for a larger sweep and ``--jobs N``
+(or ``REPRO_JOBS=N``) to fan simulations out over worker processes.
+
+All figure drivers share one run cache, so each unique (configuration,
+workload) pair is simulated exactly once even though several figures
+sweep overlapping fields; a final summary reports the unique simulation
+count, cache hits, and the wall-clock the cache saved.
 
 Usage::
 
-    python examples/full_evaluation.py [--per-category N] [--out FILE]
+    python examples/full_evaluation.py [--per-category N] [--jobs N] [--out FILE]
 """
 
 import argparse
@@ -38,20 +44,33 @@ from repro.analysis.figures import (
     sec4e_physical,
     tab4_energy,
 )
-from repro.analysis.experiments import run_suite
+from repro.analysis.experiments import resolve_jobs, run_suite
+from repro.analysis.runcache import RunCache, set_run_cache
 from repro.workloads import cloudsuite_suite, cvp_suite
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--per-category", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS env or 1)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="persist simulation results here (reused on rerun)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args()
 
+    jobs = resolve_jobs(args.jobs)
+    # One shared cache for every figure driver in this process: figures
+    # 6-10, Table IV, §IV-E, and Figure 16 sweep overlapping (config,
+    # workload) fields, and each pair must simulate exactly once.
+    cache = RunCache(disk_dir=args.cache_dir)
+    set_run_cache(cache)
+
     suite = cvp_suite(per_category=args.per_category)
     clouds = cloudsuite_suite(n_instructions=300_000)
     sections = []
+    started_all = time.time()
 
     def section(title, body, started):
         elapsed = time.time() - started
@@ -69,11 +88,11 @@ def main() -> None:
     section("Tables I-II", render_tab1_tab2(), t)
 
     t = time.time()
-    rows, _ = fig6_ipc_vs_storage(suite, FIG6_CONFIGS)
+    rows, _ = fig6_ipc_vs_storage(suite, FIG6_CONFIGS, jobs=jobs)
     section("Figure 6", render_fig6(rows), t)
 
     t = time.time()
-    curve_eval = run_suite(suite, list(CURVE_CONFIGS))
+    curve_eval = run_suite(suite, list(CURVE_CONFIGS), jobs=jobs)
     parts = []
     for fig, metric in (("Fig 7 — normalized IPC", "ipc"),
                         ("Fig 8 — L1I miss ratio", "miss_ratio"),
@@ -83,7 +102,7 @@ def main() -> None:
     section("Figures 7-10", "\n\n".join(parts), t)
 
     t = time.time()
-    energy_rows, _ = tab4_energy(suite, TAB4_CONFIGS)
+    energy_rows, _ = tab4_energy(suite, TAB4_CONFIGS, jobs=jobs)
     section("Table IV", render_tab4(energy_rows), t)
 
     t = time.time()
@@ -95,12 +114,23 @@ def main() -> None:
     section("Figures 12-15", render_figs12_to_15(internals), t)
 
     t = time.time()
-    physical = sec4e_physical(suite)
+    physical = sec4e_physical(suite, jobs=jobs)
     section("Section IV-E", render_sec4e(physical), t)
 
     t = time.time()
-    cloud_data, _ = fig16_cloudsuite(clouds, FIG16_CONFIGS)
+    cloud_data, _ = fig16_cloudsuite(clouds, FIG16_CONFIGS, jobs=jobs)
     section("Figure 16", render_fig16(cloud_data), t)
+
+    total = time.time() - started_all
+    summary = "\n".join([
+        "== Timing summary ==",
+        f"total wall-clock:    {total:.0f}s (jobs={jobs})",
+        f"unique simulations:  {cache.stores}",
+        f"cache hits:          {cache.hits} ({cache.disk_hits} from disk)",
+        f"wall-clock saved:    ~{cache.wall_seconds_saved:.0f}s of simulation",
+    ])
+    sections.append(summary)
+    print(summary, flush=True)
 
     if args.out:
         with open(args.out, "w") as fh:

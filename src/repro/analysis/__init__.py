@@ -6,10 +6,14 @@ from repro.analysis.storage import prefetcher_storage_kb, storage_table
 from repro.analysis.oracle import LookaheadOracle, OracleObserver, run_oracle
 from repro.analysis.experiments import (
     EvaluationResult,
+    resolve_jobs,
+    run_cached,
     run_prefetcher_on_suite,
+    run_single,
     run_suite,
 )
-from repro.analysis.reporting import format_table
+from repro.analysis.runcache import RunCache, get_run_cache, set_run_cache
+from repro.analysis.reporting import format_table, format_timing_table
 from repro.analysis.export import (
     export_curves_csv,
     export_evaluation_csv,
@@ -31,9 +35,16 @@ __all__ = [
     "OracleObserver",
     "run_oracle",
     "EvaluationResult",
+    "resolve_jobs",
+    "run_cached",
     "run_prefetcher_on_suite",
+    "run_single",
     "run_suite",
+    "RunCache",
+    "get_run_cache",
+    "set_run_cache",
     "format_table",
+    "format_timing_table",
     "export_curves_csv",
     "export_evaluation_csv",
     "export_series_csv",

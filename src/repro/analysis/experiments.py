@@ -12,10 +12,12 @@ enlarged L1I (the paper's alternative use of the storage budget).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.runcache import RunCache, get_run_cache, run_key
 from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
 from repro.prefetchers.registry import make_prefetcher
 from repro.sim.config import SimConfig
@@ -26,6 +28,49 @@ from repro.workloads.generators import WorkloadSpec, cvp_suite, make_workload
 from repro.workloads.trace import Trace
 
 PSEUDO_CONFIGS = ("l1i_64kb", "l1i_96kb")
+
+#: Sentinel for "use the process-wide default run cache".
+DEFAULT_CACHE = "default"
+
+#: Type accepted by the ``cache`` parameters below: an explicit
+#: :class:`RunCache`, ``None`` (no caching), or :data:`DEFAULT_CACHE`.
+CacheArg = Union[RunCache, None, str]
+
+
+def positive_env_int(name: str, default: int) -> int:
+    """Parse an environment variable as a positive integer.
+
+    Unset/empty falls back to ``default``; values below 1 clamp to 1 (a
+    scale or job count can never be smaller); anything non-integer raises
+    a ``ValueError`` naming the variable instead of a bare parse error.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {raw!r} "
+            f"(e.g. {name}=2)"
+        ) from None
+    return max(1, value)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-process count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    0 or negative values (either source) clamp to 1 — serial execution.
+    """
+    if jobs is None:
+        return positive_env_int("REPRO_JOBS", 1)
+    return max(1, int(jobs))
+
+
+def _resolve_cache(cache: CacheArg) -> Optional[RunCache]:
+    if cache == DEFAULT_CACHE:
+        return get_run_cache()
+    return cache
 
 
 @lru_cache(maxsize=256)
@@ -101,6 +146,14 @@ class EvaluationResult:
             for workload, result in self.runs[config].items()
         }
 
+    def timing_entries(self) -> List[Tuple[str, str, SimStats]]:
+        """(config, workload, stats) triples for the timing telemetry table."""
+        return [
+            (config, workload, result.stats)
+            for config, per_workload in self.runs.items()
+            for workload, result in per_workload.items()
+        ]
+
 
 #: Default warm-up: the fraction of each trace spent warming caches and
 #: prefetcher state before measurement begins (the paper warms for 20M
@@ -108,35 +161,80 @@ class EvaluationResult:
 WARMUP_FRACTION = 0.4
 
 
+def resolve_warmup(spec: WorkloadSpec, warmup_instructions: Optional[int]) -> int:
+    """The effective warm-up: ``None`` means ``WARMUP_FRACTION`` of the trace."""
+    if warmup_instructions is None:
+        return int(spec.n_instructions * WARMUP_FRACTION)
+    return warmup_instructions
+
+
+def run_single(
+    spec: WorkloadSpec,
+    config_name: str,
+    base_config: Optional[SimConfig] = None,
+    warmup_instructions: Optional[int] = None,
+) -> SimResult:
+    """Simulate one (configuration, workload) pair with a fresh prefetcher."""
+    base = base_config or SimConfig()
+    prefetcher, sim_config = resolve_config(config_name, base)
+    trace = _cached_workload(spec)
+    units = _cached_units(spec, sim_config.line_size)
+    return simulate(
+        trace,
+        prefetcher,
+        config=sim_config,
+        units=units,
+        warmup_instructions=resolve_warmup(spec, warmup_instructions),
+    )
+
+
+def run_cached(
+    spec: WorkloadSpec,
+    config_name: str,
+    base_config: Optional[SimConfig] = None,
+    warmup_instructions: Optional[int] = None,
+    cache: CacheArg = DEFAULT_CACHE,
+) -> SimResult:
+    """Like :func:`run_single`, memoized through the run cache.
+
+    On a hit the returned result is detached (stats only, no live
+    prefetcher); on a miss the live result of the fresh simulation is
+    returned and a detached copy is stored.
+    """
+    active = _resolve_cache(cache)
+    if active is None:
+        return run_single(spec, config_name, base_config, warmup_instructions)
+    base = base_config or SimConfig()
+    _prefetcher, sim_config = resolve_config(config_name, base)
+    key = run_key(
+        spec, config_name, sim_config, resolve_warmup(spec, warmup_instructions)
+    )
+    hit = active.get(key)
+    if hit is not None:
+        return hit
+    result = run_single(spec, config_name, base_config, warmup_instructions)
+    active.put(key, result)
+    return result
+
+
 def run_prefetcher_on_suite(
     specs: Sequence[WorkloadSpec],
     config_name: str,
     base_config: Optional[SimConfig] = None,
     warmup_instructions: Optional[int] = None,
+    cache: CacheArg = DEFAULT_CACHE,
 ) -> Dict[str, SimResult]:
     """Run one configuration over a suite; fresh prefetcher per workload.
 
     ``warmup_instructions=None`` warms up for ``WARMUP_FRACTION`` of each
     trace; pass 0 to measure from a cold start.
     """
-    base = base_config or SimConfig()
-    results: Dict[str, SimResult] = {}
-    for spec in specs:
-        prefetcher, sim_config = resolve_config(config_name, base)
-        trace = _cached_workload(spec)
-        units = _cached_units(spec, sim_config.line_size)
-        warmup = warmup_instructions
-        if warmup is None:
-            warmup = int(spec.n_instructions * WARMUP_FRACTION)
-        result = simulate(
-            trace,
-            prefetcher,
-            config=sim_config,
-            units=units,
-            warmup_instructions=warmup,
+    return {
+        spec.name: run_cached(
+            spec, config_name, base_config, warmup_instructions, cache=cache
         )
-        results[spec.name] = result
-    return results
+        for spec in specs
+    }
 
 
 def run_suite(
@@ -145,17 +243,39 @@ def run_suite(
     base_config: Optional[SimConfig] = None,
     warmup_instructions: Optional[int] = None,
     include_baseline: bool = True,
+    jobs: Optional[int] = None,
+    cache: CacheArg = DEFAULT_CACHE,
 ) -> EvaluationResult:
-    """Run a set of configurations over a suite of workloads."""
+    """Run a set of configurations over a suite of workloads.
+
+    ``jobs`` controls fan-out: ``None`` reads ``REPRO_JOBS`` (default 1 =
+    the serial path), values > 1 run one worker process per (config,
+    workload) task via :mod:`repro.analysis.parallel`.  Either path
+    produces identical stats in identical order; ``cache`` (the process
+    default unless overridden) serves repeated pairs without simulating.
+    """
     names = list(config_names)
     if include_baseline and "no" not in names:
         names.insert(0, "no")
     evaluation = EvaluationResult()
     evaluation.categories = {spec.name: spec.category for spec in specs}
-    for name in names:
-        evaluation.runs[name] = run_prefetcher_on_suite(
-            specs, name, base_config, warmup_instructions
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1:
+        from repro.analysis.parallel import run_tasks_parallel
+
+        evaluation.runs = run_tasks_parallel(
+            specs,
+            names,
+            base_config=base_config,
+            warmup_instructions=warmup_instructions,
+            jobs=n_jobs,
+            cache=_resolve_cache(cache),
         )
+    else:
+        for name in names:
+            evaluation.runs[name] = run_prefetcher_on_suite(
+                specs, name, base_config, warmup_instructions, cache=cache
+            )
     return evaluation
 
 
@@ -166,11 +286,10 @@ def default_suite(
 
     Set the ``REPRO_SUITE_SCALE`` environment variable to multiply the
     per-category workload count (e.g. ``REPRO_SUITE_SCALE=3`` runs 6 per
-    category, matching the full evaluation in EXPERIMENTS.md).
+    category, matching the full evaluation in EXPERIMENTS.md).  Values
+    below 1 clamp to 1; non-integers raise a clear ``ValueError``.
     """
-    import os
-
-    scale = int(os.environ.get("REPRO_SUITE_SCALE", "1"))
+    scale = positive_env_int("REPRO_SUITE_SCALE", 1)
     return cvp_suite(
-        per_category=per_category * max(1, scale), n_instructions=n_instructions
+        per_category=per_category * scale, n_instructions=n_instructions
     )

@@ -34,6 +34,7 @@ def export_evaluation_csv(
                 "config", "workload", "category", "ipc", "normalized_ipc",
                 "l1i_mpki", "miss_ratio", "coverage", "accuracy",
                 "prefetches_sent", "useful", "late", "wrong",
+                "wall_seconds", "instrs_per_sec",
             ]
         )
         for config in evaluation.configs():
@@ -56,6 +57,8 @@ def export_evaluation_csv(
                         stats.useful_prefetches,
                         stats.late_prefetches,
                         stats.wrong_prefetches,
+                        f"{stats.wall_seconds:.4f}",
+                        f"{stats.instrs_per_second:.1f}",
                     ]
                 )
 

@@ -18,6 +18,7 @@ from repro.analysis.experiments import (
     EvaluationResult,
     _cached_units,
     _cached_workload,
+    run_cached,
     run_suite,
 )
 from repro.analysis.metrics import (
@@ -146,9 +147,10 @@ class Fig6Row:
 def fig6_ipc_vs_storage(
     specs: Sequence[WorkloadSpec],
     configs: Sequence[str] = FIG6_CONFIGS,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Fig6Row], EvaluationResult]:
     """Geomean normalized IPC and storage per configuration (Figure 6)."""
-    evaluation = run_suite(specs, list(configs))
+    evaluation = run_suite(specs, list(configs), jobs=jobs)
     rows = [
         Fig6Row(
             config=name,
@@ -210,9 +212,10 @@ def render_curves(title: str, curves: Dict[str, List[float]]) -> str:
 def tab4_energy(
     specs: Sequence[WorkloadSpec],
     configs: Sequence[str] = TAB4_CONFIGS,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[List[object]], EvaluationResult]:
     """Average per-level energy (nJ) and normalized geomean (Table IV)."""
-    evaluation = run_suite(specs, list(configs))
+    evaluation = run_suite(specs, list(configs), jobs=jobs)
     model = EnergyModel()
     all_configs = ["no"] + [c for c in configs if c != "no"]
     reports = {
@@ -265,17 +268,11 @@ def fig11_ablation(
 ) -> Dict[str, Dict[int, float]]:
     """Geomean speedup per ablation variant and table size (Figure 11)."""
     sim_config = config or SimConfig()
-    baseline: Dict[str, float] = {}
-    for spec in specs:
-        trace = _cached_workload(spec)
-        units = _cached_units(spec, sim_config.line_size)
-        warm = int(spec.n_instructions * 0.4)
-        from repro.prefetchers.base import NullPrefetcher
-
-        baseline[spec.name] = simulate(
-            trace, NullPrefetcher(), config=sim_config, units=units,
-            warmup_instructions=warm,
-        ).stats.ipc
+    # The no-prefetch baseline is shared with every run_suite figure: take
+    # it from the run cache instead of re-simulating once per figure.
+    baseline: Dict[str, float] = {
+        spec.name: run_cached(spec, "no", sim_config).stats.ipc for spec in specs
+    }
 
     out: Dict[str, Dict[int, float]] = {name: {} for name in ABLATION_NAMES}
     for variant in ABLATION_NAMES:
@@ -396,12 +393,14 @@ def render_figs12_to_15(result: InternalsResult) -> str:
 
 def sec4e_physical(
     specs: Sequence[WorkloadSpec],
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Geomean speedups for physically-trained Entangling (Section IV-E)."""
     evaluation = run_suite(
         specs,
         ["entangling_2k_phys", "entangling_4k_phys", "entangling_8k_phys"],
         base_config=SimConfig().with_physical_addresses(),
+        jobs=jobs,
     )
     return {
         name: evaluation.geomean_speedup(name)
@@ -434,9 +433,10 @@ FIG16_CONFIGS = (
 def fig16_cloudsuite(
     specs: Sequence[WorkloadSpec],
     configs: Sequence[str] = FIG16_CONFIGS,
+    jobs: Optional[int] = None,
 ) -> Tuple[Dict[str, Dict[str, float]], EvaluationResult]:
     """Normalized IPC per CloudSuite application (Figure 16)."""
-    evaluation = run_suite(specs, list(configs))
+    evaluation = run_suite(specs, list(configs), jobs=jobs)
     data = {name: evaluation.normalized_ipc(name) for name in configs}
     return data, evaluation
 

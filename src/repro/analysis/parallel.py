@@ -1,0 +1,107 @@
+"""Process-pool fan-out of suite evaluations.
+
+Per-(configuration, workload) simulations are embarrassingly parallel:
+traces are regenerated deterministically from hashable
+:class:`~repro.workloads.generators.WorkloadSpec`\\ s, every worker gets a
+fresh prefetcher, and the simulator touches no shared mutable state.  The
+runner here fans one task per (config, workload) pair out to a
+``ProcessPoolExecutor`` and reassembles the results in exactly the order
+the serial path produces, so ``run_suite(..., jobs=N)`` is bit-identical
+to ``jobs=1`` for every architectural counter.
+
+Workers return *detached* results (stats without the live prefetcher
+object — prefetcher state does not need to cross the process boundary);
+consumers that require the live object (e.g. the Figure 12-15 internals
+driver) use the serial path.
+
+Traces and fetch units are memoized per process by the ``lru_cache``\\ d
+helpers in :mod:`repro.analysis.experiments`, so a worker that receives
+several configurations of the same workload generates its trace once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import (
+    resolve_config,
+    resolve_warmup,
+    run_single,
+)
+from repro.analysis.runcache import RunCache, run_key
+from repro.sim.config import SimConfig
+from repro.sim.simulator import SimResult
+from repro.workloads.generators import WorkloadSpec
+
+
+class RunTask(NamedTuple):
+    """One picklable unit of work: simulate ``spec`` under ``config_name``."""
+
+    spec: WorkloadSpec
+    config_name: str
+    base_config: Optional[SimConfig]
+    warmup_instructions: Optional[int]
+
+
+def execute_task(task: RunTask) -> SimResult:
+    """Worker entry point: run one task and return a detached result."""
+    return run_single(
+        task.spec, task.config_name, task.base_config, task.warmup_instructions
+    ).detached()
+
+
+def run_tasks_parallel(
+    specs: Sequence[WorkloadSpec],
+    config_names: Sequence[str],
+    base_config: Optional[SimConfig] = None,
+    warmup_instructions: Optional[int] = None,
+    jobs: int = 2,
+    cache: Optional[RunCache] = None,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Evaluate ``config_names`` x ``specs`` with ``jobs`` worker processes.
+
+    Returns the ``runs`` mapping of an
+    :class:`~repro.analysis.experiments.EvaluationResult` — config name ->
+    workload name -> result — populated in the same deterministic order as
+    the serial path.  Pairs already in ``cache`` are served locally; only
+    misses are dispatched, and their results are stored back.
+    """
+    base = base_config or SimConfig()
+    ordered: List[Tuple[str, WorkloadSpec]] = [
+        (name, spec) for name in config_names for spec in specs
+    ]
+
+    results: Dict[Tuple[str, str], SimResult] = {}
+    pending: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
+    for name, spec in ordered:
+        key: Optional[str] = None
+        if cache is not None:
+            _prefetcher, sim_config = resolve_config(name, base)
+            key = run_key(
+                spec, name, sim_config, resolve_warmup(spec, warmup_instructions)
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                results[(name, spec.name)] = hit
+                continue
+        pending.append((name, spec, key))
+
+    if pending:
+        tasks = [
+            RunTask(spec, name, base_config, warmup_instructions)
+            for name, spec, _key in pending
+        ]
+        workers = max(1, min(jobs, len(tasks)))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = list(pool.map(execute_task, tasks, chunksize=chunksize))
+        for (name, spec, key), result in zip(pending, fresh):
+            results[(name, spec.name)] = result
+            if cache is not None and key is not None:
+                cache.put(key, result)
+
+    runs: Dict[str, Dict[str, SimResult]] = {}
+    for name in config_names:
+        runs[name] = {spec.name: results[(name, spec.name)] for spec in specs}
+    return runs

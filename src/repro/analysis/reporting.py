@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.stats import SimStats
 
 
 def format_table(
@@ -31,6 +34,38 @@ def format_table(
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_timing_table(
+    entries: Sequence[Tuple[str, str, "SimStats"]],
+    title: str = "Simulation timing",
+) -> str:
+    """Per-run wall-clock and simulator-throughput telemetry.
+
+    ``entries`` are (config, workload, stats) triples — see
+    ``EvaluationResult.timing_entries``.  Throughput is reported in
+    simulated kilocycles and kilo-instructions per wall-clock second.
+    """
+    headers = ["config", "workload", "wall s", "kcycles/s", "kinstr/s"]
+    rows = []
+    total_wall = 0.0
+    total_instrs = 0
+    for config, workload, stats in entries:
+        total_wall += stats.wall_seconds
+        total_instrs += stats.instructions
+        rows.append(
+            [
+                config,
+                workload,
+                stats.wall_seconds,
+                stats.cycles_per_second / 1e3,
+                stats.instrs_per_second / 1e3,
+            ]
+        )
+    if entries:
+        aggregate = total_instrs / total_wall / 1e3 if total_wall > 0 else 0.0
+        rows.append(["(total)", "", total_wall, 0.0, aggregate])
+    return f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
 
 
 def format_series(name: str, values: Sequence[float], per_line: int = 10) -> str:

@@ -1,0 +1,212 @@
+"""Cross-figure memoization of simulation results.
+
+Every figure in the paper's evaluation is a suite x configuration sweep,
+and several figures share (configuration, workload) pairs — the Figure
+7-10 curves reuse most of Figure 6's field, Table IV re-runs the same
+configurations for energy, and every ``run_suite`` call re-simulates the
+``no`` baseline.  Since traces are generated deterministically from a
+:class:`~repro.workloads.generators.WorkloadSpec` and the simulator is
+deterministic in (trace, configuration), a (spec, config name, resolved
+:class:`~repro.sim.config.SimConfig`, warm-up) tuple fully identifies a
+run: the :class:`RunCache` memoizes :class:`~repro.sim.simulator.SimResult`
+stats under a fingerprint of exactly that tuple.
+
+Cached results are *detached* — they carry the full
+:class:`~repro.sim.stats.SimStats` but not the live prefetcher object —
+so every consumer that reads only stats (all figure drivers, reporting,
+export) works transparently.
+
+The process-wide default cache is enabled unless ``REPRO_RUN_CACHE=0``;
+set ``REPRO_RUN_CACHE_DIR`` to also persist results as JSON files so
+repeated evaluations across processes skip finished simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from repro.sim.config import SimConfig
+from repro.sim.simulator import SimResult
+from repro.sim.stats import SimStats
+from repro.workloads.generators import WorkloadSpec
+
+_CACHE_FORMAT_VERSION = 1
+
+
+def run_key(
+    spec: WorkloadSpec,
+    config_name: str,
+    sim_config: SimConfig,
+    warmup_instructions: int,
+) -> str:
+    """Stable fingerprint of one simulation's full identity.
+
+    ``sim_config`` must be the *resolved* configuration (after
+    ``resolve_config`` applied pseudo-config/physical adjustments) so the
+    same name with different base configs never collides.
+    """
+    payload = repr(
+        (
+            _CACHE_FORMAT_VERSION,
+            spec,
+            config_name,
+            sim_config,
+            warmup_instructions,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class RunCache:
+    """In-process (optionally on-disk) memo of detached ``SimResult``s.
+
+    ``get``/``put`` count hits, misses, and stores so drivers can assert
+    "each unique simulation ran exactly once" and report wall-clock saved
+    (the sum of the original runs' ``wall_seconds`` over all hits).
+    """
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self.disk_dir = disk_dir
+        self._mem: Dict[str, SimResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_hits = 0
+        self.wall_seconds_saved = 0.0
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # -- lookup / insert ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or None (counts a hit/miss).
+
+        Returns an independent copy: callers may mutate the stats (e.g.
+        ``reset``) without corrupting the cache.
+        """
+        result = self._mem.get(key)
+        if result is None and self.disk_dir:
+            result = self._load_disk(key)
+            if result is not None:
+                self._mem[key] = result
+                self.disk_hits += 1
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.wall_seconds_saved += result.stats.wall_seconds
+        return self._copy(result)
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Store a detached copy of ``result`` under ``key``."""
+        detached = self._copy(result)
+        self._mem[key] = detached
+        self.stores += 1
+        if self.disk_dir:
+            self._store_disk(key, detached)
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    def stats_line(self) -> str:
+        """One-line summary for timing reports."""
+        return (
+            f"run cache: {self.stores} unique simulations, {self.hits} hits "
+            f"({self.disk_hits} from disk), {self.misses} misses, "
+            f"~{self.wall_seconds_saved:.1f}s of simulation re-use"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _copy(result: SimResult) -> SimResult:
+        return SimResult(
+            trace_name=result.trace_name,
+            category=result.category,
+            prefetcher_name=result.prefetcher_name,
+            stats=SimStats.from_dict(result.stats.to_dict()),
+            prefetcher=None,
+        )
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.json")
+
+    def _load_disk(self, key: str) -> Optional[SimResult]:
+        path = self._disk_path(key)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        try:
+            return SimResult(
+                trace_name=data["trace_name"],
+                category=data["category"],
+                prefetcher_name=data["prefetcher_name"],
+                stats=SimStats.from_dict(data["stats"]),
+                prefetcher=None,
+            )
+        except (KeyError, TypeError):
+            return None
+
+    def _store_disk(self, key: str, result: SimResult) -> None:
+        path = self._disk_path(key)
+        data = {
+            "trace_name": result.trace_name,
+            "category": result.category,
+            "prefetcher_name": result.prefetcher_name,
+            "stats": result.stats.to_dict(),
+        }
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(data, fh)
+            os.replace(tmp, path)
+        except OSError:
+            # Disk persistence is best-effort; the in-memory copy stands.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+
+_global_cache: Optional[RunCache] = None
+
+
+def cache_enabled() -> bool:
+    """Whether the process-wide default cache is active."""
+    return os.environ.get("REPRO_RUN_CACHE", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def get_run_cache() -> Optional[RunCache]:
+    """The process-wide cache, or None when disabled."""
+    global _global_cache
+    if not cache_enabled():
+        return None
+    if _global_cache is None:
+        _global_cache = RunCache(
+            disk_dir=os.environ.get("REPRO_RUN_CACHE_DIR") or None
+        )
+    return _global_cache
+
+
+def set_run_cache(cache: Optional[RunCache]) -> Optional[RunCache]:
+    """Replace the process-wide cache (None re-creates it lazily).
+
+    Returns the previous cache so callers can restore it.
+    """
+    global _global_cache
+    previous = _global_cache
+    _global_cache = cache
+    return previous

@@ -18,10 +18,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional, Sequence
 
-from repro.analysis.experiments import _cached_units, _cached_workload
+from repro.analysis.experiments import _cached_units, _cached_workload, run_cached
 from repro.analysis.metrics import geometric_mean
 from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
-from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.base import InstructionPrefetcher
 from repro.sim.config import SimConfig
 from repro.sim.simulator import simulate
 from repro.workloads.generators import WorkloadSpec
@@ -51,10 +51,9 @@ def _evaluate_point(
         trace = _cached_workload(spec)
         units = _cached_units(spec, sim_config.line_size)
         warm = int(spec.n_instructions * 0.4)
-        base = simulate(
-            trace, NullPrefetcher(), config=sim_config, units=units,
-            warmup_instructions=warm,
-        ).stats
+        # The baseline repeats across sweep points (and across sweeps with
+        # the same SimConfig): serve it from the run cache.
+        base = run_cached(spec, "no", sim_config).stats
         stats = simulate(
             trace, make_prefetcher(), config=sim_config, units=units,
             warmup_instructions=warm,

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.prefetchers.registry import available_prefetchers
-from repro.analysis.experiments import resolve_config
+from repro.analysis.experiments import resolve_config, resolve_jobs
 from repro.analysis.reporting import format_table
 from repro.sim.config import SimConfig
 from repro.sim.fetchunits import build_fetch_units
@@ -70,18 +71,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"accuracy:   {stats.accuracy:.3f}")
     print(f"branches:   {stats.branches} "
           f"(mispredict rate {stats.branch_misprediction_rate:.3f})")
+    print(f"sim speed:  {stats.instrs_per_second:,.0f} instrs/s "
+          f"({stats.wall_seconds:.2f}s wall)")
     return 0
 
 
+@lru_cache(maxsize=4)
+def _worker_trace(path: str):
+    """Per-process trace load for the parallel sweep workers."""
+    return read_trace(path)
+
+
+def _sweep_worker(task):
+    """Run one configuration of a sweep (executed in a worker process)."""
+    trace_path, config_name, warmup = task
+    trace = _worker_trace(trace_path)
+    result = _run_one(trace, config_name, warmup)
+    return result.detached()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
     names = [n.strip() for n in args.prefetchers.split(",") if n.strip()]
-    units = build_fetch_units(trace, SimConfig().line_size)
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(args.trace, name, args.warmup) for name in names]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            results = list(pool.map(_sweep_worker, tasks))
+    else:
+        trace = read_trace(args.trace)
+        units = build_fetch_units(trace, SimConfig().line_size)
+        results = [
+            _run_one(trace, name, args.warmup, units=units) for name in names
+        ]
     baseline = None
     rows = []
-    for name in names:
-        result = _run_one(trace, name, args.warmup, units=units)
+    total_wall = 0.0
+    for name, result in zip(names, results):
         stats = result.stats
+        total_wall += stats.wall_seconds
         if baseline is None:
             baseline = stats
         rows.append([
@@ -97,6 +126,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         float_format="{:.3f}",
     ))
+    print(f"({len(names)} configs, {total_wall:.1f}s of simulation, "
+          f"jobs={jobs})")
     return 0
 
 
@@ -134,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated configuration names (first is the baseline)",
     )
     sweep.add_argument("--warmup", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS env or 1 = serial)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     return parser

@@ -24,6 +24,8 @@ scales with activity rather than with cycles.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence
@@ -58,17 +60,27 @@ class _FtqBlock:
 
 @dataclass
 class SimResult:
-    """Outcome of one simulation: counters plus run identity."""
+    """Outcome of one simulation: counters plus run identity.
+
+    ``prefetcher`` is the live prefetcher object when the simulation ran in
+    this process; results that crossed a process boundary or came out of
+    the run cache carry ``None`` (all figure-level consumers read only the
+    stats).
+    """
 
     trace_name: str
     category: str
     prefetcher_name: str
     stats: SimStats
-    prefetcher: InstructionPrefetcher
+    prefetcher: Optional[InstructionPrefetcher] = None
 
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    def detached(self) -> "SimResult":
+        """A copy without the live prefetcher (picklable / cacheable)."""
+        return dataclasses.replace(self, prefetcher=None)
 
 
 class Simulator:
@@ -120,6 +132,12 @@ class Simulator:
         self._pred_stall_until = 0
         self._pred_blocked_on: Optional[_FtqBlock] = None
         self._retired = 0
+        self._refresh_counter_refs()
+
+    def _refresh_counter_refs(self) -> None:
+        """Re-bind per-cache counter objects (``stats.reset`` replaces them)."""
+        self._l1i_counts = self.stats.cache_accesses["L1I"]
+        self._l1d_counts = self.stats.cache_accesses["L1D"]
 
     # -- address translation -------------------------------------------------
 
@@ -138,31 +156,41 @@ class Simulator:
 
     def run(self, warmup_instructions: int = 0) -> SimStats:
         """Simulate the whole trace; returns the (post-warmup) statistics."""
+        started = time.perf_counter()
         warm_pending = warmup_instructions > 0
         total_units = len(self.units)
-        while self._pred_idx < total_units or self._ftq:
-            progress = False
-            progress |= self._do_fills()
-            progress |= self._do_predict()
-            progress |= self._do_prefetch_issue()
-            retired_now = self._do_retire()
-            progress |= retired_now > 0
+        # Bound methods and loop-invariant objects hoisted out of the
+        # per-cycle loop (a measurable win for a pure-Python hot loop).
+        do_fills = self._do_fills
+        do_predict = self._do_predict
+        do_prefetch_issue = self._do_prefetch_issue
+        do_retire = self._do_retire
+        next_event_cycle = self._next_event_cycle
+        ftq = self._ftq
+        stats = self.stats
+        while self._pred_idx < total_units or ftq:
+            progress = do_fills()
+            progress = do_predict() or progress
+            progress = do_prefetch_issue() or progress
+            retired_now = do_retire()
 
             if warm_pending and self._retired >= warmup_instructions:
                 warm_pending = False
                 self._reset_stats_for_measurement()
+                stats = self.stats
 
-            next_cycle = self.cycle + 1 if progress else self._next_event_cycle()
+            next_cycle = self.cycle + 1 if (progress or retired_now) else next_event_cycle()
             if retired_now == 0:
                 span = next_cycle - self.cycle
-                if self._ftq:
-                    self.stats.fetch_stall_cycles += span
+                if ftq:
+                    stats.fetch_stall_cycles += span
                 else:
-                    self.stats.ftq_empty_cycles += span
+                    stats.ftq_empty_cycles += span
             self.cycle = next_cycle
-        self.stats.cycles = self.cycle - self._measure_start_cycle
-        self.stats.instructions = self._retired - self._measure_start_retired
-        return self.stats
+        stats.cycles = self.cycle - self._measure_start_cycle
+        stats.instructions = self._retired - self._measure_start_retired
+        stats.wall_seconds = time.perf_counter() - started
+        return stats
 
     _measure_start_cycle = 0
     _measure_start_retired = 0
@@ -170,6 +198,7 @@ class Simulator:
     def _reset_stats_for_measurement(self) -> None:
         """End of warm-up: zero the counters, keep all structures warm."""
         self.stats.reset()
+        self._refresh_counter_refs()
         self._measure_start_cycle = self.cycle
         self._measure_start_retired = self._retired
 
@@ -198,7 +227,7 @@ class Simulator:
 
     def _fill_line(self, entry) -> None:
         victim = self.l1i.insert(entry.line_addr)
-        self.stats.cache_accesses["L1I"].writes += 1
+        self._l1i_counts.writes += 1
         if victim is not None and victim.prefetched:
             self.stats.wrong_prefetches += 1
             self.prefetcher.on_evict_unused(victim.line_addr, victim.src_meta, self.cycle)
@@ -224,31 +253,38 @@ class Simulator:
     # -- phase 2: prefetch issue ------------------------------------------------
 
     def _do_prefetch_issue(self) -> bool:
+        pq = self.pq
+        if pq.peek() is None:
+            return False
         issued = False
+        stats = self.stats
+        l1i = self.l1i
+        mshr = self.mshr
+        l1i_counts = self._l1i_counts
         # Prefetches may not occupy the last MSHR slots: demand misses
         # stall the predict stage when the file is full, so a prefetch
         # burst must not starve them.
-        mshr_limit = self.mshr.capacity - self.config.mshr_demand_reserve
+        mshr_limit = mshr.capacity - self.config.mshr_demand_reserve
         for _ in range(self.config.prefetch_issue_width):
-            item = self.pq.peek()
+            item = pq.peek()
             if item is None:
                 break
             line_addr, src_meta = item
-            self.stats.cache_accesses["L1I"].reads += 1
-            if self.l1i.contains(line_addr):
-                self.pq.pop()
-                self.stats.prefetches_stale_in_cache += 1
+            l1i_counts.reads += 1
+            if l1i.contains(line_addr):
+                pq.pop()
+                stats.prefetches_stale_in_cache += 1
                 continue
-            if self.mshr.lookup(line_addr) is not None:
-                self.pq.pop()
-                self.stats.prefetches_stale_in_flight += 1
+            if mshr.lookup(line_addr) is not None:
+                pq.pop()
+                stats.prefetches_stale_in_flight += 1
                 continue
-            if len(self.mshr) >= mshr_limit:
+            if len(mshr) >= mshr_limit:
                 break
-            self.pq.pop()
+            pq.pop()
             ready = self.memory.request_instruction(line_addr, self.cycle)
-            self.mshr.allocate(line_addr, self.cycle, ready, False, src_meta)
-            self.stats.prefetches_sent += 1
+            mshr.allocate(line_addr, self.cycle, ready, False, src_meta)
+            stats.prefetches_sent += 1
             issued = True
         return issued
 
@@ -258,19 +294,26 @@ class Simulator:
         if self._pred_blocked_on is not None or self.cycle < self._pred_stall_until:
             return False
         advanced = False
+        units = self.units
+        total_units = len(units)
+        ftq = self._ftq
+        ftq_size = self.config.ftq_size
+        enqueue_unit = self._enqueue_unit
+        pred_idx = self._pred_idx
         for _ in range(self.config.fetch_lines_per_cycle):
-            if self._pred_idx >= len(self.units):
+            if pred_idx >= total_units:
                 break
-            if len(self._ftq) >= self.config.ftq_size:
+            if len(ftq) >= ftq_size:
                 break
-            unit = self.units[self._pred_idx]
-            block = self._enqueue_unit(unit)
+            unit = units[pred_idx]
+            block = enqueue_unit(unit)
             if block is None:
                 # MSHR full: retry the same unit next cycle.
                 self.stats.mshr_full_events += 1
                 break
             advanced = True
-            self._pred_idx += 1
+            pred_idx += 1
+            self._pred_idx = pred_idx
             if unit.branch is not None and self._handle_branch(unit, block):
                 break  # mispredicted: stall until resolution
         return advanced
@@ -287,7 +330,7 @@ class Simulator:
     def _demand_access(self, line_addr: int, block: _FtqBlock):
         """Perform the demand L1I access for one FTQ block."""
         stats = self.stats
-        stats.cache_accesses["L1I"].reads += 1
+        self._l1i_counts.reads += 1
         stats.l1i_demand_accesses += 1
         entry = self.l1i.lookup(line_addr)
         if entry is not None:
@@ -306,7 +349,7 @@ class Simulator:
             stats.l1i_demand_hits += 1
             self.memory.request_instruction(line_addr, self.cycle)
             self.l1i.insert(line_addr)
-            stats.cache_accesses["L1I"].writes += 1
+            self._l1i_counts.writes += 1
             block.ready_cycle = self.cycle + self.config.l1i_latency
             return block.ready_cycle
 
@@ -326,7 +369,7 @@ class Simulator:
         if self.mshr.full:
             # Retried next cycle: undo this attempt's access accounting so
             # each architectural access is counted exactly once.
-            stats.cache_accesses["L1I"].reads -= 1
+            self._l1i_counts.reads -= 1
             stats.l1i_demand_accesses -= 1
             return "retry"
 
@@ -392,16 +435,21 @@ class Simulator:
     def _do_retire(self) -> int:
         budget = self.config.retire_width
         retired = 0
-        while budget > 0 and self._ftq:
-            block = self._ftq[0]
-            if block.ready_cycle is None or block.ready_cycle > self.cycle:
+        ftq = self._ftq
+        cycle = self.cycle
+        while budget > 0 and ftq:
+            block = ftq[0]
+            ready = block.ready_cycle
+            if ready is None or ready > cycle:
                 break
-            take = min(budget, block.remaining)
+            take = block.remaining
+            if take > budget:
+                take = budget
             block.remaining -= take
             budget -= take
             retired += take
             if block.remaining == 0:
-                self._ftq.popleft()
+                ftq.popleft()
                 self._finish_block(block)
         self._retired += retired
         return retired
@@ -415,7 +463,7 @@ class Simulator:
             self._l1d_access(self._dline(data_line), is_store)
 
     def _l1d_access(self, line_addr: int, is_store: bool) -> None:
-        counts = self.stats.cache_accesses["L1D"]
+        counts = self._l1d_counts
         if is_store:
             counts.writes += 1
         else:
@@ -434,18 +482,23 @@ class Simulator:
         filtered here so they do not occupy PQ slots (ChampSim's
         ``prefetch_line`` filters these as well).
         """
+        stats = self.stats
+        l1i = self.l1i
+        mshr = self.mshr
+        pq = self.pq
         for request in requests:
-            self.stats.prefetches_requested += 1
-            if self.l1i.contains(request.line_addr):
-                self.stats.prefetches_dropped_in_cache += 1
+            stats.prefetches_requested += 1
+            line_addr = request.line_addr
+            if l1i.contains(line_addr):
+                stats.prefetches_dropped_in_cache += 1
                 continue
-            if self.mshr.lookup(request.line_addr) is not None:
-                self.stats.prefetches_dropped_in_flight += 1
+            if mshr.lookup(line_addr) is not None:
+                stats.prefetches_dropped_in_flight += 1
                 continue
-            if self.pq.push(request.line_addr, request.src_meta):
-                self.stats.prefetches_enqueued += 1
+            if pq.push(line_addr, request.src_meta):
+                stats.prefetches_enqueued += 1
             else:
-                self.stats.prefetches_dropped_pq_full += 1
+                stats.prefetches_dropped_pq_full += 1
 
 
 def simulate(

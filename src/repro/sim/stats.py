@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 
 @dataclass
@@ -72,14 +73,16 @@ class SimStats:
         }
     )
 
+    # host-side timing telemetry (wall-clock, *not* architectural state:
+    # excluded from :meth:`signature` so determinism checks ignore it)
+    wall_seconds: float = 0.0
+
     def reset(self) -> None:
         """Zero every counter in place (end-of-warm-up measurement start).
 
         In-place so that components holding a reference to this object keep
         counting into the same instance.
         """
-        import dataclasses
-
         fresh = SimStats()
         for field_info in dataclasses.fields(self):
             setattr(self, field_info.name, getattr(fresh, field_info.name))
@@ -117,12 +120,84 @@ class SimStats:
             return 0.0
         return self.branch_mispredictions / self.branches
 
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per wall-clock second (simulator throughput)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def instrs_per_second(self) -> float:
+        """Retired instructions per wall-clock second (simulator throughput)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds
+
     def coverage_vs(self, baseline: "SimStats") -> float:
         """Fraction of the baseline's misses this run eliminated."""
         if baseline.l1i_demand_misses == 0:
             return 0.0
         saved = baseline.l1i_demand_misses - self.l1i_demand_misses
         return max(0.0, saved / baseline.l1i_demand_misses)
+
+    # -- serialization / comparison ----------------------------------------
+
+    #: Fields that reflect the host machine, not simulated behaviour.
+    TELEMETRY_FIELDS = ("wall_seconds",)
+
+    def signature(self) -> Dict[str, Any]:
+        """All architectural counters as a plain dict.
+
+        Two runs of the same (workload, configuration) must produce equal
+        signatures regardless of host, process, or parallelism; wall-clock
+        telemetry is excluded.  Used by the determinism tests and the run
+        cache's self-checks.
+        """
+        out: Dict[str, Any] = {}
+        for field_info in dataclasses.fields(self):
+            if field_info.name in self.TELEMETRY_FIELDS:
+                continue
+            value = getattr(self, field_info.name)
+            if field_info.name == "cache_accesses":
+                value = {
+                    name: (counts.reads, counts.writes)
+                    for name, counts in sorted(value.items())
+                }
+            out[field_info.name] = value
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every field (telemetry included)."""
+        out: Dict[str, Any] = {}
+        for field_info in dataclasses.fields(self):
+            value = getattr(self, field_info.name)
+            if field_info.name == "cache_accesses":
+                value = {
+                    name: {"reads": counts.reads, "writes": counts.writes}
+                    for name, counts in value.items()
+                }
+            out[field_info.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so cache
+        files written by older versions still load."""
+        stats = cls()
+        names = {field_info.name for field_info in dataclasses.fields(cls)}
+        for key, value in data.items():
+            if key not in names:
+                continue
+            if key == "cache_accesses":
+                value = {
+                    name: CacheAccessCounts(
+                        reads=counts["reads"], writes=counts["writes"]
+                    )
+                    for name, counts in value.items()
+                }
+            setattr(stats, key, value)
+        return stats
 
     def summary(self) -> str:
         return (
