@@ -11,12 +11,23 @@ workload) pair is simulated exactly once even though several figures
 sweep overlapping fields; a final summary reports the unique simulation
 count, cache hits, and the wall-clock the cache saved.
 
+With ``--cache-dir`` the run is also *resumable*: a checkpoint manifest
+(``<cache-dir>/checkpoint.json`` unless ``--checkpoint`` overrides it)
+records every finished (configuration, workload) pair, and ``--resume``
+re-simulates only the pairs the interrupted run never completed — the
+rest are served from the on-disk cache.  Worker faults are retried
+(``--retries`` / ``--task-timeout``, or the ``REPRO_TASK_*`` env vars)
+and persistent failures are quarantined and reported instead of killing
+the evaluation.
+
 Usage::
 
-    python examples/full_evaluation.py [--per-category N] [--jobs N] [--out FILE]
+    python examples/full_evaluation.py [--per-category N] [--jobs N]
+        [--cache-dir DIR] [--resume] [--out FILE]
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -44,6 +55,7 @@ from repro.analysis.figures import (
     sec4e_physical,
     tab4_energy,
 )
+from repro.analysis.checkpoint import CheckpointManifest, set_checkpoint
 from repro.analysis.experiments import resolve_jobs, run_suite
 from repro.analysis.runcache import RunCache, set_run_cache
 from repro.workloads import cloudsuite_suite, cvp_suite
@@ -56,9 +68,30 @@ def main() -> None:
                         help="worker processes (default: REPRO_JOBS env or 1)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="persist simulation results here (reused on rerun)")
+    parser.add_argument("--checkpoint", type=str, default=None,
+                        help="checkpoint manifest path (default: "
+                             "<cache-dir>/checkpoint.json)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint manifest: pairs it "
+                             "records as done are served from the disk cache "
+                             "and only missing pairs re-simulate")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retries per failed worker task "
+                             "(default: REPRO_TASK_RETRIES or 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task timeout in seconds "
+                             "(default: REPRO_TASK_TIMEOUT or none)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args()
+
+    # The retry policy is read from the environment by every run_suite
+    # call (including the ones inside figure drivers), so flags just
+    # override the env vars for this process and its workers.
+    if args.retries is not None:
+        os.environ["REPRO_TASK_RETRIES"] = str(max(0, args.retries))
+    if args.task_timeout is not None:
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
 
     jobs = resolve_jobs(args.jobs)
     # One shared cache for every figure driver in this process: figures
@@ -66,6 +99,21 @@ def main() -> None:
     # workload) fields, and each pair must simulate exactly once.
     cache = RunCache(disk_dir=args.cache_dir)
     set_run_cache(cache)
+
+    checkpoint = None
+    checkpoint_path = args.checkpoint or (
+        os.path.join(args.cache_dir, "checkpoint.json")
+        if args.cache_dir else None
+    )
+    if args.resume and checkpoint_path is None:
+        parser.error("--resume needs --cache-dir (or --checkpoint PATH)")
+    if args.resume and not args.cache_dir:
+        print("warning: --resume without --cache-dir only tracks progress; "
+              "finished pairs still re-simulate (no disk cache to serve "
+              "them from)", file=sys.stderr)
+    if checkpoint_path is not None:
+        checkpoint = CheckpointManifest(checkpoint_path, resume=args.resume)
+        set_checkpoint(checkpoint)
 
     suite = cvp_suite(per_category=args.per_category)
     clouds = cloudsuite_suite(n_instructions=300_000)
@@ -122,13 +170,25 @@ def main() -> None:
     section("Figure 16", render_fig16(cloud_data), t)
 
     total = time.time() - started_all
-    summary = "\n".join([
+    lines = [
         "== Timing summary ==",
         f"total wall-clock:    {total:.0f}s (jobs={jobs})",
         f"unique simulations:  {cache.stores}",
         f"cache hits:          {cache.hits} ({cache.disk_hits} from disk)",
         f"wall-clock saved:    ~{cache.wall_seconds_saved:.0f}s of simulation",
-    ])
+    ]
+    if cache.disk_corrupt:
+        lines.append(
+            f"corrupt entries:     {cache.disk_corrupt} rejected and "
+            f"re-simulated"
+        )
+    if checkpoint is not None:
+        lines.append(
+            f"checkpoint:          {len(checkpoint)} pairs done "
+            f"({checkpoint.resumed} resumed, {checkpoint.resumed_hits} "
+            f"served from cache, {checkpoint.marked} newly completed)"
+        )
+    summary = "\n".join(lines)
     sections.append(summary)
     print(summary, flush=True)
 

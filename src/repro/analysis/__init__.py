@@ -12,6 +12,17 @@ from repro.analysis.experiments import (
     run_single,
     run_suite,
 )
+from repro.analysis.checkpoint import (
+    CheckpointManifest,
+    get_checkpoint,
+    set_checkpoint,
+)
+from repro.analysis.parallel import (
+    FaultInjector,
+    FaultReport,
+    RetryPolicy,
+    map_resilient,
+)
 from repro.analysis.runcache import RunCache, get_run_cache, set_run_cache
 from repro.analysis.reporting import format_table, format_timing_table
 from repro.analysis.export import (
@@ -40,6 +51,13 @@ __all__ = [
     "run_prefetcher_on_suite",
     "run_single",
     "run_suite",
+    "CheckpointManifest",
+    "get_checkpoint",
+    "set_checkpoint",
+    "FaultInjector",
+    "FaultReport",
+    "RetryPolicy",
+    "map_resilient",
     "RunCache",
     "get_run_cache",
     "set_run_cache",

@@ -1,0 +1,156 @@
+"""Resumable evaluations: a checkpoint manifest of finished run keys.
+
+A full paper-scale evaluation is hours of simulation; an interrupted
+sweep must not start from zero.  The :class:`CheckpointManifest` is a
+small JSON file, rewritten atomically after each completed (config,
+workload) pair, recording the run keys (see
+:func:`repro.analysis.runcache.run_key`) that finished.  It layers on
+the on-disk run cache: the cache holds the *results*, the manifest
+records *completion* and exposes counters (``resumed`` / ``resumed_hits``
+/ ``marked``) so drivers and tests can assert that a resumed evaluation
+re-simulated only the missing pairs.
+
+The manifest is corruption-tolerant: a truncated or schema-mismatched
+file loads as empty (logged), never raises — losing a checkpoint only
+costs re-simulation, exactly like a cold cache.
+
+``examples/full_evaluation.py --resume`` wires a manifest into the
+process-wide slot (:func:`set_checkpoint`), which ``run_suite`` picks up
+by default, mirroring the run cache's global.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+from typing import Dict, Optional, Set
+
+logger = logging.getLogger(__name__)
+
+_MANIFEST_FORMAT_VERSION = 1
+
+
+class CheckpointManifest:
+    """Atomic, append-only record of completed run keys.
+
+    ``resume=True`` (default) loads any existing manifest at ``path``;
+    ``resume=False`` starts empty and overwrites on the first mark.
+    """
+
+    def __init__(self, path: str, resume: bool = True) -> None:
+        self.path = path
+        #: run key -> {"config": ..., "workload": ...}
+        self.done: Dict[str, Dict[str, str]] = {}
+        self.marked = 0          # new pairs recorded by this process
+        self.resumed_hits = 0    # resumed pairs served without re-simulating
+        self._tmp_counter = itertools.count()
+        if resume:
+            self.done = self._load(path)
+        self._resumed_keys: Set[str] = set(self.done)
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    @property
+    def resumed(self) -> int:
+        """Pairs already recorded as finished when the manifest loaded."""
+        return len(self._resumed_keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.done
+
+    def __len__(self) -> int:
+        return len(self.done)
+
+    def note_hit(self, key: str) -> None:
+        """Count a pair that resumption spared from re-simulation."""
+        if key in self._resumed_keys:
+            self.resumed_hits += 1
+
+    def mark_done(self, key: str, config: str, workload: str) -> None:
+        """Record one finished pair and persist the manifest atomically."""
+        if key in self.done:
+            return
+        self.done[key] = {"config": config, "workload": workload}
+        self.marked += 1
+        self._write()
+
+    def stats_line(self) -> str:
+        return (
+            f"checkpoint: {len(self.done)} pairs done "
+            f"({self.resumed} resumed, {self.resumed_hits} served from "
+            f"cache, {self.marked} newly completed) -> {self.path}"
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    @staticmethod
+    def _load(path: str) -> Dict[str, Dict[str, str]]:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError):
+            logger.warning(
+                "checkpoint manifest %s is unreadable/corrupt; starting fresh",
+                path,
+            )
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _MANIFEST_FORMAT_VERSION
+            or not isinstance(data.get("done"), dict)
+        ):
+            logger.warning(
+                "checkpoint manifest %s has an unknown schema; starting fresh",
+                path,
+            )
+            return {}
+        return {
+            str(key): {
+                "config": str(entry.get("config", "")),
+                "workload": str(entry.get("workload", "")),
+            }
+            for key, entry in data["done"].items()
+            if isinstance(entry, dict)
+        }
+
+    def _write(self) -> None:
+        payload = {"format": _MANIFEST_FORMAT_VERSION, "done": self.done}
+        # Unique tmp name per process *and* per write: concurrent writers
+        # sharing a manifest directory must never interleave into one tmp
+        # file (the same discipline as RunCache._store_disk).
+        tmp = (
+            f"{self.path}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            # Checkpointing is best-effort; an unwritable manifest only
+            # costs resumability, never the evaluation itself.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+
+_active_checkpoint: Optional[CheckpointManifest] = None
+
+
+def get_checkpoint() -> Optional[CheckpointManifest]:
+    """The process-wide checkpoint manifest, or None (the default)."""
+    return _active_checkpoint
+
+
+def set_checkpoint(
+    checkpoint: Optional[CheckpointManifest],
+) -> Optional[CheckpointManifest]:
+    """Install the process-wide manifest; returns the previous one."""
+    global _active_checkpoint
+    previous = _active_checkpoint
+    _active_checkpoint = checkpoint
+    return previous

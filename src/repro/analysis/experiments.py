@@ -15,9 +15,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.checkpoint import CheckpointManifest, get_checkpoint
 from repro.analysis.runcache import RunCache, get_run_cache, run_key
+
+if TYPE_CHECKING:
+    from repro.analysis.parallel import FaultReport, RetryPolicy
 from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
 from repro.prefetchers.registry import make_prefetcher
 from repro.sim.config import SimConfig
@@ -35,6 +39,13 @@ DEFAULT_CACHE = "default"
 #: Type accepted by the ``cache`` parameters below: an explicit
 #: :class:`RunCache`, ``None`` (no caching), or :data:`DEFAULT_CACHE`.
 CacheArg = Union[RunCache, None, str]
+
+#: Sentinel for "use the process-wide default checkpoint manifest" (which
+#: is itself None unless a driver installed one via ``set_checkpoint``).
+DEFAULT_CHECKPOINT = "default"
+
+#: Type accepted by the ``checkpoint`` parameters below.
+CheckpointArg = Union[CheckpointManifest, None, str]
 
 
 def positive_env_int(name: str, default: int) -> int:
@@ -73,6 +84,12 @@ def _resolve_cache(cache: CacheArg) -> Optional[RunCache]:
     return cache
 
 
+def _resolve_checkpoint(checkpoint: CheckpointArg) -> Optional[CheckpointManifest]:
+    if checkpoint == DEFAULT_CHECKPOINT:
+        return get_checkpoint()
+    return checkpoint
+
+
 @lru_cache(maxsize=256)
 def _cached_workload(spec: WorkloadSpec) -> Trace:
     return make_workload(spec)
@@ -97,15 +114,36 @@ def resolve_config(name: str, base: SimConfig) -> Tuple[InstructionPrefetcher, S
 
 @dataclass
 class EvaluationResult:
-    """Results of one suite x configuration-set evaluation."""
+    """Results of one suite x configuration-set evaluation.
+
+    The fault-tolerant executor always returns a *complete or explicitly
+    partial* result: pairs whose task failed every attempt are absent
+    from ``runs`` and listed in ``faults.quarantined`` — check
+    :meth:`is_complete` / :meth:`missing_pairs` before aggregating.
+    """
 
     #: config name -> workload name -> SimResult
     runs: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
     #: workload name -> category
     categories: Dict[str, str] = field(default_factory=dict)
+    #: executor fault telemetry (None when the serial legacy path ran)
+    faults: Optional["FaultReport"] = None
 
     def stats(self, config: str, workload: str) -> SimStats:
         return self.runs[config][workload].stats
+
+    def is_complete(self) -> bool:
+        """True when every (config, workload) pair produced a result."""
+        return not self.missing_pairs()
+
+    def missing_pairs(self) -> List[Tuple[str, str]]:
+        """Quarantined (config, workload) pairs absent from ``runs``."""
+        return [
+            (config, workload)
+            for config, per_workload in self.runs.items()
+            for workload in self.categories
+            if workload not in per_workload
+        ]
 
     def workloads(self) -> List[str]:
         return sorted(self.categories)
@@ -245,6 +283,8 @@ def run_suite(
     include_baseline: bool = True,
     jobs: Optional[int] = None,
     cache: CacheArg = DEFAULT_CACHE,
+    checkpoint: CheckpointArg = DEFAULT_CHECKPOINT,
+    retry_policy: Optional["RetryPolicy"] = None,
 ) -> EvaluationResult:
     """Run a set of configurations over a suite of workloads.
 
@@ -253,6 +293,15 @@ def run_suite(
     workload) task via :mod:`repro.analysis.parallel`.  Either path
     produces identical stats in identical order; ``cache`` (the process
     default unless overridden) serves repeated pairs without simulating.
+
+    The parallel path is fault tolerant (retries, timeouts, quarantine —
+    see :class:`~repro.analysis.parallel.RetryPolicy`): it always returns
+    a complete or *explicitly partial* result (``evaluation.faults``,
+    ``evaluation.is_complete()``).  ``checkpoint`` (the process default
+    unless overridden) records finished pairs in a
+    :class:`~repro.analysis.checkpoint.CheckpointManifest` so an
+    interrupted evaluation can resume; a non-None checkpoint routes even
+    ``jobs=1`` through the fault-tolerant runner (in-process).
     """
     names = list(config_names)
     if include_baseline and "no" not in names:
@@ -260,17 +309,22 @@ def run_suite(
     evaluation = EvaluationResult()
     evaluation.categories = {spec.name: spec.category for spec in specs}
     n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1:
+    active_checkpoint = _resolve_checkpoint(checkpoint)
+    if n_jobs > 1 or active_checkpoint is not None or retry_policy is not None:
         from repro.analysis.parallel import run_tasks_parallel
 
-        evaluation.runs = run_tasks_parallel(
+        outcome = run_tasks_parallel(
             specs,
             names,
             base_config=base_config,
             warmup_instructions=warmup_instructions,
             jobs=n_jobs,
             cache=_resolve_cache(cache),
+            checkpoint=active_checkpoint,
+            policy=retry_policy,
         )
+        evaluation.runs = outcome.runs
+        evaluation.faults = outcome.report
     else:
         for name in names:
             evaluation.runs[name] = run_prefetcher_on_suite(

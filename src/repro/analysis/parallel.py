@@ -1,4 +1,4 @@
-"""Process-pool fan-out of suite evaluations.
+"""Fault-tolerant process-pool fan-out of suite evaluations.
 
 Per-(configuration, workload) simulations are embarrassingly parallel:
 traces are regenerated deterministically from hashable
@@ -9,21 +9,54 @@ runner here fans one task per (config, workload) pair out to a
 the serial path produces, so ``run_suite(..., jobs=N)`` is bit-identical
 to ``jobs=1`` for every architectural counter.
 
-Workers return *detached* results (stats without the live prefetcher
-object — prefetcher state does not need to cross the process boundary);
-consumers that require the live object (e.g. the Figure 12-15 internals
-driver) use the serial path.
+At the paper's full evaluation scale (959 traces x ~15 configurations) a
+single crashed or hung worker must not kill hours of simulation, so the
+executor layer is fault tolerant:
 
-Traces and fetch units are memoized per process by the ``lru_cache``\\ d
-helpers in :mod:`repro.analysis.experiments`, so a worker that receives
-several configurations of the same workload generates its trace once.
+* every task gets up to ``1 + retries`` attempts (``REPRO_TASK_RETRIES``)
+  with capped exponential backoff between rounds
+  (``REPRO_TASK_BACKOFF``);
+* a per-task timeout (``REPRO_TASK_TIMEOUT`` seconds) bounds how long
+  the runner waits on any one future; a round that saw timeouts replaces
+  the pool, since a truly hung task poisons its worker slot forever;
+* a ``BrokenProcessPool`` (worker killed by the OS, ``os._exit``, OOM)
+  degrades gracefully to in-process serial execution of the remaining
+  tasks instead of raising;
+* tasks that fail every attempt are *quarantined* — reported in the
+  :class:`FaultReport`, never fatal — so ``run_suite`` always returns a
+  complete or explicitly partial result.
+
+Workers return *detached* results (stats without the live prefetcher
+object); consumers that require the live object (e.g. the Figure 12-15
+internals driver) use the serial path.
+
+For testing, the worker entry point carries a fault-injection hook
+(``REPRO_FAULT_INJECT=mode:fraction[:scope]`` with modes ``crash`` /
+``hang`` / ``corrupt`` / ``exit``); see :class:`FaultInjector`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.analysis.checkpoint import CheckpointManifest
 from repro.analysis.experiments import (
     resolve_config,
     resolve_warmup,
@@ -33,6 +66,424 @@ from repro.analysis.runcache import RunCache, run_key
 from repro.sim.config import SimConfig
 from repro.sim.simulator import SimResult
 from repro.workloads.generators import WorkloadSpec
+
+logger = logging.getLogger(__name__)
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r} (e.g. {name}=2)"
+        ) from None
+    return max(minimum, value)
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number of seconds, got {raw!r} "
+            f"(e.g. {name}=60)"
+        ) from None
+    return value if value > 0 else None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient executor handles per-task failures.
+
+    ``timeout`` bounds the *additional* wall-clock the runner waits for
+    one task after the previous one resolved (futures are collected in
+    submission order); ``None`` waits forever.  Timeouts only apply to
+    pooled execution — an in-process task cannot be interrupted.
+    """
+
+    retries: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry round ``attempt`` (>= 1)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy from ``REPRO_TASK_RETRIES`` / ``REPRO_TASK_TIMEOUT`` /
+        ``REPRO_TASK_BACKOFF`` (defaults: 2 retries, no timeout, 0.1s)."""
+        return cls(
+            retries=_env_int("REPRO_TASK_RETRIES", 2),
+            timeout=_env_float("REPRO_TASK_TIMEOUT", None),
+            backoff_base=_env_float("REPRO_TASK_BACKOFF", 0.1) or 0.0,
+        )
+
+
+def resolve_policy(policy: Optional[RetryPolicy]) -> RetryPolicy:
+    return policy if policy is not None else RetryPolicy.from_env()
+
+
+# ---------------------------------------------------------------------------
+# fault report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskFailure:
+    """One task that exhausted every attempt."""
+
+    label: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class FaultReport:
+    """Telemetry of the resilient executor's error handling.
+
+    ``quarantined`` lists tasks that failed every attempt; everything
+    else counts recoverable events.  ``clean`` is True when no fault of
+    any kind occurred.
+    """
+
+    attempts: int = 0          # task attempts executed (>= task count)
+    retries: int = 0           # attempts beyond each task's first
+    timeouts: int = 0
+    task_errors: int = 0       # exceptions raised by task code
+    invalid_results: int = 0   # results rejected by the validator
+    pool_breaks: int = 0       # BrokenProcessPool events
+    serial_fallback: bool = False
+    quarantined: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.quarantined
+            and self.retries == 0
+            and self.timeouts == 0
+            and self.task_errors == 0
+            and self.invalid_results == 0
+            and self.pool_breaks == 0
+        )
+
+    def merge(self, other: "FaultReport") -> None:
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.task_errors += other.task_errors
+        self.invalid_results += other.invalid_results
+        self.pool_breaks += other.pool_breaks
+        self.serial_fallback = self.serial_fallback or other.serial_fallback
+        self.quarantined.extend(other.quarantined)
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.attempts} attempts",
+            f"{self.retries} retries",
+            f"{self.timeouts} timeouts",
+            f"{self.task_errors} errors",
+        ]
+        if self.invalid_results:
+            parts.append(f"{self.invalid_results} invalid results")
+        if self.pool_breaks:
+            parts.append(f"{self.pool_breaks} pool breaks")
+        if self.serial_fallback:
+            parts.append("serial fallback")
+        parts.append(f"{len(self.quarantined)} quarantined")
+        return "faults: " + ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# fault injection (test hook)
+# ---------------------------------------------------------------------------
+
+#: Seconds an injected ``hang`` sleeps (``REPRO_FAULT_HANG_SECONDS``).
+DEFAULT_HANG_SECONDS = 30.0
+
+_FAULT_MODES = ("crash", "hang", "corrupt", "exit")
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic worker-fault injection, driven by the environment.
+
+    ``REPRO_FAULT_INJECT=mode:fraction[:scope]`` selects a stable
+    ``fraction`` of task labels (by hashing the label, so every process
+    and every attempt agrees on the victim set) and makes them fail:
+
+    * ``crash`` — raise ``RuntimeError`` inside the worker;
+    * ``hang`` — sleep ``REPRO_FAULT_HANG_SECONDS`` (default 30);
+    * ``corrupt`` — return a result with impossible counters (caught by
+      the runner's validator and retried);
+    * ``exit`` — ``os._exit(3)``, which breaks the whole process pool.
+
+    ``scope`` is ``first`` (default: only the first attempt faults, so
+    retries recover) or ``all`` (every attempt faults, so the task ends
+    up quarantined).  ``hang`` and ``exit`` never fire in-process: the
+    in-process path is the last-resort fallback and must not be able to
+    kill or freeze the parent.
+    """
+
+    mode: str
+    fraction: float
+    scope: str = "first"
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        raw = os.environ.get("REPRO_FAULT_INJECT")
+        if raw is None or not raw.strip():
+            return None
+        parts = raw.strip().split(":")
+        if len(parts) not in (2, 3) or parts[0] not in _FAULT_MODES:
+            raise ValueError(
+                f"REPRO_FAULT_INJECT must be mode:fraction[:scope] with "
+                f"mode in {_FAULT_MODES}, got {raw!r}"
+            )
+        mode, fraction = parts[0], float(parts[1])
+        scope = parts[2] if len(parts) == 3 else "first"
+        if scope not in ("first", "all"):
+            raise ValueError(
+                f"REPRO_FAULT_INJECT scope must be 'first' or 'all', "
+                f"got {scope!r}"
+            )
+        hang = _env_float("REPRO_FAULT_HANG_SECONDS", DEFAULT_HANG_SECONDS)
+        return cls(
+            mode=mode,
+            fraction=fraction,
+            scope=scope,
+            hang_seconds=hang or DEFAULT_HANG_SECONDS,
+        )
+
+    def selects(self, label: str) -> bool:
+        """Whether ``label`` is in the injected-fault victim set."""
+        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()
+        return (int(digest, 16) % 10_000) < self.fraction * 10_000
+
+    def _armed(self, label: str, attempt: int) -> bool:
+        if not self.selects(label):
+            return False
+        return self.scope == "all" or attempt == 0
+
+    def maybe_fault(self, label: str, attempt: int, in_process: bool) -> None:
+        """Raise/hang/exit if this (label, attempt) is a victim."""
+        if not self._armed(label, attempt):
+            return
+        if self.mode == "crash":
+            raise RuntimeError(f"injected crash ({label}, attempt {attempt})")
+        if self.mode == "hang" and not in_process:
+            time.sleep(self.hang_seconds)
+        elif self.mode == "exit" and not in_process:
+            os._exit(3)
+
+    def corrupts(self, label: str, attempt: int) -> bool:
+        return self.mode == "corrupt" and self._armed(label, attempt)
+
+
+# ---------------------------------------------------------------------------
+# resilient executor
+# ---------------------------------------------------------------------------
+
+
+class ResilientMap(NamedTuple):
+    """Outcome of :func:`map_resilient`: per-task results + telemetry."""
+
+    #: one entry per task, None where the task was quarantined
+    results: List[Optional[Any]]
+    #: attempts each task consumed (0 where never attempted)
+    attempts: List[int]
+    report: FaultReport
+
+
+def _run_serial(
+    fn: Callable[..., Any],
+    tasks: Sequence[Any],
+    labels: Sequence[str],
+    indices: Sequence[int],
+    policy: RetryPolicy,
+    validate: Optional[Callable[[Any], bool]],
+    results: List[Optional[Any]],
+    attempts_used: List[int],
+    report: FaultReport,
+) -> None:
+    """In-process execution with retries (jobs=1 and broken-pool fallback)."""
+    for idx in indices:
+        error = "never attempted"
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                report.retries += 1
+                time.sleep(policy.backoff(attempt))
+            report.attempts += 1
+            attempts_used[idx] += 1
+            try:
+                result = fn(tasks[idx], attempt, in_process=True)
+            except Exception as exc:  # noqa: BLE001 — quarantine, never die
+                report.task_errors += 1
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            if validate is not None and not validate(result):
+                report.invalid_results += 1
+                error = "invalid result (failed validation)"
+                continue
+            results[idx] = result
+            break
+        else:
+            report.quarantined.append(
+                TaskFailure(labels[idx], attempts_used[idx], error)
+            )
+            logger.warning(
+                "quarantined %s after %d attempt(s): %s",
+                labels[idx], attempts_used[idx], error,
+            )
+
+
+def map_resilient(
+    fn: Callable[..., Any],
+    tasks: Sequence[Any],
+    labels: Sequence[str],
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    validate: Optional[Callable[[Any], bool]] = None,
+) -> ResilientMap:
+    """Run ``fn(task, attempt, in_process=...)`` over ``tasks``, resiliently.
+
+    ``jobs > 1`` fans out over a ``ProcessPoolExecutor`` (``fn`` and the
+    tasks must be picklable); ``jobs <= 1`` runs in-process.  Failed
+    tasks are retried up to ``policy.retries`` times with capped
+    exponential backoff; hung tasks are timed out (and their poisoned
+    pool replaced); a broken pool degrades to in-process execution of
+    whatever is still missing.  Tasks failing every attempt come back as
+    ``None`` entries and are listed in the report's ``quarantined``.
+    """
+    active = resolve_policy(policy)
+    report = FaultReport()
+    results: List[Optional[Any]] = [None] * len(tasks)
+    attempts_used = [0] * len(tasks)
+    if not tasks:
+        return ResilientMap(results, attempts_used, report)
+
+    if jobs <= 1:
+        _run_serial(
+            fn, tasks, labels, range(len(tasks)), active, validate,
+            results, attempts_used, report,
+        )
+        return ResilientMap(results, attempts_used, report)
+
+    pending: List[int] = list(range(len(tasks)))
+    errors: Dict[int, str] = {}
+    broken = False
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        for attempt in range(active.retries + 1):
+            if not pending:
+                break
+            if attempt:
+                report.retries += len(pending)
+                time.sleep(active.backoff(attempt))
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=max(1, min(jobs, len(pending)))
+                )
+            futures: Dict[int, Any] = {}
+            try:
+                for idx in pending:
+                    futures[idx] = pool.submit(fn, tasks[idx], attempt)
+                    report.attempts += 1
+                    attempts_used[idx] += 1
+            except BrokenProcessPool:
+                broken = True
+            failed: List[int] = []
+            timed_out = False
+            for idx in pending:
+                future = futures.get(idx)
+                if future is None:  # submission died with the pool
+                    failed.append(idx)
+                    errors[idx] = "process pool broke before submission"
+                    continue
+                try:
+                    result = future.result(timeout=active.timeout)
+                except FuturesTimeoutError:
+                    report.timeouts += 1
+                    timed_out = True
+                    failed.append(idx)
+                    errors[idx] = (
+                        f"timed out after {active.timeout}s "
+                        f"(attempt {attempt})"
+                    )
+                    future.cancel()
+                except BrokenProcessPool:
+                    broken = True
+                    failed.append(idx)
+                    errors[idx] = "process pool broke"
+                except Exception as exc:  # noqa: BLE001 — worker raised
+                    report.task_errors += 1
+                    failed.append(idx)
+                    errors[idx] = f"{type(exc).__name__}: {exc}"
+                else:
+                    if validate is not None and not validate(result):
+                        report.invalid_results += 1
+                        failed.append(idx)
+                        errors[idx] = "invalid result (failed validation)"
+                    else:
+                        results[idx] = result
+            pending = failed
+            if broken:
+                report.pool_breaks += 1
+                break
+            if timed_out and pending:
+                # A hung task keeps its worker slot busy indefinitely —
+                # retries would queue behind it and time out too.  Replace
+                # the pool; the abandoned workers exit on their own.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    if pending and broken:
+        logger.warning(
+            "process pool broke; running %d remaining task(s) in-process",
+            len(pending),
+        )
+        report.serial_fallback = True
+        _run_serial(
+            fn, tasks, labels, pending, active, validate,
+            results, attempts_used, report,
+        )
+    elif pending:
+        for idx in pending:
+            report.quarantined.append(
+                TaskFailure(
+                    labels[idx],
+                    attempts_used[idx],
+                    errors.get(idx, "unknown failure"),
+                )
+            )
+            logger.warning(
+                "quarantined %s after %d attempt(s): %s",
+                labels[idx], attempts_used[idx], errors.get(idx, "?"),
+            )
+    return ResilientMap(results, attempts_used, report)
+
+
+# ---------------------------------------------------------------------------
+# suite runner
+# ---------------------------------------------------------------------------
 
 
 class RunTask(NamedTuple):
@@ -44,11 +495,49 @@ class RunTask(NamedTuple):
     warmup_instructions: Optional[int]
 
 
+def task_label(task: RunTask) -> str:
+    return f"{task.config_name}/{task.spec.name}"
+
+
+def result_valid(result: Any) -> bool:
+    """Cheap sanity screen for worker results (rejects corrupt payloads)."""
+    if not isinstance(result, SimResult):
+        return False
+    stats = result.stats
+    return (
+        stats.instructions >= 0
+        and stats.cycles >= 0
+        and stats.wall_seconds >= 0.0
+    )
+
+
 def execute_task(task: RunTask) -> SimResult:
     """Worker entry point: run one task and return a detached result."""
     return run_single(
         task.spec, task.config_name, task.base_config, task.warmup_instructions
     ).detached()
+
+
+def execute_task_attempt(
+    task: RunTask, attempt: int, in_process: bool = False
+) -> SimResult:
+    """Worker entry point with the fault-injection hook applied."""
+    injector = FaultInjector.from_env()
+    if injector is not None:
+        injector.maybe_fault(task_label(task), attempt, in_process)
+    result = execute_task(task)
+    if injector is not None and injector.corrupts(task_label(task), attempt):
+        result.stats.instructions = -1
+        result.stats.cycles = -1
+    return result
+
+
+class SuiteOutcome(NamedTuple):
+    """Result of :func:`run_tasks_parallel`."""
+
+    #: config name -> workload name -> result (quarantined pairs absent)
+    runs: Dict[str, Dict[str, SimResult]]
+    report: FaultReport
 
 
 def run_tasks_parallel(
@@ -58,14 +547,20 @@ def run_tasks_parallel(
     warmup_instructions: Optional[int] = None,
     jobs: int = 2,
     cache: Optional[RunCache] = None,
-) -> Dict[str, Dict[str, SimResult]]:
+    checkpoint: Optional[CheckpointManifest] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> SuiteOutcome:
     """Evaluate ``config_names`` x ``specs`` with ``jobs`` worker processes.
 
     Returns the ``runs`` mapping of an
     :class:`~repro.analysis.experiments.EvaluationResult` — config name ->
     workload name -> result — populated in the same deterministic order as
-    the serial path.  Pairs already in ``cache`` are served locally; only
-    misses are dispatched, and their results are stored back.
+    the serial path, plus the executor's :class:`FaultReport`.  Pairs
+    already in ``cache`` are served locally; only misses are dispatched,
+    and their results are stored back.  Completed pairs are recorded in
+    ``checkpoint`` (if given) so an interrupted sweep can be resumed; pairs
+    that fail every attempt are quarantined (absent from ``runs``, listed
+    in the report) rather than fatal.
     """
     base = base_config or SimConfig()
     ordered: List[Tuple[str, WorkloadSpec]] = [
@@ -76,32 +571,54 @@ def run_tasks_parallel(
     pending: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
     for name, spec in ordered:
         key: Optional[str] = None
-        if cache is not None:
+        if cache is not None or checkpoint is not None:
             _prefetcher, sim_config = resolve_config(name, base)
             key = run_key(
                 spec, name, sim_config, resolve_warmup(spec, warmup_instructions)
             )
+        if cache is not None and key is not None:
             hit = cache.get(key)
             if hit is not None:
                 results[(name, spec.name)] = hit
+                if checkpoint is not None:
+                    checkpoint.note_hit(key)
+                    checkpoint.mark_done(key, name, spec.name)
                 continue
         pending.append((name, spec, key))
 
+    report = FaultReport()
     if pending:
         tasks = [
             RunTask(spec, name, base_config, warmup_instructions)
             for name, spec, _key in pending
         ]
-        workers = max(1, min(jobs, len(tasks)))
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            fresh = list(pool.map(execute_task, tasks, chunksize=chunksize))
-        for (name, spec, key), result in zip(pending, fresh):
+        labels = [task_label(task) for task in tasks]
+        outcome = map_resilient(
+            execute_task_attempt,
+            tasks,
+            labels,
+            jobs=jobs,
+            policy=policy,
+            validate=result_valid,
+        )
+        report = outcome.report
+        for (name, spec, key), result, n_attempts in zip(
+            pending, outcome.results, outcome.attempts
+        ):
+            if result is None:
+                continue  # quarantined — reported, not fatal
+            result.stats.attempts = max(1, n_attempts)
             results[(name, spec.name)] = result
             if cache is not None and key is not None:
                 cache.put(key, result)
+            if checkpoint is not None and key is not None:
+                checkpoint.mark_done(key, name, spec.name)
 
     runs: Dict[str, Dict[str, SimResult]] = {}
     for name in config_names:
-        runs[name] = {spec.name: results[(name, spec.name)] for spec in specs}
-    return runs
+        runs[name] = {
+            spec.name: results[(name, spec.name)]
+            for spec in specs
+            if (name, spec.name) in results
+        }
+    return SuiteOutcome(runs, report)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.analysis.parallel import FaultReport
     from repro.sim.stats import SimStats
 
 
@@ -39,20 +40,26 @@ def format_table(
 def format_timing_table(
     entries: Sequence[Tuple[str, str, "SimStats"]],
     title: str = "Simulation timing",
+    faults: Optional["FaultReport"] = None,
 ) -> str:
     """Per-run wall-clock and simulator-throughput telemetry.
 
     ``entries`` are (config, workload, stats) triples — see
     ``EvaluationResult.timing_entries``.  Throughput is reported in
-    simulated kilocycles and kilo-instructions per wall-clock second.
+    simulated kilocycles and kilo-instructions per wall-clock second;
+    ``tries`` is the executor attempts the run consumed (>1 means the
+    fault-tolerant runner retried it).  Pass an evaluation's ``faults``
+    report to append the retry/timeout/quarantine summary.
     """
-    headers = ["config", "workload", "wall s", "kcycles/s", "kinstr/s"]
+    headers = ["config", "workload", "wall s", "kcycles/s", "kinstr/s", "tries"]
     rows = []
     total_wall = 0.0
     total_instrs = 0
+    total_attempts = 0
     for config, workload, stats in entries:
         total_wall += stats.wall_seconds
         total_instrs += stats.instructions
+        total_attempts += stats.attempts
         rows.append(
             [
                 config,
@@ -60,12 +67,21 @@ def format_timing_table(
                 stats.wall_seconds,
                 stats.cycles_per_second / 1e3,
                 stats.instrs_per_second / 1e3,
+                str(stats.attempts),
             ]
         )
     if entries:
         aggregate = total_instrs / total_wall / 1e3 if total_wall > 0 else 0.0
-        rows.append(["(total)", "", total_wall, 0.0, aggregate])
-    return f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
+        rows.append(["(total)", "", total_wall, 0.0, aggregate, str(total_attempts)])
+    text = f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
+    if faults is not None and not faults.clean:
+        text += "\n" + faults.summary_line()
+        for failure in faults.quarantined:
+            text += (
+                f"\n  quarantined {failure.label} "
+                f"({failure.attempts} attempts): {failure.error}"
+            )
+    return text
 
 
 def format_series(name: str, values: Sequence[float], per_line: int = 10) -> str:

@@ -16,6 +16,13 @@ Cached results are *detached* — they carry the full
 so every consumer that reads only stats (all figure drivers, reporting,
 export) works transparently.
 
+Disk entries are version-stamped and checksummed: a truncated file, a
+schema from another format version, or a flipped byte is detected on
+load, logged, and treated as a miss (re-simulate) — never a crash, never
+silently served garbage.  Writers use a unique per-process tmp name so
+concurrent sweeps sharing ``REPRO_RUN_CACHE_DIR`` cannot interleave
+writes, and ``os.replace`` keeps each publish atomic.
+
 The process-wide default cache is enabled unless ``REPRO_RUN_CACHE=0``;
 set ``REPRO_RUN_CACHE_DIR`` to also persist results as JSON files so
 repeated evaluations across processes skip finished simulations.
@@ -23,17 +30,42 @@ repeated evaluations across processes skip finished simulations.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import itertools
 import json
+import logging
 import os
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.sim.config import SimConfig
 from repro.sim.simulator import SimResult
 from repro.sim.stats import SimStats
 from repro.workloads.generators import WorkloadSpec
 
-_CACHE_FORMAT_VERSION = 1
+logger = logging.getLogger(__name__)
+
+#: Bumped whenever the key derivation or the disk schema changes; entries
+#: written by other versions are treated as misses, never mis-served.
+_CACHE_FORMAT_VERSION = 2
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-ready canonical form: dataclasses -> sorted field dicts."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return value
+
+
+def _canonical_json(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def run_key(
@@ -47,17 +79,30 @@ def run_key(
     ``sim_config`` must be the *resolved* configuration (after
     ``resolve_config`` applied pseudo-config/physical adjustments) so the
     same name with different base configs never collides.
+
+    Keys hash a canonical sorted-JSON encoding of the explicit field
+    values (not ``repr``), so they are stable across Python versions and
+    only change when a field's *value set* actually changes; adding or
+    renaming a dataclass field deliberately produces new keys (old
+    entries become misses, which is the safe direction).
     """
-    payload = repr(
-        (
-            _CACHE_FORMAT_VERSION,
-            spec,
-            config_name,
-            sim_config,
-            warmup_instructions,
-        )
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+    payload = {
+        "format": _CACHE_FORMAT_VERSION,
+        "spec": _canonical(spec),
+        "config_name": config_name,
+        "sim_config": _canonical(sim_config),
+        "warmup_instructions": warmup_instructions,
+    }
+    text = _canonical_json(payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+def _entry_checksum(data: Dict[str, Any]) -> str:
+    """Checksum of a disk entry's payload (everything but the checksum)."""
+    payload = {k: v for k, v in data.items() if k != "checksum"}
+    return hashlib.sha256(
+        _canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
 
 
 class RunCache:
@@ -66,15 +111,18 @@ class RunCache:
     ``get``/``put`` count hits, misses, and stores so drivers can assert
     "each unique simulation ran exactly once" and report wall-clock saved
     (the sum of the original runs' ``wall_seconds`` over all hits).
+    ``disk_corrupt`` counts entries rejected by the integrity checks.
     """
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self.disk_dir = disk_dir
         self._mem: Dict[str, SimResult] = {}
+        self._tmp_counter = itertools.count()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.disk_hits = 0
+        self.disk_corrupt = 0
         self.wall_seconds_saved = 0.0
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
@@ -112,15 +160,29 @@ class RunCache:
             self._store_disk(key, detached)
 
     def clear(self) -> None:
+        """Empty the in-memory cache and reset every counter.
+
+        Disk entries (``disk_dir``) are *not* removed — they remain valid
+        and will be re-loaded (counting as disk hits) on the next ``get``.
+        """
         self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_hits = 0
+        self.disk_corrupt = 0
+        self.wall_seconds_saved = 0.0
 
     def stats_line(self) -> str:
         """One-line summary for timing reports."""
-        return (
+        line = (
             f"run cache: {self.stores} unique simulations, {self.hits} hits "
             f"({self.disk_hits} from disk), {self.misses} misses, "
             f"~{self.wall_seconds_saved:.1f}s of simulation re-use"
         )
+        if self.disk_corrupt:
+            line += f", {self.disk_corrupt} corrupt disk entries rejected"
+        return line
 
     # -- internals ----------------------------------------------------------
 
@@ -142,7 +204,33 @@ class RunCache:
         try:
             with open(path) as fh:
                 data = json.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self.disk_corrupt += 1
+            logger.warning(
+                "run cache entry %s is unreadable/truncated; re-simulating",
+                path,
+            )
+            return None
+        if not isinstance(data, dict):
+            self.disk_corrupt += 1
+            logger.warning(
+                "run cache entry %s has an unknown schema; re-simulating", path
+            )
+            return None
+        if data.get("format") != _CACHE_FORMAT_VERSION:
+            # Another format version is stale-by-definition, not corrupt.
+            logger.warning(
+                "run cache entry %s has format %r (want %d); re-simulating",
+                path, data.get("format"), _CACHE_FORMAT_VERSION,
+            )
+            return None
+        if data.get("checksum") != _entry_checksum(data):
+            self.disk_corrupt += 1
+            logger.warning(
+                "run cache entry %s failed its checksum; re-simulating", path
+            )
             return None
         try:
             return SimResult(
@@ -153,17 +241,25 @@ class RunCache:
                 prefetcher=None,
             )
         except (KeyError, TypeError):
+            self.disk_corrupt += 1
+            logger.warning(
+                "run cache entry %s failed to deserialize; re-simulating", path
+            )
             return None
 
     def _store_disk(self, key: str, result: SimResult) -> None:
         path = self._disk_path(key)
         data = {
+            "format": _CACHE_FORMAT_VERSION,
             "trace_name": result.trace_name,
             "category": result.category,
             "prefetcher_name": result.prefetcher_name,
             "stats": result.stats.to_dict(),
         }
-        tmp = path + ".tmp"
+        data["checksum"] = _entry_checksum(data)
+        # Unique tmp name per process *and* per write: two sweeps sharing
+        # REPRO_RUN_CACHE_DIR must never interleave into one tmp file.
+        tmp = f"{path}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
         try:
             with open(tmp, "w") as fh:
                 json.dump(data, fh)

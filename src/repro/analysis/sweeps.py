@@ -16,7 +16,10 @@ quantifies exactly that.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Callable, List, Optional, Sequence
+
+logger = logging.getLogger(__name__)
 
 from repro.analysis.experiments import _cached_units, _cached_workload, run_cached
 from repro.analysis.metrics import geometric_mean
@@ -29,13 +32,19 @@ from repro.workloads.generators import WorkloadSpec
 
 @dataclasses.dataclass
 class SweepPoint:
-    """Aggregate metrics for one parameter value."""
+    """Aggregate metrics for one parameter value.
+
+    ``failures`` counts workloads that raised during simulation and were
+    skipped (the point aggregates over the survivors); a long sensitivity
+    sweep degrades per-workload instead of dying wholesale.
+    """
 
     value: object
     geomean_speedup: float
     mean_coverage: float
     mean_accuracy: float
     mean_pq_drops: float
+    failures: int = 0
 
 
 def _evaluate_point(
@@ -47,28 +56,38 @@ def _evaluate_point(
     coverages: List[float] = []
     accuracies: List[float] = []
     drops: List[float] = []
+    failures = 0
     for spec in specs:
-        trace = _cached_workload(spec)
-        units = _cached_units(spec, sim_config.line_size)
-        warm = int(spec.n_instructions * 0.4)
-        # The baseline repeats across sweep points (and across sweeps with
-        # the same SimConfig): serve it from the run cache.
-        base = run_cached(spec, "no", sim_config).stats
-        stats = simulate(
-            trace, make_prefetcher(), config=sim_config, units=units,
-            warmup_instructions=warm,
-        ).stats
+        try:
+            trace = _cached_workload(spec)
+            units = _cached_units(spec, sim_config.line_size)
+            warm = int(spec.n_instructions * 0.4)
+            # The baseline repeats across sweep points (and across sweeps
+            # with the same SimConfig): serve it from the run cache.
+            base = run_cached(spec, "no", sim_config).stats
+            stats = simulate(
+                trace, make_prefetcher(), config=sim_config, units=units,
+                warmup_instructions=warm,
+            ).stats
+        except Exception as exc:  # noqa: BLE001 — skip, don't kill the sweep
+            failures += 1
+            logger.warning(
+                "sweep point skipped workload %s: %s: %s",
+                spec.name, type(exc).__name__, exc,
+            )
+            continue
         ratios.append(stats.ipc / base.ipc if base.ipc else 0.0)
         coverages.append(stats.coverage_vs(base))
         accuracies.append(stats.accuracy)
         drops.append(float(stats.prefetches_dropped_pq_full))
-    n = max(1, len(specs))
+    n = max(1, len(ratios))
     return SweepPoint(
         value=None,
         geomean_speedup=geometric_mean(ratios) if ratios else 0.0,
         mean_coverage=sum(coverages) / n,
         mean_accuracy=sum(accuracies) / n,
         mean_pq_drops=sum(drops) / n,
+        failures=failures,
     )
 
 
@@ -127,10 +146,13 @@ def sweep_entangling_parameter(
 def render_sweep(title: str, points: Sequence[SweepPoint]) -> str:
     lines = [title]
     for point in points:
-        lines.append(
+        line = (
             f"  {str(point.value):>8s}  speedup={point.geomean_speedup:.3f}  "
             f"coverage={point.mean_coverage:.3f}  "
             f"accuracy={point.mean_accuracy:.3f}  "
             f"pq_drops={point.mean_pq_drops:.0f}"
         )
+        if point.failures:
+            line += f"  ({point.failures} workload(s) failed, skipped)"
+        lines.append(line)
     return "\n".join(lines)

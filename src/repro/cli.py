@@ -58,10 +58,30 @@ def _run_one(trace, config_name: str, warmup: int, units=None):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
-    result = _run_one(trace, args.prefetcher, args.warmup)
+    if args.task_timeout is not None or args.retries is not None:
+        # Guarded execution: run the simulation in a worker process so a
+        # hang can be timed out and a crash retried.
+        from repro.analysis.parallel import map_resilient
+
+        outcome = map_resilient(
+            _sweep_worker,
+            [(args.trace, args.prefetcher, args.warmup)],
+            labels=[args.prefetcher],
+            jobs=2,  # pooled execution (1 task -> 1 worker); enables timeout
+            policy=_cli_policy(args),
+        )
+        result = outcome.results[0]
+        if result is None:
+            failure = outcome.report.quarantined[0]
+            print(f"FAILED {failure.label} after {failure.attempts} "
+                  f"attempt(s): {failure.error}", file=sys.stderr)
+            return 1
+    else:
+        trace = read_trace(args.trace)
+        result = _run_one(trace, args.prefetcher, args.warmup)
     stats = result.stats
-    print(f"trace:      {trace.name} ({stats.instructions} measured instructions)")
+    print(f"trace:      {result.trace_name} "
+          f"({stats.instructions} measured instructions)")
     print(f"prefetcher: {result.prefetcher_name}")
     print(f"IPC:        {stats.ipc:.4f}")
     print(f"L1I MPKI:   {stats.l1i_mpki:.2f}")
@@ -82,7 +102,7 @@ def _worker_trace(path: str):
     return read_trace(path)
 
 
-def _sweep_worker(task):
+def _sweep_worker(task, attempt=0, in_process=False):
     """Run one configuration of a sweep (executed in a worker process)."""
     trace_path, config_name, warmup = task
     trace = _worker_trace(trace_path)
@@ -90,25 +110,46 @@ def _sweep_worker(task):
     return result.detached()
 
 
+def _cli_policy(args: argparse.Namespace):
+    """Retry policy from ``--retries`` / ``--task-timeout`` (env fallback)."""
+    from repro.analysis.parallel import RetryPolicy
+
+    policy = RetryPolicy.from_env()
+    if getattr(args, "retries", None) is not None:
+        policy = RetryPolicy(
+            retries=max(0, args.retries),
+            timeout=policy.timeout,
+            backoff_base=policy.backoff_base,
+        )
+    if getattr(args, "task_timeout", None) is not None:
+        timeout = args.task_timeout if args.task_timeout > 0 else None
+        policy = RetryPolicy(
+            retries=policy.retries,
+            timeout=timeout,
+            backoff_base=policy.backoff_base,
+        )
+    return policy
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import map_resilient
+
     names = [n.strip() for n in args.prefetchers.split(",") if n.strip()]
     jobs = resolve_jobs(args.jobs)
-    if jobs > 1 and len(names) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        tasks = [(args.trace, name, args.warmup) for name in names]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            results = list(pool.map(_sweep_worker, tasks))
-    else:
-        trace = read_trace(args.trace)
-        units = build_fetch_units(trace, SimConfig().line_size)
-        results = [
-            _run_one(trace, name, args.warmup, units=units) for name in names
-        ]
+    tasks = [(args.trace, name, args.warmup) for name in names]
+    outcome = map_resilient(
+        _sweep_worker,
+        tasks,
+        labels=names,
+        jobs=jobs if len(names) > 1 else 1,
+        policy=_cli_policy(args),
+    )
     baseline = None
     rows = []
     total_wall = 0.0
-    for name, result in zip(names, results):
+    for name, result in zip(names, outcome.results):
+        if result is None:
+            continue  # quarantined; reported below
         stats = result.stats
         total_wall += stats.wall_seconds
         if baseline is None:
@@ -121,14 +162,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             stats.coverage_vs(baseline),
             stats.accuracy,
         ])
-    print(format_table(
-        ["config", "IPC", "vs first", "MPKI", "coverage", "accuracy"],
-        rows,
-        float_format="{:.3f}",
-    ))
-    print(f"({len(names)} configs, {total_wall:.1f}s of simulation, "
-          f"jobs={jobs})")
-    return 0
+    if rows:
+        print(format_table(
+            ["config", "IPC", "vs first", "MPKI", "coverage", "accuracy"],
+            rows,
+            float_format="{:.3f}",
+        ))
+    print(f"({len(rows)}/{len(names)} configs, {total_wall:.1f}s of "
+          f"simulation, jobs={jobs})")
+    for failure in outcome.report.quarantined:
+        print(f"FAILED {failure.label} after {failure.attempts} attempt(s): "
+              f"{failure.error}", file=sys.stderr)
+    return 0 if rows else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
              f"l1i_64kb, l1i_96kb",
     )
     run.add_argument("--warmup", type=int, default=0)
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="run in a worker process, timing out after this many seconds "
+             "(default: REPRO_TASK_TIMEOUT or unguarded in-process run)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retry a crashed/hung run this many times "
+             "(default: REPRO_TASK_RETRIES or 2; implies worker-process mode)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="compare prefetchers on one trace")
@@ -170,6 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: REPRO_JOBS env or 1 = serial)",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-configuration timeout in seconds for parallel sweeps "
+             "(default: REPRO_TASK_TIMEOUT or none)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per failed configuration before quarantining it "
+             "(default: REPRO_TASK_RETRIES or 2)",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -76,6 +76,10 @@ class SimStats:
     # host-side timing telemetry (wall-clock, *not* architectural state:
     # excluded from :meth:`signature` so determinism checks ignore it)
     wall_seconds: float = 0.0
+    # executor attempts this run consumed (1 = first try succeeded; >1
+    # means the fault-tolerant runner retried a crashed/hung/corrupt
+    # worker task) — telemetry, like wall_seconds
+    attempts: int = 1
 
     def reset(self) -> None:
         """Zero every counter in place (end-of-warm-up measurement start).
@@ -144,7 +148,7 @@ class SimStats:
     # -- serialization / comparison ----------------------------------------
 
     #: Fields that reflect the host machine, not simulated behaviour.
-    TELEMETRY_FIELDS = ("wall_seconds",)
+    TELEMETRY_FIELDS = ("wall_seconds", "attempts")
 
     def signature(self) -> Dict[str, Any]:
         """All architectural counters as a plain dict.

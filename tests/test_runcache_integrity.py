@@ -1,0 +1,247 @@
+"""Integrity tests for the on-disk run cache.
+
+The contract under test: a corrupted, truncated, tampered, or
+wrong-version disk entry is detected on load and treated as a miss
+(logged, re-simulated) — never raised, never silently served; concurrent
+writers sharing a cache directory cannot publish interleaved garbage;
+and ``run_key`` is a stable canonical fingerprint, pinned here so
+accidental drift (repr changes, field reordering, cross-version
+differences) fails loudly.
+"""
+
+import json
+import os
+import threading
+
+from repro.analysis.experiments import run_cached
+from repro.analysis.runcache import (
+    RunCache,
+    _CACHE_FORMAT_VERSION,
+    run_key,
+)
+from repro.sim.config import SimConfig
+from repro.sim.simulator import SimResult
+from repro.sim.stats import SimStats
+from repro.workloads.generators import WorkloadSpec
+
+SPEC = WorkloadSpec(name="rc_int", category="int", seed=31, n_instructions=12_000)
+
+
+def _make_result(instructions: int = 1000) -> SimResult:
+    stats = SimStats(instructions=instructions, cycles=2 * instructions)
+    return SimResult(
+        trace_name="t", category="int", prefetcher_name="no", stats=stats
+    )
+
+
+class TestRunKeyCanonical:
+    def test_pinned_key_for_known_input(self):
+        """Guards against fingerprint drift: a changed key silently
+        invalidates (or collides with) every on-disk cache entry.  If
+        this fails because the key derivation *deliberately* changed,
+        bump ``_CACHE_FORMAT_VERSION`` and re-pin."""
+        spec = WorkloadSpec(
+            name="pin", category="int", seed=7, n_instructions=50_000
+        )
+        assert (
+            run_key(spec, "next_line", SimConfig(), 20_000)
+            == "e446a545dad016fc993541cd58f45835"
+        )
+
+    def test_key_distinguishes_every_component(self):
+        base = SimConfig()
+        key = run_key(SPEC, "next_line", base, 1000)
+        assert key != run_key(SPEC, "entangling_2k", base, 1000)
+        assert key != run_key(SPEC, "next_line", base, 0)
+        assert key != run_key(SPEC, "next_line", base.with_l1i_kb(64), 1000)
+        other = WorkloadSpec(
+            name="rc_int", category="int", seed=32, n_instructions=12_000
+        )
+        assert key != run_key(other, "next_line", base, 1000)
+        assert key == run_key(SPEC, "next_line", SimConfig(), 1000)
+
+
+class TestDiskIntegrity:
+    def _path(self, cache: RunCache, key: str) -> str:
+        return os.path.join(cache.disk_dir, f"{key}.json")
+
+    def _seed_entry(self, tmp_path):
+        writer = RunCache(disk_dir=str(tmp_path))
+        writer.put("k" * 32, _make_result())
+        return writer, self._path(writer, "k" * 32)
+
+    def test_roundtrip_with_checksum(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["format"] == _CACHE_FORMAT_VERSION
+        assert "checksum" in data
+        reader = RunCache(disk_dir=str(tmp_path))
+        loaded = reader.get("k" * 32)
+        assert loaded is not None
+        assert loaded.stats.instructions == 1000
+        assert reader.disk_hits == 1
+        assert reader.disk_corrupt == 0
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path) as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text[: len(text) // 2])
+        reader = RunCache(disk_dir=str(tmp_path))
+        assert reader.get("k" * 32) is None
+        assert reader.misses == 1
+        assert reader.disk_corrupt == 1
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        reader = RunCache(disk_dir=str(tmp_path))
+        assert reader.get("k" * 32) is None
+        assert reader.disk_corrupt == 1
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["format"] = _CACHE_FORMAT_VERSION + 1
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        reader = RunCache(disk_dir=str(tmp_path))
+        assert reader.get("k" * 32) is None
+
+    def test_tampered_value_fails_checksum(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["stats"]["instructions"] = 999_999  # bit flip / partial write
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        reader = RunCache(disk_dir=str(tmp_path))
+        assert reader.get("k" * 32) is None
+        assert reader.disk_corrupt == 1
+
+    def test_missing_stats_key_is_a_miss(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path) as fh:
+            data = json.load(fh)
+        del data["stats"]
+        del data["checksum"]
+        from repro.analysis.runcache import _entry_checksum
+
+        data["checksum"] = _entry_checksum(data)  # checksum passes, key absent
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        reader = RunCache(disk_dir=str(tmp_path))
+        assert reader.get("k" * 32) is None
+        assert reader.disk_corrupt == 1
+
+    def test_corrupt_entry_recomputed_and_healed(self, tmp_path):
+        """End-to-end: a corrupted entry is re-simulated, not served."""
+        cache = RunCache(disk_dir=str(tmp_path))
+        original = run_cached(SPEC, "next_line", cache=cache)
+        key = run_key(
+            SPEC, "next_line", SimConfig(), int(SPEC.n_instructions * 0.4)
+        )
+        with open(self._path(cache, key), "w") as fh:
+            fh.write('{"format": 2, "garbage"')
+        fresh = RunCache(disk_dir=str(tmp_path))
+        recomputed = run_cached(SPEC, "next_line", cache=fresh)
+        assert fresh.disk_corrupt == 1
+        assert fresh.stores == 1  # re-simulated and re-stored
+        assert recomputed.stats.signature() == original.stats.signature()
+        healed = RunCache(disk_dir=str(tmp_path))
+        assert healed.get(key) is not None  # the rewrite repaired the entry
+
+    def test_corruption_reported_in_stats_line(self, tmp_path):
+        _writer, path = self._seed_entry(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("not json")
+        reader = RunCache(disk_dir=str(tmp_path))
+        reader.get("k" * 32)
+        assert "corrupt" in reader.stats_line()
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_publish_garbage(self, tmp_path):
+        """Two caches hammering the same keys in the same directory (the
+        two-parallel-sweeps scenario): every published file must parse
+        and pass its checksum — old value or new value, never a blend."""
+        keys = ["a" * 32, "b" * 32]
+        n_rounds = 100
+        errors = []
+
+        def writer(worker: int):
+            cache = RunCache(disk_dir=str(tmp_path))
+            for i in range(n_rounds):
+                for key in keys:
+                    cache.put(key, _make_result(1000 + worker * n_rounds + i))
+
+        def reader():
+            cache = RunCache(disk_dir=str(tmp_path))
+            for _ in range(n_rounds * 2):
+                cache._mem.clear()  # force the disk path every time
+                for key in keys:
+                    try:
+                        result = cache.get(key)
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        continue
+                    if result is not None and result.stats.instructions < 1000:
+                        errors.append(
+                            ValueError(f"garbage load: {result.stats}")
+                        )
+
+        threads = [
+            threading.Thread(target=writer, args=(0,)),
+            threading.Thread(target=writer, args=(1,)),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = RunCache(disk_dir=str(tmp_path))
+        for key in keys:
+            assert final.get(key) is not None
+        assert final.disk_corrupt == 0
+        leftovers = [
+            name for name in os.listdir(str(tmp_path)) if ".tmp" in name
+        ]
+        assert leftovers == []
+
+    def test_tmp_names_unique_per_write(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        first = f"x.{os.getpid()}.{next(cache._tmp_counter)}.tmp"
+        second = f"x.{os.getpid()}.{next(cache._tmp_counter)}.tmp"
+        assert first != second
+
+
+class TestClearSemantics:
+    def test_clear_resets_counters(self):
+        cache = RunCache()
+        cache.put("k" * 32, _make_result())
+        cache.get("k" * 32)
+        cache.get("m" * 32)
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+        assert cache.wall_seconds_saved >= 0.0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.stores == 0
+        assert cache.disk_hits == 0
+        assert cache.disk_corrupt == 0
+        assert cache.wall_seconds_saved == 0.0
+        assert "0 unique simulations" in cache.stats_line()
+
+    def test_clear_keeps_disk_entries(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        cache.put("k" * 32, _make_result())
+        cache.clear()
+        reloaded = cache.get("k" * 32)
+        assert reloaded is not None  # served from disk after clear
+        assert cache.disk_hits == 1
