@@ -15,8 +15,17 @@ import os
 import platform
 import time
 
-from repro.analysis.experiments import run_suite
+from repro.analysis.experiments import (
+    resolve_config,
+    resolve_warmup,
+    run_suite,
+    _cached_units,
+    _cached_workload,
+)
 from repro.analysis.runcache import RunCache
+from repro.obs.profiler import PhaseProfiler, set_stage_profiler
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
 from repro.workloads.generators import CATEGORIES, WorkloadSpec
 
 TRAJECTORY_PATH = os.path.join(
@@ -46,13 +55,38 @@ def _load_trajectory(path: str) -> list:
         return []
 
 
+def _profiled_phase_seconds() -> dict:
+    """One profiled Entangling run: where simulator wall-clock goes."""
+    spec = BENCH_SUITE[0]
+    prefetcher, sim_config = resolve_config("entangling_4k", SimConfig())
+    profiler = PhaseProfiler()
+    result = simulate(
+        _cached_workload(spec),
+        prefetcher,
+        config=sim_config,
+        units=_cached_units(spec, sim_config.line_size),
+        warmup_instructions=resolve_warmup(spec, None),
+        profiler=profiler,
+    )
+    return {
+        phase: round(seconds, 4)
+        for phase, seconds in result.stats.phase_seconds.items()
+    }
+
+
 def test_perf_throughput():
     # Fresh, isolated cache: telemetry must reflect real simulations, not
-    # results memoized by other benchmarks in the same session.
-    evaluation = run_suite(
-        BENCH_SUITE, list(BENCH_CONFIGS), include_baseline=True,
-        cache=RunCache(),
-    )
+    # results memoized by other benchmarks in the same session.  The stage
+    # profiler times the analysis pipeline around the runs.
+    stages = PhaseProfiler()
+    previous = set_stage_profiler(stages)
+    try:
+        evaluation = run_suite(
+            BENCH_SUITE, list(BENCH_CONFIGS), include_baseline=True,
+            cache=RunCache(),
+        )
+    finally:
+        set_stage_profiler(previous)
 
     runs = []
     total_wall = 0.0
@@ -88,6 +122,11 @@ def test_perf_throughput():
             "instrs_per_sec": round(total_instrs / total_wall, 1),
             "cycles_per_sec": round(total_cycles / total_wall, 1),
         },
+        "stages": {
+            name: round(seconds, 4)
+            for name, seconds in sorted(stages.seconds.items())
+        },
+        "phases": _profiled_phase_seconds(),
     }
 
     trajectory = _load_trajectory(TRAJECTORY_PATH)

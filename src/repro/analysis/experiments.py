@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.checkpoint import CheckpointManifest, get_checkpoint
 from repro.analysis.runcache import RunCache, get_run_cache, run_key
+from repro.obs.profiler import stage
 
 if TYPE_CHECKING:
     from repro.analysis.parallel import FaultReport, RetryPolicy
@@ -152,24 +153,39 @@ class EvaluationResult:
         return list(self.runs)
 
     def normalized_ipc(self, config: str, baseline: str = "no") -> Dict[str, float]:
-        """Per-workload IPC normalized to the given baseline config."""
+        """Per-workload IPC normalized to the given baseline config.
+
+        Workloads whose baseline run is missing (quarantined by the
+        fault-tolerant executor) report 0.0 — downstream geomeans skip
+        and flag zeros instead of crashing.
+        """
         out: Dict[str, float] = {}
+        baseline_runs = self.runs.get(baseline, {})
         for workload, result in self.runs[config].items():
-            base = self.runs[baseline][workload].stats
-            out[workload] = result.stats.ipc / base.ipc if base.ipc else 0.0
+            base = baseline_runs.get(workload)
+            if base is None or not base.stats.ipc:
+                out[workload] = 0.0
+            else:
+                out[workload] = result.stats.ipc / base.stats.ipc
         return out
 
     def geomean_speedup(self, config: str, baseline: str = "no") -> float:
-        from repro.analysis.metrics import geometric_mean
+        """Geomean of normalized IPC, skipping-and-flagging faulted pairs."""
+        from repro.analysis.metrics import robust_geometric_mean
 
         ratios = list(self.normalized_ipc(config, baseline).values())
-        return geometric_mean(ratios)
+        if not ratios:
+            return 0.0
+        return robust_geometric_mean(
+            ratios, context=f"geomean_speedup({config!r})"
+        )
 
     def coverage(self, config: str, baseline: str = "no") -> Dict[str, float]:
         out: Dict[str, float] = {}
+        baseline_runs = self.runs.get(baseline, {})
         for workload, result in self.runs[config].items():
-            base = self.runs[baseline][workload].stats
-            out[workload] = result.stats.coverage_vs(base)
+            base = baseline_runs.get(workload)
+            out[workload] = result.stats.coverage_vs(base.stats) if base else 0.0
         return out
 
     def accuracy(self, config: str) -> Dict[str, float]:
@@ -212,18 +228,27 @@ def run_single(
     base_config: Optional[SimConfig] = None,
     warmup_instructions: Optional[int] = None,
 ) -> SimResult:
-    """Simulate one (configuration, workload) pair with a fresh prefetcher."""
+    """Simulate one (configuration, workload) pair with a fresh prefetcher.
+
+    The three pipeline stages (trace construction, fetch-unit
+    preprocessing, simulation) report to the installed stage profiler —
+    see :func:`repro.obs.profiler.set_stage_profiler` — and are untimed
+    no-ops otherwise.
+    """
     base = base_config or SimConfig()
     prefetcher, sim_config = resolve_config(config_name, base)
-    trace = _cached_workload(spec)
-    units = _cached_units(spec, sim_config.line_size)
-    return simulate(
-        trace,
-        prefetcher,
-        config=sim_config,
-        units=units,
-        warmup_instructions=resolve_warmup(spec, warmup_instructions),
-    )
+    with stage("workload_build"):
+        trace = _cached_workload(spec)
+    with stage("fetch_units"):
+        units = _cached_units(spec, sim_config.line_size)
+    with stage("simulate"):
+        return simulate(
+            trace,
+            prefetcher,
+            config=sim_config,
+            units=units,
+            warmup_instructions=resolve_warmup(spec, warmup_instructions),
+        )
 
 
 def run_cached(
@@ -310,26 +335,27 @@ def run_suite(
     evaluation.categories = {spec.name: spec.category for spec in specs}
     n_jobs = resolve_jobs(jobs)
     active_checkpoint = _resolve_checkpoint(checkpoint)
-    if n_jobs > 1 or active_checkpoint is not None or retry_policy is not None:
-        from repro.analysis.parallel import run_tasks_parallel
+    with stage("run_suite"):
+        if n_jobs > 1 or active_checkpoint is not None or retry_policy is not None:
+            from repro.analysis.parallel import run_tasks_parallel
 
-        outcome = run_tasks_parallel(
-            specs,
-            names,
-            base_config=base_config,
-            warmup_instructions=warmup_instructions,
-            jobs=n_jobs,
-            cache=_resolve_cache(cache),
-            checkpoint=active_checkpoint,
-            policy=retry_policy,
-        )
-        evaluation.runs = outcome.runs
-        evaluation.faults = outcome.report
-    else:
-        for name in names:
-            evaluation.runs[name] = run_prefetcher_on_suite(
-                specs, name, base_config, warmup_instructions, cache=cache
+            outcome = run_tasks_parallel(
+                specs,
+                names,
+                base_config=base_config,
+                warmup_instructions=warmup_instructions,
+                jobs=n_jobs,
+                cache=_resolve_cache(cache),
+                checkpoint=active_checkpoint,
+                policy=retry_policy,
             )
+            evaluation.runs = outcome.runs
+            evaluation.faults = outcome.report
+        else:
+            for name in names:
+                evaluation.runs[name] = run_prefetcher_on_suite(
+                    specs, name, base_config, warmup_instructions, cache=cache
+                )
     return evaluation
 
 

@@ -1,16 +1,22 @@
-"""CSV export of evaluation results and figure data.
+"""CSV / metrics export of evaluation results and figure data.
 
 Every figure driver in :mod:`repro.analysis.figures` returns plain data;
 these helpers serialize that data so external plotting tools can redraw
 the paper's figures from this reproduction's numbers.
+
+Per-run counter values are read through the unified metrics registry
+(:mod:`repro.obs.registry`) — one naming scheme shared with the JSON /
+CSV / Prometheus exporters below — instead of reaching into each counter
+dataclass separately.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import List, Mapping, Sequence, TextIO, Union
+from typing import List, Mapping, Optional, Sequence, TextIO, Union
 
 from repro.analysis.experiments import EvaluationResult
+from repro.obs.registry import MetricsRegistry, registry_for_run
 
 PathOrFile = Union[str, TextIO]
 
@@ -23,6 +29,67 @@ def _with_writer(path_or_file: PathOrFile, emit) -> None:
         emit(csv.writer(path_or_file))
 
 
+def _write_text(path_or_file: PathOrFile, text: str) -> None:
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            fh.write(text)
+    else:
+        path_or_file.write(text)
+
+
+def evaluation_metrics_registry(
+    evaluation: EvaluationResult,
+    config: str,
+    workload: str,
+    baseline: str = "no",
+) -> MetricsRegistry:
+    """The unified registry for one evaluation run.
+
+    Simulator (and any prefetcher-internal) metrics from the run, plus
+    the evaluation-level derived gauges (normalized IPC and coverage
+    against ``baseline``), labelled with the run's identity.
+    """
+    result = evaluation.runs[config][workload]
+    registry = registry_for_run(result)
+    registry.register(
+        "repro_eval_normalized_ipc",
+        evaluation.normalized_ipc(config, baseline).get(workload, 0.0),
+        kind="gauge",
+        help=f"IPC normalized to the {baseline!r} baseline",
+    )
+    registry.register(
+        "repro_eval_coverage",
+        evaluation.coverage(config, baseline).get(workload, 0.0),
+        kind="gauge",
+        help="Fraction of baseline L1I misses eliminated",
+    )
+    registry.relabel({"config": config, "workload": workload})
+    return registry
+
+
+#: (CSV column, registry metric name) for the per-run evaluation export.
+_EVAL_CSV_COLUMNS = (
+    ("ipc", "repro_sim_ipc"),
+    ("normalized_ipc", "repro_eval_normalized_ipc"),
+    ("l1i_mpki", "repro_sim_l1i_mpki"),
+    ("miss_ratio", "repro_sim_l1i_miss_ratio"),
+    ("coverage", "repro_eval_coverage"),
+    ("accuracy", "repro_sim_accuracy"),
+    ("prefetches_sent", "repro_sim_prefetches_sent"),
+    ("useful", "repro_sim_useful_prefetches"),
+    ("late", "repro_sim_late_prefetches"),
+    ("wrong", "repro_sim_wrong_prefetches"),
+    ("wall_seconds", "repro_sim_wall_seconds"),
+    ("instrs_per_sec", "repro_sim_instrs_per_second"),
+)
+
+_EVAL_CSV_FORMATS = {
+    "ipc": "{:.6f}", "normalized_ipc": "{:.6f}", "l1i_mpki": "{:.4f}",
+    "miss_ratio": "{:.6f}", "coverage": "{:.6f}", "accuracy": "{:.6f}",
+    "wall_seconds": "{:.4f}", "instrs_per_sec": "{:.1f}",
+}
+
+
 def export_evaluation_csv(
     evaluation: EvaluationResult, path_or_file: PathOrFile
 ) -> None:
@@ -30,39 +97,46 @@ def export_evaluation_csv(
 
     def emit(writer) -> None:
         writer.writerow(
-            [
-                "config", "workload", "category", "ipc", "normalized_ipc",
-                "l1i_mpki", "miss_ratio", "coverage", "accuracy",
-                "prefetches_sent", "useful", "late", "wrong",
-                "wall_seconds", "instrs_per_sec",
-            ]
+            ["config", "workload", "category"]
+            + [column for column, _metric in _EVAL_CSV_COLUMNS]
         )
         for config in evaluation.configs():
-            normalized = evaluation.normalized_ipc(config)
-            cov = evaluation.coverage(config)
             for workload in sorted(evaluation.runs[config]):
-                stats = evaluation.stats(config, workload)
-                writer.writerow(
-                    [
-                        config,
-                        workload,
-                        evaluation.categories.get(workload, "unknown"),
-                        f"{stats.ipc:.6f}",
-                        f"{normalized[workload]:.6f}",
-                        f"{stats.l1i_mpki:.4f}",
-                        f"{stats.l1i_miss_ratio:.6f}",
-                        f"{cov[workload]:.6f}",
-                        f"{stats.accuracy:.6f}",
-                        stats.prefetches_sent,
-                        stats.useful_prefetches,
-                        stats.late_prefetches,
-                        stats.wrong_prefetches,
-                        f"{stats.wall_seconds:.4f}",
-                        f"{stats.instrs_per_second:.1f}",
-                    ]
+                labels = {"config": config, "workload": workload}
+                registry = evaluation_metrics_registry(
+                    evaluation, config, workload
                 )
+                row: List[object] = [
+                    config,
+                    workload,
+                    evaluation.categories.get(workload, "unknown"),
+                ]
+                for column, metric in _EVAL_CSV_COLUMNS:
+                    value = registry.value(metric, labels)
+                    template = _EVAL_CSV_FORMATS.get(column)
+                    row.append(template.format(value) if template else value)
+                writer.writerow(row)
 
     _with_writer(path_or_file, emit)
+
+
+def export_metrics_json(
+    registry: MetricsRegistry, path_or_file: PathOrFile, indent: Optional[int] = 2
+) -> None:
+    """Write a metrics registry as JSON (``{"metrics": [...]}``)."""
+    _write_text(path_or_file, registry.to_json(indent=indent) + "\n")
+
+
+def export_metrics_csv(registry: MetricsRegistry, path_or_file: PathOrFile) -> None:
+    """Write a metrics registry as ``name,labels,kind,value`` CSV."""
+    _write_text(path_or_file, registry.to_csv())
+
+
+def export_metrics_prometheus(
+    registry: MetricsRegistry, path_or_file: PathOrFile
+) -> None:
+    """Write a metrics registry in Prometheus text exposition format."""
+    _write_text(path_or_file, registry.to_prometheus_text())
 
 
 def export_curves_csv(

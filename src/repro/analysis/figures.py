@@ -25,6 +25,7 @@ from repro.analysis.metrics import (
     category_means,
     geometric_mean,
     percentile_curve,
+    robust_geometric_mean,
 )
 from repro.analysis.oracle import OracleResult, run_oracle
 from repro.analysis.storage import prefetcher_storage_kb
@@ -289,8 +290,11 @@ def fig11_ablation(
                     units=units,
                     warmup_instructions=warm,
                 ).stats
-                ratios.append(stats.ipc / baseline[spec.name])
-            out[variant][size] = geometric_mean(ratios)
+                base_ipc = baseline[spec.name]
+                ratios.append(stats.ipc / base_ipc if base_ipc else 0.0)
+            out[variant][size] = robust_geometric_mean(
+                ratios, context=f"fig11[{variant}, {size}]"
+            )
     return out
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.sim.stats import SimStats
@@ -16,6 +17,30 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def robust_geometric_mean(values: Iterable[float], context: str = "") -> float:
+    """Geometric mean over the *positive* values, flagging what it skipped.
+
+    Faulted or partial evaluations (see ``EvaluationResult.faults``) can
+    yield zero-IPC runs whose normalized ratio is 0.0; aborting an entire
+    report over one bad pair helps nobody, so those pairs are skipped and
+    reported via a ``RuntimeWarning``.  Returns 0.0 when nothing is left.
+    """
+    values = list(values)
+    positive = [v for v in values if v > 0]
+    skipped = len(values) - len(positive)
+    if skipped:
+        where = f" in {context}" if context else ""
+        warnings.warn(
+            f"geometric mean skipped {skipped} non-positive value(s){where} "
+            f"(missing or zero-IPC runs from a partial evaluation)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not positive:
+        return 0.0
+    return geometric_mean(positive)
 
 
 def normalized_ipc(stats: SimStats, baseline: SimStats) -> float:
@@ -47,11 +72,24 @@ def accuracy(stats: SimStats) -> float:
 def geomean_normalized_ipc(
     per_workload: Mapping[str, SimStats], baselines: Mapping[str, SimStats]
 ) -> float:
-    """Geometric mean of per-workload normalized IPC (Figure 6 metric)."""
+    """Geometric mean of per-workload normalized IPC (Figure 6 metric).
+
+    Workloads with a missing baseline or a zero IPC (faulted / partial
+    runs) are skipped and flagged instead of aborting the report.
+    """
     ratios = [
-        normalized_ipc(stats, baselines[name]) for name, stats in per_workload.items()
+        normalized_ipc(stats, baselines[name])
+        for name, stats in per_workload.items()
+        if name in baselines
     ]
-    return geometric_mean(ratios)
+    missing = len(per_workload) - len(ratios)
+    if missing:
+        warnings.warn(
+            f"geomean_normalized_ipc: {missing} workload(s) have no baseline run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return robust_geometric_mean(ratios, context="geomean_normalized_ipc")
 
 
 def category_means(

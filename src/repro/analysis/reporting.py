@@ -56,10 +56,13 @@ def format_timing_table(
     total_wall = 0.0
     total_instrs = 0
     total_attempts = 0
+    phase_totals: dict = {}
     for config, workload, stats in entries:
         total_wall += stats.wall_seconds
         total_instrs += stats.instructions
         total_attempts += stats.attempts
+        for phase, seconds in stats.phase_seconds.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
         rows.append(
             [
                 config,
@@ -74,6 +77,18 @@ def format_timing_table(
         aggregate = total_instrs / total_wall / 1e3 if total_wall > 0 else 0.0
         rows.append(["(total)", "", total_wall, 0.0, aggregate, str(total_attempts)])
     text = f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
+    if phase_totals:
+        # Profiled runs carry per-phase wall-clock (see repro.obs.profiler);
+        # aggregate them into one breakdown line under the table.
+        spent = sum(phase_totals.values())
+        parts = "  ".join(
+            f"{phase}={seconds:.2f}s"
+            + (f" ({100.0 * seconds / spent:.0f}%)" if spent > 0 else "")
+            for phase, seconds in sorted(
+                phase_totals.items(), key=lambda kv: -kv[1]
+            )
+        )
+        text += f"\nphase breakdown: {parts}"
     if faults is not None and not faults.clean:
         text += "\n" + faults.summary_line()
         for failure in faults.quarantined:

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Three subcommands mirror the typical workflow of a prefetching study::
+Four subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
     python -m repro run  out.trc --prefetcher entangling_4k --warmup 200000
     python -m repro sweep out.trc --prefetchers no,next_line,entangling_4k
+    python -m repro trace out.trc --prefetcher entangling_4k --export out
 
 ``gen`` writes a synthetic workload to a trace file; ``run`` simulates a
 trace with one prefetcher configuration and prints the statistics;
-``sweep`` compares several configurations on the same trace.  Traces use
-the compact binary format of :mod:`repro.workloads.trace`, so externally
-produced traces (see :mod:`repro.workloads.convert`) run the same way.
+``sweep`` compares several configurations on the same trace; ``trace``
+runs with the prefetch-lifecycle tracer attached (see :mod:`repro.obs`)
+and prints per-pair timeliness histograms plus the late/wrong breakdown.
+Traces use the compact binary format of :mod:`repro.workloads.trace`, so
+externally produced traces (see :mod:`repro.workloads.convert`) run the
+same way.
 """
 
 from __future__ import annotations
@@ -176,6 +180,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if rows else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.export import (
+        export_metrics_csv,
+        export_metrics_json,
+        export_metrics_prometheus,
+    )
+    from repro.obs import (
+        PhaseProfiler,
+        PrefetchTracer,
+        TimelinessReport,
+        registry_for_run,
+    )
+
+    trace = read_trace(args.trace)
+    prefetcher, sim_config = resolve_config(args.prefetcher, SimConfig())
+    units = build_fetch_units(trace, sim_config.line_size)
+    tracer = PrefetchTracer(capacity=args.capacity, sample=args.sample)
+    profiler = PhaseProfiler() if args.profile else None
+    result = simulate(
+        trace, prefetcher, config=sim_config, units=units,
+        warmup_instructions=args.warmup, tracer=tracer, profiler=profiler,
+    )
+    stats = result.stats
+    report = TimelinessReport.from_tracer(tracer)
+
+    print(f"trace:      {result.trace_name} "
+          f"({stats.instructions} measured instructions)")
+    print(f"prefetcher: {result.prefetcher_name}")
+    print(f"events:     {tracer.emitted} recorded, "
+          f"{tracer.sampled_out} sampled out, "
+          f"{'ring overflowed' if tracer.overflowed else 'complete stream'}")
+    print(report.format(limit=args.top))
+
+    ok = True
+    if tracer.is_exact:
+        # The acceptance cross-check: an exact trace's totals must equal
+        # the architectural counters of the same run.
+        expected = (
+            stats.useful_prefetches, stats.late_prefetches,
+            stats.wrong_prefetches,
+        )
+        observed = (report.useful, report.late, report.wrong)
+        ok = observed == expected
+        status = "OK" if ok else "MISMATCH"
+        print(f"cross-check vs SimStats: {status} "
+              f"(traced useful/late/wrong={observed}, counters={expected})")
+        if not ok:
+            print("cross-check failed: traced totals diverged from "
+                  "architectural counters", file=sys.stderr)
+
+    if profiler is not None:
+        print(profiler.format("Simulator phase profile"))
+
+    if args.export:
+        registry = registry_for_run(
+            result,
+            labels={"workload": result.trace_name, "config": args.prefetcher},
+        )
+        for suffix, export in (
+            (".json", export_metrics_json),
+            (".csv", export_metrics_csv),
+            (".prom", export_metrics_prometheus),
+        ):
+            path = args.export + suffix
+            export(registry, path)
+            print(f"wrote {path}")
+
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +319,49 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: REPRO_TASK_RETRIES or 2)",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    traced = sub.add_parser(
+        "trace",
+        help="simulate with the prefetch-lifecycle tracer attached",
+    )
+    traced.add_argument("trace", help="trace file (see `repro gen`)")
+    traced.add_argument(
+        "--prefetcher",
+        default="entangling_4k",
+        help=f"one of: {', '.join(available_prefetchers())}, "
+             f"l1i_64kb, l1i_96kb",
+    )
+    traced.add_argument("--warmup", type=int, default=0)
+    traced.add_argument(
+        "--capacity",
+        type=int,
+        default=1 << 20,
+        help="tracer ring-buffer size in events (oldest overwritten beyond)",
+    )
+    traced.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="record ~1/N of the cache lines (1 = exact, full stream)",
+    )
+    traced.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="worst (src, dst) pairs to list, ranked by late+wrong",
+    )
+    traced.add_argument(
+        "--profile",
+        action="store_true",
+        help="also time the simulator's four phases and print the profile",
+    )
+    traced.add_argument(
+        "--export",
+        default=None,
+        metavar="PREFIX",
+        help="write the run's metrics registry to PREFIX.json/.csv/.prom",
+    )
+    traced.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -275,7 +275,11 @@ class EntanglingPrefetcher(InstructionPrefetcher):
             return ()  # not a basic-block head: covered by its head's block
         if info.demand_cycle is not None:
             demand_cycle = info.demand_cycle
-        latency = info.latency
+        # The deadline uses the latency the *demand* observed: for late
+        # prefetches that runs from the demand access, not from the
+        # earlier prefetch issue (which would overstate the miss cost and
+        # select needlessly old sources).
+        latency = info.demand_latency
         deadline = demand_cycle - latency
         self._entangle(info.line_addr, deadline)
         return ()

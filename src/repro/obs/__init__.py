@@ -1,0 +1,49 @@
+"""Observability: prefetch-lifecycle tracing, metrics, phase profiling.
+
+Three independent facilities, all strictly opt-in:
+
+* :mod:`repro.obs.tracer` — a ring-buffered, sampling-capable event
+  tracer recording each prefetch's lifecycle (requested -> enqueued or
+  dropped -> issued -> filled -> useful / late / wrong) plus L1I demand
+  accesses, and the :class:`~repro.obs.tracer.TimelinessReport` derived
+  from it (the paper's Figure 5/13 style analysis).
+* :mod:`repro.obs.registry` — a unified metrics registry turning the
+  ``SimStats`` / ``EntanglingStats`` / ``TableStats`` counter dataclasses
+  into named, typed metrics with JSON, CSV and Prometheus-text exporters.
+* :mod:`repro.obs.profiler` — wall-clock phase profiling for the
+  simulator's four phases (fills / predict / issue / retire) and the
+  analysis pipeline stages.
+
+Overhead contract: a simulation constructed without a tracer or profiler
+executes the exact pre-observability code paths — every hook site is a
+single attribute-is-None check — and its ``SimStats.signature()`` is
+bit-identical to a process that never imported this package.
+"""
+
+from repro.obs.profiler import (
+    PhaseProfiler,
+    get_stage_profiler,
+    set_stage_profiler,
+    stage,
+)
+from repro.obs.registry import Metric, MetricsRegistry, registry_for_run
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    PrefetchTracer,
+    TimelinessReport,
+    TraceEvent,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Metric",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PrefetchTracer",
+    "TimelinessReport",
+    "TraceEvent",
+    "get_stage_profiler",
+    "registry_for_run",
+    "set_stage_profiler",
+    "stage",
+]

@@ -1,0 +1,265 @@
+"""Unified metrics registry and exporters.
+
+One naming scheme for every counter the reproduction collects:
+
+* ``repro_sim_*`` — simulator counters (:class:`~repro.sim.stats.SimStats`),
+  with cache access counts labelled ``{cache=...,op=...}`` and phase
+  timings labelled ``{phase=...}``;
+* ``repro_entangling_*`` — prefetcher-internal counters
+  (:class:`~repro.core.entangling.EntanglingStats`);
+* ``repro_table_*`` — Entangled-table counters
+  (:class:`~repro.core.entangled_table.TableStats`), with the Figure-12
+  format histogram labelled ``{bits=...}``.
+
+Monotonic event counts register as ``counter``; derived ratios, rates and
+wall-clock telemetry as ``gauge``.  The same registry feeds the JSON, CSV
+and Prometheus-text exporters, replacing the previous per-dataclass
+ad-hoc serialization paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import SimResult
+    from repro.sim.stats import SimStats
+
+#: Derived SimStats properties exported as gauges alongside the raw counters.
+_SIM_DERIVED = (
+    "ipc",
+    "l1i_miss_ratio",
+    "l1i_mpki",
+    "accuracy",
+    "branch_misprediction_rate",
+    "instrs_per_second",
+    "cycles_per_second",
+)
+
+#: SimStats fields that are host-side telemetry, not architectural counts.
+_SIM_GAUGES = ("wall_seconds", "attempts")
+
+
+@dataclass
+class Metric:
+    """One named, typed metric with optional Prometheus-style labels."""
+
+    name: str
+    value: float
+    kind: str = "counter"  # "counter" | "gauge"
+    help: str = ""
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return (self.name, tuple(sorted(self.labels.items())))
+
+    def labels_text(self) -> str:
+        if not self.labels:
+            return ""
+        body = ",".join(
+            f'{key}="{value}"' for key, value in sorted(self.labels.items())
+        )
+        return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """An ordered collection of :class:`Metric` with bulk constructors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Metric] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        value: float,
+        kind: str = "counter",
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Metric:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        metric = Metric(name, value, kind, help, dict(labels or {}))
+        self._metrics[metric.key()] = metric
+        return metric
+
+    def add_dataclass(
+        self,
+        obj: Any,
+        prefix: str,
+        gauges: Iterable[str] = (),
+        skip: Iterable[str] = (),
+    ) -> None:
+        """Register every numeric field of a counter dataclass.
+
+        ``gauges`` names fields registered as gauges instead of counters;
+        ``skip`` names fields handled specially by the caller.
+        """
+        gauge_set = set(gauges)
+        skip_set = set(skip)
+        for field_info in dataclasses.fields(obj):
+            name = field_info.name
+            if name in skip_set:
+                continue
+            value = getattr(obj, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            self.register(
+                f"{prefix}_{name}",
+                value,
+                kind="gauge" if name in gauge_set else "counter",
+            )
+
+    def relabel(self, extra_labels: Mapping[str, str]) -> None:
+        """Attach labels to every registered metric (e.g. config/workload)."""
+        metrics = list(self._metrics.values())
+        self._metrics.clear()
+        for metric in metrics:
+            metric.labels.update(extra_labels)
+            self._metrics[metric.key()] = metric
+
+    # -- access ---------------------------------------------------------------
+
+    def metrics(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> float:
+        key = (name, tuple(sorted((labels or {}).items())))
+        return self._metrics[key].value
+
+    def names(self) -> List[str]:
+        seen: List[str] = []
+        for metric in self._metrics.values():
+            if metric.name not in seen:
+                seen.append(metric.name)
+        return seen
+
+    # -- exporters ------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        payload = {
+            "metrics": [
+                {
+                    "name": m.name,
+                    "value": m.value,
+                    "kind": m.kind,
+                    "help": m.help,
+                    "labels": m.labels,
+                }
+                for m in self._metrics.values()
+            ]
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        lines = ["name,labels,kind,value"]
+        for m in self._metrics.values():
+            labels = ";".join(f"{k}={v}" for k, v in sorted(m.labels.items()))
+            lines.append(f"{m.name},{labels},{m.kind},{m.value}")
+        return "\n".join(lines) + "\n"
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus exposition format (text version 0.0.4)."""
+        lines: List[str] = []
+        described: set = set()
+        for m in self._metrics.values():
+            if m.name not in described:
+                described.add(m.name)
+                if m.help:
+                    lines.append(f"# HELP {m.name} {m.help}")
+                lines.append(f"# TYPE {m.name} {m.kind}")
+            value = float(m.value)
+            rendered = repr(int(value)) if value.is_integer() else repr(value)
+            lines.append(f"{m.name}{m.labels_text()} {rendered}")
+        return "\n".join(lines) + "\n"
+
+
+# -- bulk constructors ------------------------------------------------------------
+
+
+def registry_from_sim_stats(
+    stats: "SimStats", registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """All SimStats counters, cache access counts, derived gauges and
+    phase timings under the ``repro_sim_`` prefix."""
+    registry = registry or MetricsRegistry()
+    registry.add_dataclass(
+        stats,
+        "repro_sim",
+        gauges=_SIM_GAUGES,
+        skip=("cache_accesses", "phase_seconds"),
+    )
+    for cache, counts in sorted(stats.cache_accesses.items()):
+        for op, value in (("read", counts.reads), ("write", counts.writes)):
+            registry.register(
+                "repro_sim_cache_accesses",
+                value,
+                help="Per-cache access counts (energy model inputs)",
+                labels={"cache": cache, "op": op},
+            )
+    for phase, seconds in sorted(stats.phase_seconds.items()):
+        registry.register(
+            "repro_sim_phase_seconds",
+            seconds,
+            kind="gauge",
+            help="Wall-clock seconds spent per simulator phase",
+            labels={"phase": phase},
+        )
+    for name in _SIM_DERIVED:
+        registry.register(
+            f"repro_sim_{name}", getattr(stats, name), kind="gauge"
+        )
+    return registry
+
+
+def registry_from_prefetcher(
+    prefetcher: Any, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Entangling / table internal counters, when the prefetcher has them."""
+    registry = registry or MetricsRegistry()
+    estats = getattr(prefetcher, "estats", None)
+    if estats is not None:
+        registry.add_dataclass(estats, "repro_entangling")
+        for name in (
+            "avg_destinations_per_hit",
+            "avg_src_bb_size",
+            "avg_dst_bb_size",
+            "avg_prefetches_per_hit",
+        ):
+            registry.register(
+                f"repro_entangling_{name}", getattr(estats, name), kind="gauge"
+            )
+    table = getattr(prefetcher, "table", None)
+    tstats = getattr(table, "stats", None)
+    if tstats is not None:
+        registry.add_dataclass(tstats, "repro_table", skip=("format_bits",))
+        for bits, count in sorted(tstats.format_bits.items()):
+            registry.register(
+                "repro_table_format_bits",
+                count,
+                help="Destination arrays encoded per address width (Fig 12)",
+                labels={"bits": str(bits)},
+            )
+    return registry
+
+
+def registry_for_run(
+    result: "SimResult", labels: Optional[Mapping[str, str]] = None
+) -> MetricsRegistry:
+    """The unified registry for one simulation: simulator counters plus
+    any prefetcher-internal structures the run carried."""
+    registry = registry_from_sim_stats(result.stats)
+    if result.prefetcher is not None:
+        registry_from_prefetcher(result.prefetcher, registry)
+    if labels:
+        registry.relabel(labels)
+    return registry

@@ -1,0 +1,263 @@
+"""Prefetch-lifecycle event tracing.
+
+The tracer is a passive observer: the simulator calls
+:meth:`PrefetchTracer.emit` at every lifecycle transition, and the tracer
+only appends to a bounded ring buffer.  It never feeds information back
+into the simulation, so enabling it cannot change any architectural
+counter; when no tracer is attached the hook sites reduce to a single
+``is None`` check.
+
+Lifecycle of one prefetched line (event kinds in order)::
+
+    pf_requested -> pf_enqueued | pf_dropped(reason)
+    pf_enqueued  -> pf_issued   | pf_stale(reason)
+    pf_issued    -> fill
+    fill         -> pf_useful | pf_wrong            (timely or never used)
+    pf_late                                          (demanded mid-flight)
+
+Demand-side events (``demand_access`` with a hit/miss flag and ``fill``
+for demand misses) interleave with the prefetch events so the derived
+:class:`TimelinessReport` can measure *margins*: how early a useful
+prefetch arrived, how late a late one completed, and how long a wrong one
+sat in the cache before being evicted unused.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+#: Every kind the simulator emits, in rough lifecycle order.
+EVENT_KINDS = (
+    "pf_requested",
+    "pf_enqueued",
+    "pf_dropped",       # arg: "in_cache" | "in_flight" | "pq_full"
+    "pf_stale",         # arg: "in_cache" | "in_flight" (filtered at issue)
+    "pf_issued",
+    "fill",             # arg: (is_demand, was_prefetch, latency)
+    "pf_useful",
+    "pf_late",
+    "pf_wrong",         # evicted with the access bit still unset
+    "demand_access",    # arg: hit (bool)
+)
+
+#: Multiplier for the sampling hash (Knuth's multiplicative constant) —
+#: spreads line addresses so ``sample=N`` keeps ~1/N of the *lines*
+#: (every event of a kept line is recorded, keeping lifecycles coherent).
+_HASH_MULT = 0x9E3779B1
+_HASH_MASK = 0xFFFFFFFF
+
+
+class TraceEvent(NamedTuple):
+    """One recorded lifecycle transition."""
+
+    kind: str
+    cycle: int
+    line_addr: int
+    src_meta: Any
+    arg: Any
+
+
+class PrefetchTracer:
+    """Ring-buffered, sampling-capable lifecycle event recorder.
+
+    Args:
+        capacity: ring-buffer size; the oldest events are overwritten
+            once ``capacity`` is exceeded (``overflowed`` reports this).
+        sample: keep every line whose 32-bit multiplicative hash falls in
+            the lowest ``1/sample`` of the hash space.  ``1`` records
+            everything; sampling decisions are per *line address*, so a
+            sampled line's entire lifecycle stays coherent.
+    """
+
+    def __init__(self, capacity: int = 1 << 20, sample: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        if sample < 1:
+            raise ValueError("sample must be at least 1 (1 = record all)")
+        self.capacity = capacity
+        self.sample = sample
+        self._threshold = (_HASH_MASK + 1) // sample
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0      # events offered (post-sampling)
+        self.sampled_out = 0  # events skipped by the sampling filter
+
+    # -- recording -----------------------------------------------------------
+
+    def wants(self, line_addr: int) -> bool:
+        """Sampling decision for a line (stable across its lifecycle)."""
+        if self.sample == 1:
+            return True
+        return ((line_addr * _HASH_MULT) & _HASH_MASK) < self._threshold
+
+    def emit(
+        self,
+        kind: str,
+        cycle: int,
+        line_addr: int,
+        src_meta: Any = None,
+        arg: Any = None,
+    ) -> None:
+        if not self.wants(line_addr):
+            self.sampled_out += 1
+            return
+        self.emitted += 1
+        self._events.append(TraceEvent(kind, cycle, line_addr, src_meta, arg))
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def overflowed(self) -> bool:
+        """True when the ring wrapped and early events were lost."""
+        return self.emitted > len(self._events)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the buffer holds the *complete* event stream."""
+        return not self.overflowed and self.sample == 1
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+        self.sampled_out = 0
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+def _log2_bucket(value: int) -> str:
+    """Histogram bucket label: 0, 1, 2, 3-4, 5-8, 9-16, ..."""
+    if value <= 2:
+        return str(max(value, 0))
+    low = 1 << ((value - 1).bit_length() - 1)
+    return f"{low + 1}-{low * 2}"
+
+
+def _bucket_sort_key(label: str) -> int:
+    return int(label.split("-", 1)[0])
+
+
+class TimelinessReport:
+    """Per-prefetch timeliness derived from a traced run (Figure 5/13 style).
+
+    Totals (``useful`` / ``late`` / ``wrong``) count the corresponding
+    feedback events; with an exact trace (no sampling, no ring overflow)
+    they equal the ``SimStats`` counters of the same run.  Margins are
+    measured in cycles:
+
+    * useful:  demand cycle - fill cycle (how early the line arrived);
+    * late:    fill cycle - demand cycle (how long the demand kept waiting);
+    * wrong:   evict cycle - fill cycle (wasted residency).
+    """
+
+    def __init__(self) -> None:
+        self.useful = 0
+        self.late = 0
+        self.wrong = 0
+        self.demand_accesses = 0
+        self.demand_hits = 0
+        self.useful_margins: Dict[str, int] = {}
+        self.late_margins: Dict[str, int] = {}
+        self.wrong_lifetimes: Dict[str, int] = {}
+        #: (src, dst) pair -> [useful, late, wrong]
+        self.per_pair: Dict[Tuple[int, int], List[int]] = {}
+        self.exact = True
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer: PrefetchTracer) -> "TimelinessReport":
+        report = cls.from_events(tracer.events())
+        report.exact = tracer.is_exact
+        return report
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TimelinessReport":
+        report = cls()
+        last_fill: Dict[int, int] = {}    # line -> most recent fill cycle
+        late_marked: Dict[int, int] = {}  # line -> demand cycle of the late mark
+        for event in events:
+            kind = event.kind
+            if kind == "fill":
+                line = event.line_addr
+                demand_cycle = late_marked.pop(line, None)
+                if demand_cycle is not None:
+                    report._bucket(report.late_margins, event.cycle - demand_cycle)
+                last_fill[line] = event.cycle
+            elif kind == "pf_useful":
+                report.useful += 1
+                report._pair(event.src_meta, 0)
+                fill_cycle = last_fill.get(event.line_addr)
+                if fill_cycle is not None:
+                    report._bucket(report.useful_margins, event.cycle - fill_cycle)
+            elif kind == "pf_late":
+                report.late += 1
+                report._pair(event.src_meta, 1)
+                late_marked[event.line_addr] = event.cycle
+            elif kind == "pf_wrong":
+                report.wrong += 1
+                report._pair(event.src_meta, 2)
+                fill_cycle = last_fill.get(event.line_addr)
+                if fill_cycle is not None:
+                    report._bucket(report.wrong_lifetimes, event.cycle - fill_cycle)
+            elif kind == "demand_access":
+                report.demand_accesses += 1
+                if event.arg:
+                    report.demand_hits += 1
+        return report
+
+    def _bucket(self, histogram: Dict[str, int], value: int) -> None:
+        label = _log2_bucket(value)
+        histogram[label] = histogram.get(label, 0) + 1
+
+    def _pair(self, src_meta: Any, slot: int) -> None:
+        if isinstance(src_meta, tuple) and len(src_meta) == 2:
+            counts = self.per_pair.setdefault(src_meta, [0, 0, 0])
+            counts[slot] += 1
+
+    # -- rendering ----------------------------------------------------------------
+
+    def worst_pairs(self, limit: int = 10) -> List[Tuple[Tuple[int, int], List[int]]]:
+        """Pairs ranked by late+wrong count (the debugging entry point)."""
+        ranked = sorted(
+            self.per_pair.items(), key=lambda kv: (-(kv[1][1] + kv[1][2]), kv[0])
+        )
+        return ranked[:limit]
+
+    def format(self, limit: int = 10) -> str:
+        lines = [
+            "Prefetch timeliness (traced)"
+            + ("" if self.exact else "  [sampled/overflowed: totals are estimates]"),
+            f"  useful={self.useful} late={self.late} wrong={self.wrong} "
+            f"demand_accesses={self.demand_accesses} "
+            f"demand_hits={self.demand_hits}",
+        ]
+        for title, histogram in (
+            ("useful margin (cycles early)", self.useful_margins),
+            ("late margin (cycles waited)", self.late_margins),
+            ("wrong lifetime (cycles resident)", self.wrong_lifetimes),
+        ):
+            lines.append(f"  {title}:")
+            if not histogram:
+                lines.append("    (none)")
+                continue
+            for label in sorted(histogram, key=_bucket_sort_key):
+                lines.append(f"    {label:>9s}: {histogram[label]}")
+        worst = self.worst_pairs(limit)
+        if worst:
+            lines.append(f"  worst (src, dst) pairs by late+wrong (top {len(worst)}):")
+            for (src, dst), (useful, late, wrong) in worst:
+                lines.append(
+                    f"    0x{src:x} -> 0x{dst:x}: "
+                    f"useful={useful} late={late} wrong={wrong}"
+                )
+        return "\n".join(lines)

@@ -62,7 +62,24 @@ class FillInfo:
 
     @property
     def latency(self) -> int:
-        """Measured fetch latency of this fill."""
+        """Measured fetch latency of this fill (from its own issue time)."""
+        return self.fill_cycle - self.issue_cycle
+
+    @property
+    def demand_latency(self) -> int:
+        """Miss latency as observed by the demanding access.
+
+        For a late prefetch the demand arrived while the line was already
+        in flight, so the latency it observed runs from ``demand_cycle``
+        to the fill — not from the earlier prefetch issue.  Using
+        :attr:`latency` there overstates the wait and makes
+        latency-driven source selection (the paper's ``latency``-cycle
+        deadline) pick sources older than required.  Demand misses
+        observe the full issue-to-fill latency, identical to
+        :attr:`latency`.
+        """
+        if self.was_prefetch and self.is_demand and self.demand_cycle is not None:
+            return self.fill_cycle - self.demand_cycle
         return self.fill_cycle - self.issue_cycle
 
     @property

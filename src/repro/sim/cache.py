@@ -60,6 +60,11 @@ class SetAssociativeCache:
             entry.last_use = self._tick
         return entry
 
+    def touch(self, entry: CacheLine) -> None:
+        """Promote a line found via a no-update probe (one LRU touch)."""
+        self._tick += 1
+        entry.last_use = self._tick
+
     def contains(self, line_addr: int) -> bool:
         return line_addr in self._sets[self._index(line_addr)]
 

@@ -15,7 +15,7 @@ paper's §IV-E scenario that slightly reduces prefetcher coverage.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, Set
 
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.config import SimConfig
@@ -23,24 +23,53 @@ from repro.sim.stats import SimStats
 
 
 class PageMapper:
-    """Deterministic random virtual-to-physical page mapping."""
+    """Deterministic random virtual-to-physical page mapping.
+
+    The mapping is *injective*: every virtual page gets its own physical
+    frame (two pages aliasing onto one frame would fabricate L1I/L2 hits
+    and corrupt the §IV-E physical-mode results).  Frames are drawn from
+    a shuffled pool so consecutive virtual pages land on non-consecutive
+    frames, and allocation is fully determined by the seed and the order
+    in which pages are first touched.
+    """
+
+    #: Number of frames in the randomized pool.
+    POOL_SIZE = 1 << 20
 
     def __init__(self, seed: int, page_size: int, line_size: int) -> None:
         self._rng = random.Random(seed)
         self._lines_per_page = page_size // line_size
         self._mapping: Dict[int, int] = {}
-        self._next_frame = 0x100000  # arbitrary physical frame pool start
+        self._frame_base = 0x100000  # arbitrary physical frame pool start
+        self._used: Set[int] = set()
+        # Sequential overflow frames past the pool (only reachable after
+        # more than POOL_SIZE distinct pages).
+        self._next_frame = self._frame_base + self.POOL_SIZE
 
     def translate_line(self, vline: int) -> int:
         """Map a virtual line address to its physical line address."""
         vpage, offset = divmod(vline, self._lines_per_page)
         frame = self._mapping.get(vpage)
         if frame is None:
-            # Allocate frames in a shuffled order: deterministic but
-            # non-contiguous, like a long-running system's page pool.
-            frame = self._next_frame + self._rng.randrange(1 << 20)
+            frame = self._allocate_frame()
             self._mapping[vpage] = frame
         return frame * self._lines_per_page + offset
+
+    def _allocate_frame(self) -> int:
+        """A never-before-used frame, seed-deterministically shuffled."""
+        slot = self._rng.randrange(self.POOL_SIZE)
+        for _ in range(self.POOL_SIZE):
+            frame = self._frame_base + slot
+            if frame not in self._used:
+                self._used.add(frame)
+                return frame
+            # Collision with an earlier draw: linear-probe to the next
+            # free pool slot (still deterministic, guaranteed unique).
+            slot = (slot + 1) % self.POOL_SIZE
+        frame = self._next_frame  # pool exhausted: sequential fallback
+        self._next_frame += 1
+        self._used.add(frame)
+        return frame
 
 
 class MemoryHierarchy:

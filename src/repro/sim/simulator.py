@@ -92,10 +92,18 @@ class Simulator:
         prefetcher: InstructionPrefetcher,
         config: Optional[SimConfig] = None,
         units: Optional[Sequence[FetchUnit]] = None,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.trace = trace
         self.prefetcher = prefetcher
+        # Observability hooks (see repro.obs), duck-typed so this module
+        # never imports the obs package: a ``tracer`` records lifecycle
+        # events via ``emit``; a ``profiler`` times the four phases via
+        # ``wrap``.  Both default to None = the exact uninstrumented path.
+        self.tracer = tracer
+        self.profiler = profiler
         self.units: Sequence[FetchUnit] = (
             units if units is not None else build_fetch_units(trace, self.config.line_size)
         )
@@ -165,6 +173,11 @@ class Simulator:
         do_predict = self._do_predict
         do_prefetch_issue = self._do_prefetch_issue
         do_retire = self._do_retire
+        if self.profiler is not None:
+            do_fills = self.profiler.wrap("fills", do_fills)
+            do_predict = self.profiler.wrap("predict", do_predict)
+            do_prefetch_issue = self.profiler.wrap("issue", do_prefetch_issue)
+            do_retire = self.profiler.wrap("retire", do_retire)
         next_event_cycle = self._next_event_cycle
         ftq = self._ftq
         stats = self.stats
@@ -190,6 +203,8 @@ class Simulator:
         stats.cycles = self.cycle - self._measure_start_cycle
         stats.instructions = self._retired - self._measure_start_retired
         stats.wall_seconds = time.perf_counter() - started
+        if self.profiler is not None:
+            stats.phase_seconds = self.profiler.snapshot()
         return stats
 
     _measure_start_cycle = 0
@@ -201,6 +216,10 @@ class Simulator:
         self._refresh_counter_refs()
         self._measure_start_cycle = self.cycle
         self._measure_start_retired = self._retired
+        if self.tracer is not None:
+            # Traced totals mirror the measured counters, so the warm-up
+            # events are discarded with them.
+            self.tracer.clear()
 
     def _next_event_cycle(self) -> int:
         candidates: List[int] = []
@@ -226,10 +245,13 @@ class Simulator:
         return bool(ready)
 
     def _fill_line(self, entry) -> None:
+        tracer = self.tracer
         victim = self.l1i.insert(entry.line_addr)
         self._l1i_counts.writes += 1
         if victim is not None and victim.prefetched:
             self.stats.wrong_prefetches += 1
+            if tracer is not None:
+                tracer.emit("pf_wrong", self.cycle, victim.line_addr, victim.src_meta)
             self.prefetcher.on_evict_unused(victim.line_addr, victim.src_meta, self.cycle)
         line = self.l1i.lookup(entry.line_addr, update_lru=False)
         line.prefetched = not entry.is_demand
@@ -243,6 +265,14 @@ class Simulator:
             demand_cycle=entry.demand_cycle,
             src_meta=entry.src_meta,
         )
+        if tracer is not None:
+            tracer.emit(
+                "fill",
+                self.cycle,
+                entry.line_addr,
+                entry.src_meta,
+                (entry.is_demand, entry.was_prefetch, info.demand_latency),
+            )
         self._collect(self.prefetcher.on_fill(info))
         waiters = self._waiting.pop(entry.line_addr, None)
         if waiters:
@@ -261,6 +291,7 @@ class Simulator:
         l1i = self.l1i
         mshr = self.mshr
         l1i_counts = self._l1i_counts
+        tracer = self.tracer
         # Prefetches may not occupy the last MSHR slots: demand misses
         # stall the predict stage when the file is full, so a prefetch
         # burst must not starve them.
@@ -274,10 +305,14 @@ class Simulator:
             if l1i.contains(line_addr):
                 pq.pop()
                 stats.prefetches_stale_in_cache += 1
+                if tracer is not None:
+                    tracer.emit("pf_stale", self.cycle, line_addr, src_meta, "in_cache")
                 continue
             if mshr.lookup(line_addr) is not None:
                 pq.pop()
                 stats.prefetches_stale_in_flight += 1
+                if tracer is not None:
+                    tracer.emit("pf_stale", self.cycle, line_addr, src_meta, "in_flight")
                 continue
             if len(mshr) >= mshr_limit:
                 break
@@ -285,6 +320,8 @@ class Simulator:
             ready = self.memory.request_instruction(line_addr, self.cycle)
             mshr.allocate(line_addr, self.cycle, ready, False, src_meta)
             stats.prefetches_sent += 1
+            if tracer is not None:
+                tracer.emit("pf_issued", self.cycle, line_addr, src_meta)
             issued = True
         return issued
 
@@ -328,16 +365,33 @@ class Simulator:
         return block
 
     def _demand_access(self, line_addr: int, block: _FtqBlock):
-        """Perform the demand L1I access for one FTQ block."""
+        """Perform the demand L1I access for one FTQ block.
+
+        The MSHR-full case is decided by a pure *probe* before any state
+        changes: the access retries next cycle and must not touch LRU
+        order or counters until the cycle it actually proceeds (one
+        architectural access = one LRU touch, one count).
+        """
         stats = self.stats
+        tracer = self.tracer
+        entry = self.l1i.lookup(line_addr, update_lru=False)
+        mshr_entry = None
+        if entry is None and not self.prefetcher.is_ideal:
+            mshr_entry = self.mshr.lookup(line_addr)
+            if mshr_entry is None and self.mshr.full:
+                return "retry"
         self._l1i_counts.reads += 1
         stats.l1i_demand_accesses += 1
-        entry = self.l1i.lookup(line_addr)
         if entry is not None:
+            self.l1i.touch(entry)
             stats.l1i_demand_hits += 1
+            if tracer is not None:
+                tracer.emit("demand_access", self.cycle, line_addr, None, True)
             if entry.prefetched:
                 entry.prefetched = False
                 stats.useful_prefetches += 1
+                if tracer is not None:
+                    tracer.emit("pf_useful", self.cycle, line_addr, entry.src_meta)
                 self.prefetcher.on_prefetch_useful(line_addr, entry.src_meta, self.cycle)
             block.ready_cycle = self.cycle + self.config.l1i_latency
             self._collect(self.prefetcher.on_demand_access(line_addr, True, self.cycle))
@@ -353,25 +407,21 @@ class Simulator:
             block.ready_cycle = self.cycle + self.config.l1i_latency
             return block.ready_cycle
 
-        mshr_entry = self.mshr.lookup(line_addr)
+        if tracer is not None:
+            tracer.emit("demand_access", self.cycle, line_addr, None, False)
         if mshr_entry is not None:
             stats.l1i_demand_misses += 1
             if not mshr_entry.is_demand:
                 mshr_entry.mark_demanded(self.cycle)
                 stats.late_prefetches += 1
+                if tracer is not None:
+                    tracer.emit("pf_late", self.cycle, line_addr, mshr_entry.src_meta)
                 self.prefetcher.on_prefetch_late(line_addr, mshr_entry.src_meta, self.cycle)
             else:
                 stats.l1i_mshr_merges += 1
             self._wait_on(line_addr, block)
             self._collect(self.prefetcher.on_demand_access(line_addr, False, self.cycle))
             return None
-
-        if self.mshr.full:
-            # Retried next cycle: undo this attempt's access accounting so
-            # each architectural access is counted exactly once.
-            self._l1i_counts.reads -= 1
-            stats.l1i_demand_accesses -= 1
-            return "retry"
 
         stats.l1i_demand_misses += 1
         ready = self.memory.request_instruction(line_addr, self.cycle + self.config.l1i_latency)
@@ -486,19 +536,37 @@ class Simulator:
         l1i = self.l1i
         mshr = self.mshr
         pq = self.pq
+        tracer = self.tracer
+        cycle = self.cycle
         for request in requests:
             stats.prefetches_requested += 1
             line_addr = request.line_addr
+            if tracer is not None:
+                tracer.emit("pf_requested", cycle, line_addr, request.src_meta)
             if l1i.contains(line_addr):
                 stats.prefetches_dropped_in_cache += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "pf_dropped", cycle, line_addr, request.src_meta, "in_cache"
+                    )
                 continue
             if mshr.lookup(line_addr) is not None:
                 stats.prefetches_dropped_in_flight += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "pf_dropped", cycle, line_addr, request.src_meta, "in_flight"
+                    )
                 continue
             if pq.push(line_addr, request.src_meta):
                 stats.prefetches_enqueued += 1
+                if tracer is not None:
+                    tracer.emit("pf_enqueued", cycle, line_addr, request.src_meta)
             else:
                 stats.prefetches_dropped_pq_full += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "pf_dropped", cycle, line_addr, request.src_meta, "pq_full"
+                    )
 
 
 def simulate(
@@ -507,9 +575,14 @@ def simulate(
     config: Optional[SimConfig] = None,
     units: Optional[Sequence[FetchUnit]] = None,
     warmup_instructions: int = 0,
+    tracer: Optional[Any] = None,
+    profiler: Optional[Any] = None,
 ) -> SimResult:
     """Convenience wrapper: run one trace through one prefetcher."""
-    sim = Simulator(trace, prefetcher, config=config, units=units)
+    sim = Simulator(
+        trace, prefetcher, config=config, units=units, tracer=tracer,
+        profiler=profiler,
+    )
     stats = sim.run(warmup_instructions=warmup_instructions)
     return SimResult(
         trace_name=trace.name,

@@ -80,6 +80,9 @@ class SimStats:
     # means the fault-tolerant runner retried a crashed/hung/corrupt
     # worker task) — telemetry, like wall_seconds
     attempts: int = 1
+    # wall-clock seconds per simulator phase (fills/predict/issue/retire),
+    # populated only when the run was profiled (see repro.obs.profiler)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter in place (end-of-warm-up measurement start).
@@ -148,7 +151,7 @@ class SimStats:
     # -- serialization / comparison ----------------------------------------
 
     #: Fields that reflect the host machine, not simulated behaviour.
-    TELEMETRY_FIELDS = ("wall_seconds", "attempts")
+    TELEMETRY_FIELDS = ("wall_seconds", "attempts", "phase_seconds")
 
     def signature(self) -> Dict[str, Any]:
         """All architectural counters as a plain dict.

@@ -302,3 +302,37 @@ class TestStorage:
         slightly more (see EXPERIMENTS.md)."""
         pf = EntanglingPrefetcher(EntanglingConfig(entries=8192))
         assert pf.storage_kb == pytest.approx(77.44, rel=0.05)
+
+
+class TestLatePrefetchDeadline:
+    """Regression: the training deadline for a late prefetch must use the
+    latency the *demand* observed (fill - demand), not the full in-flight
+    latency (fill - issue), which picked needlessly old sources."""
+
+    def test_demand_observed_latency(self):
+        info = fill(700, fill_cycle=200, issue_cycle=40, is_demand=True,
+                    was_prefetch=True, demand_cycle=190)
+        assert info.latency == 160
+        assert info.demand_latency == 10
+
+    def test_plain_demand_miss_unchanged(self):
+        info = fill(700, fill_cycle=200, issue_cycle=150, is_demand=True,
+                    was_prefetch=False, demand_cycle=150)
+        assert info.demand_latency == info.latency == 50
+
+    def test_late_fill_entangles_recent_source(self):
+        pf = EntanglingPrefetcher()
+        # Two candidate source heads: a recent one and an old one.
+        pf.history.push(500, 90)
+        pf.history.push(600, 150)
+        pf._pending[700] = 185  # BB-head demand miss awaiting its fill
+        # Late prefetch: issued at 40, demanded at 190, filled at 200.
+        # Demand-observed latency 10 -> deadline 180, so the head at 150
+        # qualifies.  The old fill-issue formula gave latency 160 ->
+        # deadline 30, skipping both heads entirely.
+        pf.on_fill(fill(700, fill_cycle=200, issue_cycle=40, is_demand=True,
+                        was_prefetch=True, demand_cycle=190))
+        assert pf.estats.entangle_no_source == 0
+        entry = pf.table.peek(600)
+        assert entry is not None and entry.find_dst(700) is not None
+        assert pf.table.peek(500) is None

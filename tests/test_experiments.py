@@ -178,3 +178,59 @@ class TestFigureDrivers:
         data, _ev = fig16_cloudsuite(specs, configs=("next_line",))
         assert data["next_line"]["c1"] > 0
         assert "Fig 16" in render_fig16(data)
+
+
+class TestPartialEvaluation:
+    """Regression: quarantined (missing) or zero-IPC runs used to crash
+    normalized-IPC aggregation with KeyError / ValueError."""
+
+    @staticmethod
+    def _result(name, cycles):
+        from repro.sim.simulator import SimResult
+        from repro.sim.stats import SimStats
+
+        stats = SimStats()
+        stats.instructions = 1000
+        stats.cycles = cycles
+        return SimResult(
+            trace_name=name, category="srv", prefetcher_name="x", stats=stats
+        )
+
+    def _partial(self):
+        # Baseline run for workload "b" was quarantined; "c" faulted to
+        # a zero-cycle (zero-IPC) baseline.
+        return EvaluationResult(
+            runs={
+                "no": {"a": self._result("a", 1000),
+                       "c": self._result("c", 0)},
+                "entangling_4k": {"a": self._result("a", 500),
+                                  "b": self._result("b", 500),
+                                  "c": self._result("c", 500)},
+            },
+            categories={"a": "srv", "b": "srv", "c": "srv"},
+        )
+
+    def test_normalized_ipc_flags_missing_pairs_as_zero(self):
+        evaluation = self._partial()
+        assert not evaluation.is_complete()
+        normalized = evaluation.normalized_ipc("entangling_4k")
+        assert normalized["a"] == pytest.approx(2.0)
+        assert normalized["b"] == 0.0  # baseline quarantined
+        assert normalized["c"] == 0.0  # baseline has zero IPC
+
+    def test_geomean_speedup_skips_and_flags(self):
+        evaluation = self._partial()
+        with pytest.warns(RuntimeWarning):
+            value = evaluation.geomean_speedup("entangling_4k")
+        assert value == pytest.approx(2.0)
+
+    def test_csv_export_renders_partial_result(self):
+        import io
+
+        from repro.analysis.export import export_evaluation_csv
+
+        buffer = io.StringIO()
+        export_evaluation_csv(self._partial(), buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 1 + 2 + 3  # header + no(2) + entangling(3)
+        assert any(line.startswith("entangling_4k,b,") for line in lines)

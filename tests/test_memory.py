@@ -91,3 +91,35 @@ class TestPageMapper:
         first = mapper.translate_line(5)
         for _ in range(10):
             assert mapper.translate_line(5) == first
+
+    def test_frames_never_alias(self):
+        """Regression: random frame draws used to collide, mapping two
+        virtual pages onto one physical frame and merging their lines."""
+        mapper = PageMapper(seed=3, page_size=4096, line_size=64)
+        lines_per_page = 4096 // 64
+        frames = set()
+        pages = 5000  # far past the birthday bound of the old 20-bit draw
+        for page in range(pages):
+            frames.add(mapper.translate_line(page * lines_per_page))
+        assert len(frames) == pages
+
+    def test_distinct_pages_distinct_lines(self):
+        mapper = PageMapper(seed=9, page_size=4096, line_size=64)
+        lines_per_page = 4096 // 64
+        translated = [
+            mapper.translate_line(page * lines_per_page + 7)
+            for page in range(3000)
+        ]
+        assert len(set(translated)) == len(translated)
+
+    def test_aliasing_fix_stays_seed_deterministic(self):
+        lines = [page * 64 + (page % 64) for page in range(500)]
+        a = PageMapper(seed=42, page_size=4096, line_size=64)
+        b = PageMapper(seed=42, page_size=4096, line_size=64)
+        assert [a.translate_line(l) for l in lines] == [
+            b.translate_line(l) for l in lines
+        ]
+        c = PageMapper(seed=43, page_size=4096, line_size=64)
+        assert [a.translate_line(l) for l in lines] != [
+            c.translate_line(l) for l in lines
+        ]

@@ -112,3 +112,61 @@ class TestGeomeanNormalizedIpc:
         fast = stats(cycles=800)
         slow = stats(cycles=1000)
         assert geomean_normalized_ipc({"w": fast}, {"w": slow}) == pytest.approx(1.25)
+
+
+class TestRobustGeometricMean:
+    """Regression: a zero-IPC run from a partial (faulted) evaluation used
+    to crash every downstream geomean with a ValueError."""
+
+    def test_skips_and_flags_nonpositive(self):
+        from repro.analysis.metrics import robust_geometric_mean
+
+        with pytest.warns(RuntimeWarning, match="skipped 1 non-positive"):
+            value = robust_geometric_mean([1.0, 0.0, 4.0], context="unit")
+        assert value == pytest.approx(2.0)
+
+    def test_all_nonpositive_returns_zero(self):
+        from repro.analysis.metrics import robust_geometric_mean
+
+        with pytest.warns(RuntimeWarning):
+            assert robust_geometric_mean([0.0, -1.0]) == 0.0
+
+    def test_empty_is_silent_zero(self):
+        from repro.analysis.metrics import robust_geometric_mean
+
+        assert robust_geometric_mean([]) == 0.0
+
+    def test_clean_inputs_match_strict_geomean(self):
+        from repro.analysis.metrics import robust_geometric_mean
+
+        values = [0.5, 2.0, 8.0]
+        assert robust_geometric_mean(values) == pytest.approx(
+            geometric_mean(values)
+        )
+
+    def test_strict_geomean_still_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geomean_normalized_ipc_with_missing_baseline(self):
+        from repro.analysis.metrics import geomean_normalized_ipc
+
+        fast = stats(cycles=500)
+        slow = stats(cycles=1000)
+        with pytest.warns(RuntimeWarning, match="no baseline"):
+            value = geomean_normalized_ipc(
+                {"a": fast, "b": fast}, {"a": slow}
+            )
+        assert value == pytest.approx(2.0)
+
+    def test_geomean_normalized_ipc_with_zero_ipc_run(self):
+        from repro.analysis.metrics import geomean_normalized_ipc
+
+        fast = stats(cycles=500)
+        slow = stats(cycles=1000)
+        dead = stats(cycles=0)  # faulted run: no cycles, IPC 0
+        with pytest.warns(RuntimeWarning):
+            value = geomean_normalized_ipc(
+                {"a": fast, "b": dead}, {"a": slow, "b": slow}
+            )
+        assert value == pytest.approx(2.0)

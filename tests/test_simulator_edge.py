@@ -128,3 +128,61 @@ class TestDataPath:
         result = simulate(Trace("t", insts), NullPrefetcher())
         # Only the first load misses into L2.
         assert result.stats.cache_accesses["L2C"].reads <= 2
+
+
+class TestMshrRetryLruIsolation:
+    """Regression: an access retried on a full MSHR file used to probe the
+    L1I with an LRU-updating lookup every retry cycle, multi-touching hot
+    lines and perturbing replacement under MSHR pressure."""
+
+    class CountingCache:
+        """Wraps the L1I, counting LRU promotions by mechanism."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.touches = 0
+            self.updating_hits = 0
+
+        def lookup(self, line_addr, update_lru=True):
+            entry = self._inner.lookup(line_addr, update_lru=update_lru)
+            if update_lru and entry is not None:
+                self.updating_hits += 1
+            return entry
+
+        def touch(self, entry):
+            self.touches += 1
+            self._inner.touch(entry)
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    def test_one_promotion_per_demand_hit(self):
+        from repro.sim.simulator import Simulator
+        from repro.workloads.trace import trace_from_pcs
+
+        config = SimConfig(l1i_mshrs=1, mshr_demand_reserve=0)
+        # Sequential code loops twice: plenty of hits and, with a single
+        # MSHR, plenty of full-MSHR retries.
+        pcs = [0x4000 + 4 * i for i in range(512)] * 2
+        trace = trace_from_pcs("seq2", pcs)
+        sim = Simulator(trace, NullPrefetcher(), config=config)
+        counting = self.CountingCache(sim.l1i)
+        sim.l1i = counting
+        stats = sim.run()
+        assert stats.mshr_full_events > 0
+        assert stats.l1i_demand_hits > 0
+        # Exactly one LRU promotion per architectural demand hit, and
+        # none from the probe path (retries promote nothing).
+        assert counting.touches == stats.l1i_demand_hits
+        assert counting.updating_hits == 0
+
+    def test_retry_heavy_run_is_deterministic(self):
+        from repro.workloads.trace import trace_from_pcs
+
+        config = SimConfig(l1i_mshrs=1, mshr_demand_reserve=0)
+        pcs = [0x4000 + 4 * i for i in range(512)] * 2
+        first = simulate(trace_from_pcs("seq2", pcs), NullPrefetcher(),
+                         config=config)
+        second = simulate(trace_from_pcs("seq2", pcs), NullPrefetcher(),
+                          config=config)
+        assert first.stats.signature() == second.stats.signature()
