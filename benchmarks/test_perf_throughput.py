@@ -3,14 +3,15 @@
 Runs the no-prefetch baseline and Entangling-4K over a small fixed suite,
 reads the per-run wall-clock/throughput telemetry that every simulation
 now records in ``SimStats``, and appends one record to the
-``BENCH_throughput.json`` trajectory file at the repository root.  Future
-performance PRs compare their record against the trajectory to show the
-simulator got faster (or at least not slower).
+``BENCH_throughput.json`` trajectory file at the repository root.  The
+trajectory is versioned (``schema_version``) and capped at the last N
+records (``REPRO_BENCH_KEEP``, default 50) via
+:mod:`repro.analysis.regression`, whose ``repro bench-check`` sentinel
+gates each new record against the trajectory in CI.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -21,6 +22,11 @@ from repro.analysis.experiments import (
     run_suite,
     _cached_units,
     _cached_workload,
+)
+from repro.analysis.regression import (
+    load_trajectory,
+    retention_from_env,
+    save_trajectory,
 )
 from repro.analysis.runcache import RunCache
 from repro.obs.profiler import PhaseProfiler, set_stage_profiler
@@ -44,15 +50,6 @@ BENCH_SUITE = [
 ]
 
 BENCH_CONFIGS = ("no", "entangling_4k")
-
-
-def _load_trajectory(path: str) -> list:
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-        return data if isinstance(data, list) else []
-    except (OSError, ValueError):
-        return []
 
 
 def _profiled_phase_seconds() -> dict:
@@ -129,11 +126,9 @@ def test_perf_throughput():
         "phases": _profiled_phase_seconds(),
     }
 
-    trajectory = _load_trajectory(TRAJECTORY_PATH)
+    trajectory = load_trajectory(TRAJECTORY_PATH)
     trajectory.append(record)
-    with open(TRAJECTORY_PATH, "w") as fh:
-        json.dump(trajectory, fh, indent=2)
-        fh.write("\n")
+    save_trajectory(TRAJECTORY_PATH, trajectory)
 
     print()
     print(
@@ -142,6 +137,8 @@ def test_perf_throughput():
         f"({record['aggregate']['total_wall_seconds']:.1f}s wall)"
     )
 
-    # The trajectory file is valid JSON and carries this run.
-    reloaded = _load_trajectory(TRAJECTORY_PATH)
+    # The trajectory file is valid JSON, versioned, capped, and carries
+    # this run as its newest entry.
+    reloaded = load_trajectory(TRAJECTORY_PATH)
     assert reloaded and reloaded[-1]["aggregate"]["instrs_per_sec"] > 0
+    assert len(reloaded) <= retention_from_env()

@@ -20,10 +20,17 @@ rest are served from the on-disk cache.  Worker faults are retried
 and persistent failures are quarantined and reported instead of killing
 the evaluation.
 
+With ``--trace PATH`` the whole evaluation is span-traced: every suite,
+cache lookup, executor attempt, retry backoff, and worker-side pipeline
+stage lands in one merged Chrome trace-event JSON (load it at
+https://ui.perfetto.dev).  ``--progress`` renders a live status line
+from worker heartbeats (equivalent to ``REPRO_PROGRESS=1``).
+
 Usage::
 
     python examples/full_evaluation.py [--per-category N] [--jobs N]
-        [--cache-dir DIR] [--resume] [--out FILE]
+        [--cache-dir DIR] [--resume] [--trace FILE] [--progress]
+        [--out FILE]
 """
 
 import argparse
@@ -81,6 +88,12 @@ def main() -> None:
     parser.add_argument("--task-timeout", type=float, default=None,
                         help="per-task timeout in seconds "
                              "(default: REPRO_TASK_TIMEOUT or none)")
+    parser.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="write a merged Chrome trace-event JSON of the "
+                             "whole evaluation to PATH (Perfetto-loadable)")
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live progress line from worker "
+                             "heartbeats (equivalent to REPRO_PROGRESS=1)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args()
@@ -92,6 +105,18 @@ def main() -> None:
         os.environ["REPRO_TASK_RETRIES"] = str(max(0, args.retries))
     if args.task_timeout is not None:
         os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if args.progress:
+        os.environ["REPRO_PROGRESS"] = "1"
+
+    # A process-wide span recorder makes every run_suite call below —
+    # including the ones buried inside figure drivers — record into one
+    # merged timeline (see repro.analysis.experiments).
+    recorder = None
+    if args.trace:
+        from repro.obs.spans import SpanRecorder, set_span_recorder
+
+        recorder = SpanRecorder(role="evaluation")
+        set_span_recorder(recorder)
 
     jobs = resolve_jobs(args.jobs)
     # One shared cache for every figure driver in this process: figures
@@ -191,6 +216,18 @@ def main() -> None:
     summary = "\n".join(lines)
     sections.append(summary)
     print(summary, flush=True)
+
+    if recorder is not None:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        names = {
+            pid: ("evaluation" if pid == recorder.pid else "worker")
+            + f" (pid {pid})"
+            for pid in {s.pid for s in recorder.spans}
+        }
+        write_chrome_trace(recorder.spans, args.trace, process_names=names)
+        print(f"execution trace written to {args.trace} "
+              f"(load at https://ui.perfetto.dev)", file=sys.stderr)
 
     if args.out:
         with open(args.out, "w") as fh:

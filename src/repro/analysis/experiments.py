@@ -13,9 +13,11 @@ enlarged L1I (the paper's alternative use of the storage budget).
 from __future__ import annotations
 
 import os
+import sys
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.checkpoint import CheckpointManifest, get_checkpoint
 from repro.analysis.runcache import RunCache, get_run_cache, run_key
@@ -300,6 +302,35 @@ def run_prefetcher_on_suite(
     }
 
 
+def _discover_span_recorder() -> Optional[Any]:
+    """The process-wide span recorder, *without* importing the span layer.
+
+    The zero-cost contract requires an untraced process to never load
+    ``repro.obs.spans``; drivers that want tracing either pass
+    ``trace_path`` (explicit opt-in, imports are fine) or install a
+    recorder via ``repro.obs.spans.set_span_recorder`` first — in which
+    case the module is already in ``sys.modules`` and this lookup finds
+    it for free.
+    """
+    spans_mod = sys.modules.get("repro.obs.spans")
+    if spans_mod is None:
+        return None
+    return spans_mod.get_span_recorder()
+
+
+def _progress_stream(progress: Union[bool, Any, None]) -> Optional[Any]:
+    """Resolve the ``progress`` argument to a stream (or None for off).
+
+    ``None`` defers to the ``REPRO_PROGRESS`` environment variable;
+    ``True`` renders to stderr; a file-like object renders to it.
+    """
+    if progress is None:
+        progress = bool(os.environ.get("REPRO_PROGRESS", "").strip())
+    if not progress:
+        return None
+    return progress if hasattr(progress, "write") else sys.stderr
+
+
 def run_suite(
     specs: Sequence[WorkloadSpec],
     config_names: Sequence[str],
@@ -310,6 +341,8 @@ def run_suite(
     cache: CacheArg = DEFAULT_CACHE,
     checkpoint: CheckpointArg = DEFAULT_CHECKPOINT,
     retry_policy: Optional["RetryPolicy"] = None,
+    trace_path: Optional[str] = None,
+    progress: Union[bool, Any, None] = None,
 ) -> EvaluationResult:
     """Run a set of configurations over a suite of workloads.
 
@@ -327,6 +360,16 @@ def run_suite(
     :class:`~repro.analysis.checkpoint.CheckpointManifest` so an
     interrupted evaluation can resume; a non-None checkpoint routes even
     ``jobs=1`` through the fault-tolerant runner (in-process).
+
+    ``trace_path`` writes a merged Chrome trace-event JSON (Perfetto /
+    ``chrome://tracing``) of the whole evaluation — suite, cache lookups,
+    executor attempts (error-tagged when they failed), retry backoffs and
+    worker-side pipeline stages across every worker process.
+    ``progress`` (or ``REPRO_PROGRESS=1``) renders a throttled live
+    status line from worker heartbeats and flags silent workers before
+    the task timeout fires (see ``evaluation.faults.stale_tasks``).
+    Both are strictly opt-in: architectural results are bit-identical
+    with or without them.
     """
     names = list(config_names)
     if include_baseline and "no" not in names:
@@ -335,8 +378,56 @@ def run_suite(
     evaluation.categories = {spec.name: spec.category for spec in specs}
     n_jobs = resolve_jobs(jobs)
     active_checkpoint = _resolve_checkpoint(checkpoint)
-    with stage("run_suite"):
-        if n_jobs > 1 or active_checkpoint is not None or retry_policy is not None:
+
+    recorder: Optional[Any] = None
+    collector: Optional[Any] = None
+    if trace_path is not None:
+        from repro.obs.spans import SpanRecorder
+
+        recorder = SpanRecorder(role="suite")
+    else:
+        recorder = _discover_span_recorder()
+    if recorder is not None:
+        from repro.obs.spans import SuiteSpanCollector
+
+        collector = SuiteSpanCollector(recorder)
+
+    monitor: Optional[Any] = None
+    stream = _progress_stream(progress)
+    if stream is not None:
+        from repro.analysis.parallel import resolve_policy
+        from repro.obs.heartbeat import (
+            HeartbeatMonitor,
+            heartbeat_interval_from_env,
+            stale_after_from_env,
+        )
+
+        interval = heartbeat_interval_from_env()
+        monitor = HeartbeatMonitor(
+            total=len(names) * len(specs),
+            stream=stream,
+            stale_after=stale_after_from_env(
+                interval, resolve_policy(retry_policy).timeout
+            ),
+        )
+
+    use_engine = (
+        n_jobs > 1
+        or active_checkpoint is not None
+        or retry_policy is not None
+        or collector is not None
+        or monitor is not None
+    )
+    suite_span = (
+        recorder.span(
+            "suite", cat="suite",
+            n_configs=len(names), n_workloads=len(specs), jobs=n_jobs,
+        )
+        if recorder is not None
+        else nullcontext()
+    )
+    with stage("run_suite"), suite_span:
+        if use_engine:
             from repro.analysis.parallel import run_tasks_parallel
 
             outcome = run_tasks_parallel(
@@ -348,6 +439,8 @@ def run_suite(
                 cache=_resolve_cache(cache),
                 checkpoint=active_checkpoint,
                 policy=retry_policy,
+                span_collector=collector,
+                monitor=monitor,
             )
             evaluation.runs = outcome.runs
             evaluation.faults = outcome.report
@@ -356,6 +449,15 @@ def run_suite(
                 evaluation.runs[name] = run_prefetcher_on_suite(
                     specs, name, base_config, warmup_instructions, cache=cache
                 )
+    if collector is not None:
+        collector.finish()
+    if trace_path is not None and recorder is not None:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        write_chrome_trace(
+            recorder.spans, trace_path,
+            process_names=collector.process_names() if collector else None,
+        )
     return evaluation
 
 

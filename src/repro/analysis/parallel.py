@@ -37,9 +37,12 @@ For testing, the worker entry point carries a fault-injection hook
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import logging
+import multiprocessing
 import os
+import queue as queue_module
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -169,6 +172,12 @@ class FaultReport:
     pool_breaks: int = 0       # BrokenProcessPool events
     serial_fallback: bool = False
     quarantined: List[TaskFailure] = field(default_factory=list)
+    # Advisory heartbeat telemetry (see repro.obs.heartbeat): tasks whose
+    # worker went silent before the task timeout fired.  Not part of
+    # ``clean`` — the retry/timeout machinery decides the task's fate;
+    # these record that the early-warning tripped.
+    heartbeat_stale: int = 0
+    stale_tasks: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -190,6 +199,8 @@ class FaultReport:
         self.pool_breaks += other.pool_breaks
         self.serial_fallback = self.serial_fallback or other.serial_fallback
         self.quarantined.extend(other.quarantined)
+        self.heartbeat_stale += other.heartbeat_stale
+        self.stale_tasks.extend(other.stale_tasks)
 
     def summary_line(self) -> str:
         parts = [
@@ -204,6 +215,8 @@ class FaultReport:
             parts.append(f"{self.pool_breaks} pool breaks")
         if self.serial_fallback:
             parts.append("serial fallback")
+        if self.heartbeat_stale:
+            parts.append(f"{self.heartbeat_stale} stale heartbeats")
         parts.append(f"{len(self.quarantined)} quarantined")
         return "faults: " + ", ".join(parts)
 
@@ -310,6 +323,40 @@ class ResilientMap(NamedTuple):
     report: FaultReport
 
 
+class AttemptObserver:
+    """Duck-typed protocol for :func:`map_resilient`'s ``observer``.
+
+    The runner reports what it *observes*: attempt windows (submission
+    to result collection in the pooled path — the worker's own span has
+    the true duration), outcomes including timeouts and pool breaks,
+    and retry backoff sleeps.  ``repro.obs.spans.SuiteSpanCollector``
+    implements this to build the merged execution trace; a no-op default
+    keeps every hook site a single ``is None`` check.
+    """
+
+    def attempt_started(self, label: str, attempt: int) -> None: ...
+
+    def attempt_finished(
+        self, label: str, attempt: int, ok: bool, error: Optional[str] = None
+    ) -> None: ...
+
+    def backoff(
+        self, attempt: int, started: float, ended: float, pending: int
+    ) -> None: ...
+
+
+def _observed_sleep(
+    observer: Optional[AttemptObserver],
+    attempt: int,
+    seconds: float,
+    pending: int,
+) -> None:
+    started = time.time()
+    time.sleep(seconds)
+    if observer is not None:
+        observer.backoff(attempt, started, time.time(), pending)
+
+
 def _run_serial(
     fn: Callable[..., Any],
     tasks: Sequence[Any],
@@ -320,6 +367,7 @@ def _run_serial(
     results: List[Optional[Any]],
     attempts_used: List[int],
     report: FaultReport,
+    observer: Optional[AttemptObserver] = None,
 ) -> None:
     """In-process execution with retries (jobs=1 and broken-pool fallback)."""
     for idx in indices:
@@ -327,19 +375,27 @@ def _run_serial(
         for attempt in range(policy.retries + 1):
             if attempt:
                 report.retries += 1
-                time.sleep(policy.backoff(attempt))
+                _observed_sleep(observer, attempt, policy.backoff(attempt), 1)
             report.attempts += 1
             attempts_used[idx] += 1
+            if observer is not None:
+                observer.attempt_started(labels[idx], attempt)
             try:
                 result = fn(tasks[idx], attempt, in_process=True)
             except Exception as exc:  # noqa: BLE001 — quarantine, never die
                 report.task_errors += 1
                 error = f"{type(exc).__name__}: {exc}"
+                if observer is not None:
+                    observer.attempt_finished(labels[idx], attempt, False, error)
                 continue
             if validate is not None and not validate(result):
                 report.invalid_results += 1
                 error = "invalid result (failed validation)"
+                if observer is not None:
+                    observer.attempt_finished(labels[idx], attempt, False, error)
                 continue
+            if observer is not None:
+                observer.attempt_finished(labels[idx], attempt, True)
             results[idx] = result
             break
         else:
@@ -359,6 +415,7 @@ def map_resilient(
     jobs: int = 1,
     policy: Optional[RetryPolicy] = None,
     validate: Optional[Callable[[Any], bool]] = None,
+    observer: Optional[AttemptObserver] = None,
 ) -> ResilientMap:
     """Run ``fn(task, attempt, in_process=...)`` over ``tasks``, resiliently.
 
@@ -369,6 +426,11 @@ def map_resilient(
     pool replaced); a broken pool degrades to in-process execution of
     whatever is still missing.  Tasks failing every attempt come back as
     ``None`` entries and are listed in the report's ``quarantined``.
+
+    ``observer`` (see :class:`AttemptObserver`) receives every attempt
+    window, outcome, and backoff sleep — the span-tracing layer hooks in
+    here so even attempts that died in a worker appear, error-tagged, in
+    the merged trace.
     """
     active = resolve_policy(policy)
     report = FaultReport()
@@ -380,7 +442,7 @@ def map_resilient(
     if jobs <= 1:
         _run_serial(
             fn, tasks, labels, range(len(tasks)), active, validate,
-            results, attempts_used, report,
+            results, attempts_used, report, observer,
         )
         return ResilientMap(results, attempts_used, report)
 
@@ -394,7 +456,9 @@ def map_resilient(
                 break
             if attempt:
                 report.retries += len(pending)
-                time.sleep(active.backoff(attempt))
+                _observed_sleep(
+                    observer, attempt, active.backoff(attempt), len(pending)
+                )
             if pool is None:
                 pool = ProcessPoolExecutor(
                     max_workers=max(1, min(jobs, len(pending)))
@@ -405,6 +469,8 @@ def map_resilient(
                     futures[idx] = pool.submit(fn, tasks[idx], attempt)
                     report.attempts += 1
                     attempts_used[idx] += 1
+                    if observer is not None:
+                        observer.attempt_started(labels[idx], attempt)
             except BrokenProcessPool:
                 broken = True
             failed: List[int] = []
@@ -441,6 +507,14 @@ def map_resilient(
                         errors[idx] = "invalid result (failed validation)"
                     else:
                         results[idx] = result
+                ok = results[idx] is not None
+                if ok:
+                    errors.pop(idx, None)
+                if observer is not None:
+                    observer.attempt_finished(
+                        labels[idx], attempt, ok,
+                        None if ok else errors.get(idx),
+                    )
             pending = failed
             if broken:
                 report.pool_breaks += 1
@@ -463,7 +537,7 @@ def map_resilient(
         report.serial_fallback = True
         _run_serial(
             fn, tasks, labels, pending, active, validate,
-            results, attempts_used, report,
+            results, attempts_used, report, observer,
         )
     elif pending:
         for idx in pending:
@@ -518,17 +592,70 @@ def execute_task(task: RunTask) -> SimResult:
     ).detached()
 
 
-def execute_task_attempt(
-    task: RunTask, attempt: int, in_process: bool = False
+def _attempt_body(
+    task: RunTask, label: str, attempt: int, in_process: bool
 ) -> SimResult:
-    """Worker entry point with the fault-injection hook applied."""
     injector = FaultInjector.from_env()
     if injector is not None:
-        injector.maybe_fault(task_label(task), attempt, in_process)
+        injector.maybe_fault(label, attempt, in_process)
     result = execute_task(task)
-    if injector is not None and injector.corrupts(task_label(task), attempt):
+    if injector is not None and injector.corrupts(label, attempt):
         result.stats.instructions = -1
         result.stats.cycles = -1
+    return result
+
+
+def execute_task_attempt(
+    task: RunTask,
+    attempt: int,
+    in_process: bool = False,
+    record_spans: bool = False,
+    progress: Optional[Any] = None,
+    heartbeat_interval: Optional[float] = None,
+) -> SimResult:
+    """Worker entry point: fault injection + optional spans/heartbeats.
+
+    ``record_spans`` and ``progress`` (a queue for
+    :mod:`repro.obs.heartbeat` events) are bound by the parent through
+    ``functools.partial``; both default off, and the observability
+    modules are only imported when the corresponding feature is on, so
+    an untraced worker runs the exact pre-observability path.
+    """
+    label = task_label(task)
+    pulse = None
+    if progress is not None:
+        from repro.obs.heartbeat import (
+            DEFAULT_HEARTBEAT_INTERVAL,
+            HeartbeatPulse,
+            emit_event,
+        )
+
+        emit_event(progress, "started", label, attempt=attempt)
+        pulse = HeartbeatPulse(
+            progress, label, heartbeat_interval or DEFAULT_HEARTBEAT_INTERVAL
+        )
+        pulse.start()
+    try:
+        if record_spans:
+            from repro.obs.spans import worker_span_scope
+
+            with worker_span_scope() as recorder:
+                with recorder.span(
+                    "attempt", cat="worker", label=label, attempt=attempt
+                ):
+                    result = _attempt_body(task, label, attempt, in_process)
+                result.spans = recorder.batch()
+        else:
+            result = _attempt_body(task, label, attempt, in_process)
+    except BaseException:
+        if progress is not None:
+            emit_event(progress, "failed", label, attempt=attempt)
+        raise
+    finally:
+        if pulse is not None:
+            pulse.stop()
+    if progress is not None:
+        emit_event(progress, "finished", label, attempt=attempt)
     return result
 
 
@@ -549,6 +676,8 @@ def run_tasks_parallel(
     cache: Optional[RunCache] = None,
     checkpoint: Optional[CheckpointManifest] = None,
     policy: Optional[RetryPolicy] = None,
+    span_collector: Optional[Any] = None,
+    monitor: Optional[Any] = None,
 ) -> SuiteOutcome:
     """Evaluate ``config_names`` x ``specs`` with ``jobs`` worker processes.
 
@@ -561,6 +690,13 @@ def run_tasks_parallel(
     ``checkpoint`` (if given) so an interrupted sweep can be resumed; pairs
     that fail every attempt are quarantined (absent from ``runs``, listed
     in the report) rather than fatal.
+
+    ``span_collector`` (a ``repro.obs.spans.SuiteSpanCollector``) turns on
+    distributed tracing: workers record span batches that are merged,
+    clock-normalized, after collection.  ``monitor`` (a
+    ``repro.obs.heartbeat.HeartbeatMonitor``) turns on worker progress
+    events + the live status line; its stale-task flags fold into the
+    returned report's advisory ``heartbeat_stale`` / ``stale_tasks``.
     """
     base = base_config or SimConfig()
     ordered: List[Tuple[str, WorkloadSpec]] = [
@@ -577,9 +713,17 @@ def run_tasks_parallel(
                 spec, name, sim_config, resolve_warmup(spec, warmup_instructions)
             )
         if cache is not None and key is not None:
+            lookup_started = time.time()
             hit = cache.get(key)
+            if span_collector is not None:
+                span_collector.cache_lookup(
+                    f"{name}/{spec.name}", hit is not None,
+                    lookup_started, time.time(),
+                )
             if hit is not None:
                 results[(name, spec.name)] = hit
+                if monitor is not None:
+                    monitor.note_cache_hit(f"{name}/{spec.name}")
                 if checkpoint is not None:
                     checkpoint.note_hit(key)
                     checkpoint.mark_done(key, name, spec.name)
@@ -593,26 +737,65 @@ def run_tasks_parallel(
             for name, spec, _key in pending
         ]
         labels = [task_label(task) for task in tasks]
-        outcome = map_resilient(
-            execute_task_attempt,
-            tasks,
-            labels,
-            jobs=jobs,
-            policy=policy,
-            validate=result_valid,
-        )
-        report = outcome.report
-        for (name, spec, key), result, n_attempts in zip(
-            pending, outcome.results, outcome.attempts
-        ):
-            if result is None:
-                continue  # quarantined — reported, not fatal
-            result.stats.attempts = max(1, n_attempts)
-            results[(name, spec.name)] = result
-            if cache is not None and key is not None:
-                cache.put(key, result)
-            if checkpoint is not None and key is not None:
-                checkpoint.mark_done(key, name, spec.name)
+        fn: Callable[..., Any] = execute_task_attempt
+        manager = None
+        progress_queue: Optional[Any] = None
+        heartbeat_interval: Optional[float] = None
+        if monitor is not None:
+            from repro.obs.heartbeat import heartbeat_interval_from_env
+
+            heartbeat_interval = heartbeat_interval_from_env()
+            if jobs > 1:
+                # Plain mp.Queue objects cannot cross a
+                # ProcessPoolExecutor.submit boundary; manager proxies can.
+                manager = multiprocessing.Manager()
+                progress_queue = manager.Queue()
+            else:
+                progress_queue = queue_module.Queue()
+            monitor.attach_queue(progress_queue)
+            monitor.start()
+        if span_collector is not None or progress_queue is not None:
+            fn = functools.partial(
+                execute_task_attempt,
+                record_spans=span_collector is not None,
+                progress=progress_queue,
+                heartbeat_interval=heartbeat_interval,
+            )
+        try:
+            outcome = map_resilient(
+                fn,
+                tasks,
+                labels,
+                jobs=jobs,
+                policy=policy,
+                validate=result_valid,
+                observer=span_collector,
+            )
+            report = outcome.report
+            for (name, spec, key), result, n_attempts in zip(
+                pending, outcome.results, outcome.attempts
+            ):
+                label = f"{name}/{spec.name}"
+                if result is None:
+                    if monitor is not None:
+                        monitor.note_quarantined(label)
+                    continue  # quarantined — reported, not fatal
+                if span_collector is not None and result.spans is not None:
+                    span_collector.add_batch(result.spans, label)
+                    result.spans = None  # never cache or return batches
+                result.stats.attempts = max(1, n_attempts)
+                results[(name, spec.name)] = result
+                if cache is not None and key is not None:
+                    cache.put(key, result)
+                if checkpoint is not None and key is not None:
+                    checkpoint.mark_done(key, name, spec.name)
+        finally:
+            if monitor is not None:
+                monitor.close()
+                report.heartbeat_stale += len(monitor.stale_tasks)
+                report.stale_tasks.extend(monitor.stale_tasks)
+            if manager is not None:
+                manager.shutdown()
 
     runs: Dict[str, Dict[str, SimResult]] = {}
     for name in config_names:

@@ -1,0 +1,307 @@
+"""Benchmark-regression sentinel over the ``BENCH_throughput.json`` trajectory.
+
+``benchmarks/test_perf_throughput.py`` appends one record per run to the
+trajectory file; until now the trajectory was written but never *read*.
+This module closes the loop: :func:`check_trajectory` compares the
+newest record against a robust baseline (the median of up to ``window``
+prior records, per ``(config, workload)`` pair) and reports two classes
+of finding:
+
+* **throughput regressions** — ``instrs_per_sec`` dropped by at least
+  ``threshold`` (default 30%) against the baseline median.  Medians
+  absorb the one-off noise of loaded CI machines; a real slowdown moves
+  every subsequent record.
+* **drifts** — the newest record's ``cycles`` or ``instructions``
+  differ from the most recent prior record for the same pair.  The
+  bench suite is fixed and the simulator deterministic, so *any* drift
+  means simulated behaviour changed: a correctness alarm, not noise.
+  An intentional behaviour change (a modeling fix) acknowledges the
+  alarm with ``repro bench-check --allow-cycle-drift`` for one run.
+
+The trajectory file itself is versioned from this PR on
+(:data:`TRAJECTORY_SCHEMA_VERSION`) and capped at
+:data:`DEFAULT_RETENTION` entries so it stops growing unboundedly;
+legacy bare-list files load transparently and upgrade on the next
+append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_RETENTION",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WINDOW",
+    "Finding",
+    "SentinelReport",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "check_trajectory",
+    "load_trajectory",
+    "retention_from_env",
+    "save_trajectory",
+]
+
+#: Bumped whenever the record shape changes; the loader accepts the
+#: legacy bare-list format (schema 1, implicit) and this version.
+TRAJECTORY_SCHEMA_VERSION = 2
+
+#: Entries kept in the trajectory file (oldest dropped beyond this).
+DEFAULT_RETENTION = 50
+
+#: Prior entries the baseline median may draw from.
+DEFAULT_WINDOW = 10
+
+#: Fractional ``instrs_per_sec`` drop that counts as a regression.
+DEFAULT_THRESHOLD = 0.30
+
+#: Synthetic pair name for the whole-suite aggregate throughput check.
+AGGREGATE = "(aggregate)"
+
+
+def retention_from_env(default: int = DEFAULT_RETENTION) -> int:
+    raw = os.environ.get("REPRO_BENCH_KEEP")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_KEEP must be a positive integer, got {raw!r}"
+        ) from None
+    return max(1, value)
+
+
+# ---------------------------------------------------------------------------
+# trajectory I/O
+# ---------------------------------------------------------------------------
+
+
+def parse_trajectory(data: Any) -> List[Dict[str, Any]]:
+    """Entries from either trajectory shape; raises ValueError otherwise."""
+    if isinstance(data, list):
+        return [e for e in data if isinstance(e, dict)]  # legacy bare list
+    if isinstance(data, dict):
+        version = data.get("schema_version")
+        entries = data.get("entries")
+        if version == TRAJECTORY_SCHEMA_VERSION and isinstance(entries, list):
+            return [e for e in entries if isinstance(e, dict)]
+        raise ValueError(
+            f"unsupported trajectory schema_version {version!r} "
+            f"(this tool reads {TRAJECTORY_SCHEMA_VERSION} and legacy lists)"
+        )
+    raise ValueError(f"unrecognized trajectory shape: {type(data).__name__}")
+
+
+def load_trajectory(path: str) -> List[Dict[str, Any]]:
+    """Entries at ``path``; [] when missing; ValueError when unreadable."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"trajectory {path} is unreadable: {exc}") from None
+    return parse_trajectory(data)
+
+
+def save_trajectory(
+    path: str,
+    entries: List[Dict[str, Any]],
+    retention: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Write entries in the v2 envelope, keeping only the newest ``retention``.
+
+    Atomic (tmp + ``os.replace``) so a crash mid-write cannot truncate
+    the trajectory.  Returns the entries actually written.
+    """
+    keep = retention if retention is not None else retention_from_env()
+    kept = entries[-keep:]
+    payload = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "max_entries": keep,
+        "entries": kept,
+    }
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# the sentinel
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    """One comparison that tripped the sentinel."""
+
+    kind: str  # "throughput" | "cycle_drift" | "instruction_drift"
+    config: str
+    workload: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        """Fractional change vs. baseline (negative = got worse/slower)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        pair = f"{self.config}/{self.workload}".rstrip("/")
+        if self.kind == "throughput":
+            return (
+                f"REGRESSION {pair}: instrs_per_sec "
+                f"{self.current:,.0f} vs baseline median {self.baseline:,.0f} "
+                f"({self.delta:+.1%})"
+            )
+        metric = "cycles" if self.kind == "cycle_drift" else "instructions"
+        return (
+            f"DRIFT {pair}: {metric} {self.current:,.0f} vs prior "
+            f"{self.baseline:,.0f} — simulated behaviour changed"
+        )
+
+
+@dataclass
+class SentinelReport:
+    """Outcome of one :func:`check_trajectory` pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked: int = 0            # (config, workload) pairs compared
+    baseline_entries: int = 0   # prior entries the baseline drew from
+    window: int = DEFAULT_WINDOW
+    threshold: float = DEFAULT_THRESHOLD
+    skipped: List[str] = field(default_factory=list)  # pairs with no history
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "throughput"]
+
+    @property
+    def drifts(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind != "throughput"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        if self.baseline_entries == 0:
+            return (
+                "bench-check: no prior entries to compare against "
+                "(need at least 2 trajectory records); nothing to gate"
+            )
+        lines = [
+            f"bench-check: compared newest entry against "
+            f"{self.baseline_entries} prior entr"
+            f"{'y' if self.baseline_entries == 1 else 'ies'} "
+            f"(window {self.window}, threshold {self.threshold:.0%}): "
+            f"{self.checked} pairs checked"
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.describe())
+        if self.skipped:
+            lines.append(
+                f"  (no history for: {', '.join(sorted(self.skipped))})"
+            )
+        if self.ok:
+            lines.append("  OK: no throughput regression, no drift")
+        return "\n".join(lines)
+
+
+def _runs_by_pair(entry: Dict[str, Any]) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    out: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for run in entry.get("runs", []) or []:
+        if isinstance(run, dict) and "config" in run and "workload" in run:
+            out[(run["config"], run["workload"])] = run
+    return out
+
+
+def check_trajectory(
+    entries: List[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> SentinelReport:
+    """Compare the newest entry against the prior-window baseline.
+
+    Throughput: per pair, the newest ``instrs_per_sec`` must not fall
+    ``threshold`` or more below the *median* of the pair's values in the
+    prior window.  Drift: the newest ``cycles``/``instructions`` must
+    equal the pair's values in the *most recent* prior entry (older
+    entries may legitimately differ — modeling fixes in past PRs changed
+    behaviour once, and the alarm fired once, then).
+    """
+    report = SentinelReport(window=window, threshold=threshold)
+    if len(entries) < 2:
+        return report
+    newest = entries[-1]
+    prior = entries[max(0, len(entries) - 1 - window):-1]
+    report.baseline_entries = len(prior)
+
+    history: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    aggregate_history: List[float] = []
+    for entry in prior:
+        for pair, run in _runs_by_pair(entry).items():
+            history.setdefault(pair, []).append(run)
+        aggregate = entry.get("aggregate", {})
+        if isinstance(aggregate, dict):
+            value = aggregate.get("instrs_per_sec")
+            if isinstance(value, (int, float)) and value > 0:
+                aggregate_history.append(float(value))
+
+    def check_throughput(
+        config: str, workload: str, current: Any, baselines: List[float]
+    ) -> None:
+        values = [v for v in baselines if v > 0]
+        if not values or not isinstance(current, (int, float)):
+            return
+        base = median(values)
+        if base > 0 and (base - current) / base >= threshold - 1e-9:
+            report.findings.append(
+                Finding("throughput", config, workload, base, float(current))
+            )
+
+    for pair, run in sorted(_runs_by_pair(newest).items()):
+        config, workload = pair
+        past = history.get(pair)
+        if not past:
+            report.skipped.append(f"{config}/{workload}")
+            continue
+        report.checked += 1
+        check_throughput(
+            config, workload, run.get("instrs_per_sec"),
+            [r.get("instrs_per_sec", 0) or 0 for r in past],
+        )
+        reference = past[-1]
+        for field_name, kind in (
+            ("cycles", "cycle_drift"),
+            ("instructions", "instruction_drift"),
+        ):
+            current = run.get(field_name)
+            expected = reference.get(field_name)
+            if (
+                current is not None
+                and expected is not None
+                and current != expected
+            ):
+                report.findings.append(
+                    Finding(kind, config, workload, expected, current)
+                )
+
+    newest_aggregate = newest.get("aggregate", {})
+    if isinstance(newest_aggregate, dict) and aggregate_history:
+        report.checked += 1
+        check_throughput(
+            AGGREGATE, "", newest_aggregate.get("instrs_per_sec"),
+            aggregate_history,
+        )
+    return report

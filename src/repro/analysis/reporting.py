@@ -50,16 +50,23 @@ def format_timing_table(
     ``tries`` is the executor attempts the run consumed (>1 means the
     fault-tolerant runner retried it).  Pass an evaluation's ``faults``
     report to append the retry/timeout/quarantine summary.
+
+    Footers compose deterministically: the phase breakdown (ties broken
+    by phase name), then the fault summary, then one sorted line per
+    quarantined task, then the sorted stale-heartbeat list — the same
+    inputs always render the same text.
     """
     headers = ["config", "workload", "wall s", "kcycles/s", "kinstr/s", "tries"]
     rows = []
     total_wall = 0.0
     total_instrs = 0
+    total_cycles = 0
     total_attempts = 0
     phase_totals: dict = {}
     for config, workload, stats in entries:
         total_wall += stats.wall_seconds
         total_instrs += stats.instructions
+        total_cycles += stats.cycles
         total_attempts += stats.attempts
         for phase, seconds in stats.phase_seconds.items():
             phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
@@ -74,8 +81,17 @@ def format_timing_table(
             ]
         )
     if entries:
-        aggregate = total_instrs / total_wall / 1e3 if total_wall > 0 else 0.0
-        rows.append(["(total)", "", total_wall, 0.0, aggregate, str(total_attempts)])
+        scale = 1e3 * total_wall if total_wall > 0 else 0.0
+        rows.append(
+            [
+                "(total)",
+                "",
+                total_wall,
+                total_cycles / scale if scale else 0.0,
+                total_instrs / scale if scale else 0.0,
+                str(total_attempts),
+            ]
+        )
     text = f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
     if phase_totals:
         # Profiled runs carry per-phase wall-clock (see repro.obs.profiler);
@@ -85,17 +101,22 @@ def format_timing_table(
             f"{phase}={seconds:.2f}s"
             + (f" ({100.0 * seconds / spent:.0f}%)" if spent > 0 else "")
             for phase, seconds in sorted(
-                phase_totals.items(), key=lambda kv: -kv[1]
+                phase_totals.items(), key=lambda kv: (-kv[1], kv[0])
             )
         )
         text += f"\nphase breakdown: {parts}"
-    if faults is not None and not faults.clean:
+    if faults is not None and (not faults.clean or faults.heartbeat_stale):
         text += "\n" + faults.summary_line()
-        for failure in faults.quarantined:
+        for failure in sorted(
+            faults.quarantined, key=lambda f: (f.label, f.error)
+        ):
             text += (
                 f"\n  quarantined {failure.label} "
                 f"({failure.attempts} attempts): {failure.error}"
             )
+        if faults.stale_tasks:
+            stale = ", ".join(sorted(set(faults.stale_tasks)))
+            text += f"\n  stale heartbeats: {stale}"
     return text
 
 

@@ -1,20 +1,24 @@
 """Command-line interface.
 
-Four subcommands mirror the typical workflow of a prefetching study::
+Five subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
     python -m repro run  out.trc --prefetcher entangling_4k --warmup 200000
     python -m repro sweep out.trc --prefetchers no,next_line,entangling_4k
     python -m repro trace out.trc --prefetcher entangling_4k --export out
+    python -m repro bench-check BENCH_throughput.json
 
 ``gen`` writes a synthetic workload to a trace file; ``run`` simulates a
 trace with one prefetcher configuration and prints the statistics;
-``sweep`` compares several configurations on the same trace; ``trace``
-runs with the prefetch-lifecycle tracer attached (see :mod:`repro.obs`)
-and prints per-pair timeliness histograms plus the late/wrong breakdown.
-Traces use the compact binary format of :mod:`repro.workloads.trace`, so
-externally produced traces (see :mod:`repro.workloads.convert`) run the
-same way.
+``sweep`` compares several configurations on the same trace (and with
+``--trace PATH`` writes a merged Chrome trace of the sweep's execution);
+``trace`` runs with the prefetch-lifecycle tracer attached (see
+:mod:`repro.obs`) and prints per-pair timeliness histograms plus the
+late/wrong breakdown; ``bench-check`` gates the newest throughput
+benchmark record against the trajectory (see
+:mod:`repro.analysis.regression`).  Traces use the compact binary format
+of :mod:`repro.workloads.trace`, so externally produced traces (see
+:mod:`repro.workloads.convert`) run the same way.
 """
 
 from __future__ import annotations
@@ -106,12 +110,22 @@ def _worker_trace(path: str):
     return read_trace(path)
 
 
-def _sweep_worker(task, attempt=0, in_process=False):
+def _sweep_worker(task, attempt=0, in_process=False, record_spans=False):
     """Run one configuration of a sweep (executed in a worker process)."""
     trace_path, config_name, warmup = task
+    if record_spans:
+        from repro.obs.spans import worker_span_scope
+
+        with worker_span_scope() as recorder:
+            with recorder.span(
+                "attempt", cat="worker", label=config_name, attempt=attempt
+            ):
+                trace = _worker_trace(trace_path)
+                result = _run_one(trace, config_name, warmup).detached()
+            result.spans = recorder.batch()
+            return result
     trace = _worker_trace(trace_path)
-    result = _run_one(trace, config_name, warmup)
-    return result.detached()
+    return _run_one(trace, config_name, warmup).detached()
 
 
 def _cli_policy(args: argparse.Namespace):
@@ -141,12 +155,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     names = [n.strip() for n in args.prefetchers.split(",") if n.strip()]
     jobs = resolve_jobs(args.jobs)
     tasks = [(args.trace, name, args.warmup) for name in names]
+    recorder = collector = None
+    worker = _sweep_worker
+    if args.trace_out:
+        from functools import partial
+
+        from repro.obs.spans import SpanRecorder, SuiteSpanCollector
+
+        recorder = SpanRecorder(role="sweep")
+        collector = SuiteSpanCollector(recorder)
+        worker = partial(_sweep_worker, record_spans=True)
     outcome = map_resilient(
-        _sweep_worker,
+        worker,
         tasks,
         labels=names,
         jobs=jobs if len(names) > 1 else 1,
         policy=_cli_policy(args),
+        observer=collector,
     )
     baseline = None
     rows = []
@@ -154,6 +179,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for name, result in zip(names, outcome.results):
         if result is None:
             continue  # quarantined; reported below
+        if collector is not None and result.spans is not None:
+            collector.add_batch(result.spans, name)
+            result.spans = None
         stats = result.stats
         total_wall += stats.wall_seconds
         if baseline is None:
@@ -177,7 +205,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for failure in outcome.report.quarantined:
         print(f"FAILED {failure.label} after {failure.attempts} attempt(s): "
               f"{failure.error}", file=sys.stderr)
+    if collector is not None and recorder is not None:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        collector.finish()
+        write_chrome_trace(
+            recorder.spans, args.trace_out,
+            process_names=collector.process_names(),
+        )
+        print(f"wrote execution trace {args.trace_out} "
+              f"(load at https://ui.perfetto.dev)")
     return 0 if rows else 1
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.analysis.regression import check_trajectory, load_trajectory
+
+    try:
+        entries = load_trajectory(args.trajectory)
+    except ValueError as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+    report = check_trajectory(
+        entries, window=args.window, threshold=args.threshold
+    )
+    acknowledged = []
+    if args.allow_cycle_drift and report.drifts:
+        acknowledged = report.drifts
+        report.findings = report.regressions
+    print(report.format())
+    if acknowledged:
+        print(f"  ({len(acknowledged)} drift finding(s) acknowledged "
+              f"via --allow-cycle-drift)")
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -318,7 +378,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per failed configuration before quarantining it "
              "(default: REPRO_TASK_RETRIES or 2)",
     )
+    sweep.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="PATH",
+        help="write a merged Chrome trace-event JSON of the sweep's "
+             "execution (attempts, retries, worker spans) to PATH — "
+             "load it at https://ui.perfetto.dev",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench-check",
+        help="gate the newest BENCH_throughput.json record against the "
+             "trajectory (regression sentinel)",
+    )
+    bench.add_argument(
+        "trajectory",
+        nargs="?",
+        default="BENCH_throughput.json",
+        help="trajectory file written by benchmarks/test_perf_throughput.py "
+             "(default: ./BENCH_throughput.json)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="prior records the baseline median may draw from (default 10)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="fractional instrs_per_sec drop that fails the check "
+             "(default 0.30)",
+    )
+    bench.add_argument(
+        "--allow-cycle-drift",
+        action="store_true",
+        help="acknowledge cycle/instruction drift findings for this run "
+             "(use when a PR intentionally changed simulated behaviour)",
+    )
+    bench.set_defaults(func=_cmd_bench_check)
 
     traced = sub.add_parser(
         "trace",

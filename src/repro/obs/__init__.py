@@ -1,6 +1,6 @@
-"""Observability: prefetch-lifecycle tracing, metrics, phase profiling.
+"""Observability: tracing, metrics, profiling, spans, heartbeats.
 
-Three independent facilities, all strictly opt-in:
+Independent facilities, all strictly opt-in:
 
 * :mod:`repro.obs.tracer` — a ring-buffered, sampling-capable event
   tracer recording each prefetch's lifecycle (requested -> enqueued or
@@ -13,11 +13,21 @@ Three independent facilities, all strictly opt-in:
 * :mod:`repro.obs.profiler` — wall-clock phase profiling for the
   simulator's four phases (fills / predict / issue / retire) and the
   analysis pipeline stages.
+* :mod:`repro.obs.spans` / :mod:`repro.obs.chrometrace` — cross-process
+  span tracing of the evaluation engine (suite → task → attempt →
+  backoff / cache lookup / pipeline stages), merged into Chrome
+  trace-event JSON loadable in Perfetto.
+* :mod:`repro.obs.heartbeat` — worker progress heartbeats and the
+  parent-side live status line + stale-task detection.
 
 Overhead contract: a simulation constructed without a tracer or profiler
 executes the exact pre-observability code paths — every hook site is a
 single attribute-is-None check — and its ``SimStats.signature()`` is
-bit-identical to a process that never imported this package.
+bit-identical to a process that never imported this package.  The span
+and heartbeat submodules are *not* imported here (they resolve lazily
+via ``__getattr__``): the analysis layer imports ``repro.obs.profiler``
+on every run, and an untraced process must never load the span machinery
+(``tests/test_obs.py`` pins this with a subprocess check).
 """
 
 from repro.obs.profiler import (
@@ -36,14 +46,40 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_KINDS",
+    "HeartbeatMonitor",
     "Metric",
     "MetricsRegistry",
     "PhaseProfiler",
     "PrefetchTracer",
+    "Span",
+    "SpanRecorder",
     "TimelinessReport",
     "TraceEvent",
     "get_stage_profiler",
     "registry_for_run",
     "set_stage_profiler",
     "stage",
+    "write_chrome_trace",
 ]
+
+#: Lazily resolved exports (PEP 562): importing repro.obs must not load
+#: the span/heartbeat machinery — the zero-cost contract's subprocess
+#: test asserts repro.obs.spans stays out of untraced processes.
+_LAZY = {
+    "Span": ("repro.obs.spans", "Span"),
+    "SpanRecorder": ("repro.obs.spans", "SpanRecorder"),
+    "HeartbeatMonitor": ("repro.obs.heartbeat", "HeartbeatMonitor"),
+    "write_chrome_trace": ("repro.obs.chrometrace", "write_chrome_trace"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

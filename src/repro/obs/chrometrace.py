@@ -1,0 +1,82 @@
+"""Chrome trace-event JSON rendering of merged span timelines.
+
+Emits the subset of the Trace Event Format that Perfetto and
+``chrome://tracing`` load: complete events (``"ph": "X"``) with
+microsecond ``ts``/``dur``, grouped into per-``(pid, tid)`` tracks, plus
+``process_name`` metadata events so worker processes are labeled.  Error
+spans carry ``args.status == "error"`` and a ``cname`` so failed
+attempts stand out in the viewer.
+
+Open the written file at https://ui.perfetto.dev (drag and drop) or via
+``chrome://tracing`` → Load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.spans import Span
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(
+    spans: Sequence[Span],
+    process_names: Optional[Dict[int, str]] = None,
+    origin: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Spans -> a Chrome trace-event JSON object (not yet serialized).
+
+    ``origin`` (epoch seconds) becomes trace time zero; it defaults to
+    the earliest span start so timestamps stay small and positive.
+    """
+    events: List[Dict[str, Any]] = []
+    if origin is None:
+        origin = min((s.start for s in spans), default=0.0)
+    for pid, name in sorted((process_names or {}).items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for s in spans:
+        event: Dict[str, Any] = {
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": round((s.start - origin) * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "pid": s.pid,
+            "tid": s.tid,
+            "args": {**s.args, "status": s.status},
+        }
+        if s.status == "error":
+            event["cname"] = "terrible"  # red in the trace viewer palette
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.chrometrace"},
+    }
+
+
+def write_chrome_trace(
+    spans: Sequence[Span],
+    path_or_file: Union[str, IO[str]],
+    process_names: Optional[Dict[int, str]] = None,
+    origin: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Serialize spans to ``path_or_file``; returns the trace object."""
+    trace = to_chrome_trace(spans, process_names=process_names, origin=origin)
+    if hasattr(path_or_file, "write"):
+        json.dump(trace, path_or_file, indent=1)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(trace, fh, indent=1)
+            fh.write("\n")
+    return trace

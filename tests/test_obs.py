@@ -23,6 +23,7 @@ from repro.analysis.export import (
     export_metrics_json,
     export_metrics_prometheus,
 )
+from repro.analysis.experiments import run_suite
 from repro.obs import (
     EVENT_KINDS,
     MetricsRegistry,
@@ -236,6 +237,73 @@ class TestBitIdentity:
         # Round-trip ours through JSON so tuples normalize to lists.
         ours = json.loads(json.dumps(traced.stats.signature()))
         assert ours == theirs
+
+    def test_span_traced_suite_identical_to_process_never_importing_spans(
+        self, tmp_path
+    ):
+        """Span-layer extension of the acceptance check: a serial
+        ``run_suite`` in a process that never imports the span/heartbeat
+        modules produces the same per-pair signatures as a span-traced
+        parallel ``run_suite`` here."""
+        script = tmp_path / "never_imports_spans.py"
+        script.write_text(textwrap.dedent(
+            """
+            import json
+            import sys
+
+            from repro.analysis.experiments import run_suite
+            from repro.workloads.generators import WorkloadSpec
+
+            suite = [WorkloadSpec(
+                name="obs_wl", category="srv", seed=11, n_instructions=30000
+            )]
+            evaluation = run_suite(
+                suite, ["entangling_4k"], warmup_instructions=10000,
+                jobs=1, cache=None, checkpoint=None,
+            )
+            # The engine ran untraced: the span and heartbeat modules must
+            # never have been imported (repro.obs itself is fine — its
+            # eager members are the profiler/registry/tracer; the span
+            # layer is a lazy PEP 562 export).
+            for module in ("repro.obs.spans", "repro.obs.heartbeat"):
+                assert module not in sys.modules, (
+                    module + " leaked into the untraced engine"
+                )
+            sigs = {
+                config: {
+                    workload: result.stats.signature()
+                    for workload, result in per_workload.items()
+                }
+                for config, per_workload in evaluation.runs.items()
+            }
+            print(json.dumps(sigs))
+            """
+        ))
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        theirs = json.loads(proc.stdout)
+
+        trace_path = tmp_path / "suite_trace.json"
+        evaluation = run_suite(
+            [SPEC], ["entangling_4k"], warmup_instructions=WARMUP,
+            jobs=2, cache=None, checkpoint=None, trace_path=str(trace_path),
+        )
+        ours = json.loads(json.dumps({
+            config: {
+                workload: result.stats.signature()
+                for workload, result in per_workload.items()
+            }
+            for config, per_workload in evaluation.runs.items()
+        }))
+        assert ours == theirs
+        # And the trace actually materialized.
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
 
 
 class TestMetricsRegistry:

@@ -1,0 +1,135 @@
+"""Golden-output tests for the timing table renderer.
+
+``format_timing_table`` composes a table, a phase breakdown, a fault
+summary, per-quarantine lines, and a stale-heartbeat footer; these tests
+pin the exact rendered text (modulo trailing ljust padding) so the
+footers keep composing deterministically — same inputs, same output,
+stable alignment, sorted ordering everywhere.
+"""
+
+from repro.analysis.parallel import FaultReport, TaskFailure
+from repro.analysis.reporting import format_table, format_timing_table
+from repro.sim.stats import SimStats
+
+
+def _stats(instructions, cycles, wall_seconds, attempts=1, phases=None):
+    stats = SimStats()
+    stats.instructions = instructions
+    stats.cycles = cycles
+    stats.wall_seconds = wall_seconds
+    stats.attempts = attempts
+    stats.phase_seconds = dict(phases or {})
+    return stats
+
+
+def _rstripped(text):
+    """Per-line rstrip: ljust pads the last column with trailing blanks."""
+    return "\n".join(line.rstrip() for line in text.splitlines())
+
+
+ENTRIES = [
+    ("no", "w_a", _stats(100_000, 200_000, 2.0, attempts=1,
+                         phases={"simulate": 1.5, "workload": 0.5})),
+    ("ent", "w_b", _stats(50_000, 50_000, 0.5, attempts=3,
+                          phases={"simulate": 0.25, "fetch_units": 0.25})),
+]
+
+
+class TestFormatTimingTableGolden:
+    def test_table_with_phase_breakdown(self):
+        golden = """\
+Simulation timing
+config   workload  wall s  kcycles/s  kinstr/s  tries
+-------  --------  ------  ---------  --------  -----
+no       w_a       2.00    100.00     50.00     1
+ent      w_b       0.50    100.00     100.00    3
+(total)            2.50    100.00     60.00     4
+phase breakdown: simulate=1.75s (70%)  workload=0.50s (20%)  fetch_units=0.25s (10%)"""
+        assert _rstripped(format_timing_table(ENTRIES)) == golden
+
+    def test_full_footer_composition(self):
+        """Phase breakdown + fault summary + quarantines + stale heartbeats
+        stack in a fixed order with sorted, deduplicated content."""
+        faults = FaultReport(
+            attempts=5, retries=2, timeouts=1, task_errors=2,
+            quarantined=[
+                # Deliberately unsorted input; output must sort by label.
+                TaskFailure("no/w_z", 3, "RuntimeError: boom"),
+                TaskFailure("ent/w_a", 3, "timed out after 5s"),
+            ],
+            heartbeat_stale=2,
+            stale_tasks=["no/w_a", "ent/w_b", "no/w_a"],  # dup collapses
+        )
+        golden = """\
+Simulation timing
+config   workload  wall s  kcycles/s  kinstr/s  tries
+-------  --------  ------  ---------  --------  -----
+no       w_a       2.00    100.00     50.00     1
+ent      w_b       0.50    100.00     100.00    3
+(total)            2.50    100.00     60.00     4
+phase breakdown: simulate=1.75s (70%)  workload=0.50s (20%)  fetch_units=0.25s (10%)
+faults: 5 attempts, 2 retries, 1 timeouts, 2 errors, 2 stale heartbeats, 2 quarantined
+  quarantined ent/w_a (3 attempts): timed out after 5s
+  quarantined no/w_z (3 attempts): RuntimeError: boom
+  stale heartbeats: ent/w_b, no/w_a"""
+        rendered = format_timing_table(ENTRIES, faults=faults)
+        assert _rstripped(rendered) == golden
+
+    def test_clean_fault_report_renders_no_footer(self):
+        plain = format_timing_table(ENTRIES)
+        with_clean = format_timing_table(ENTRIES, faults=FaultReport(attempts=2))
+        assert with_clean == plain
+
+    def test_stale_only_report_still_gets_footer(self):
+        # Stale heartbeats are advisory (the report is clean) but worth
+        # surfacing: they alone trigger the fault footer.
+        faults = FaultReport(
+            attempts=2, heartbeat_stale=1, stale_tasks=["no/w_a"]
+        )
+        assert faults.clean
+        rendered = format_timing_table(ENTRIES, faults=faults)
+        assert "faults: 2 attempts, 0 retries, 0 timeouts, 0 errors, " \
+               "1 stale heartbeats, 0 quarantined" in rendered
+        assert rendered.endswith("  stale heartbeats: no/w_a")
+
+    def test_phase_ties_break_by_name(self):
+        entries = [
+            ("no", "w", _stats(1_000, 1_000, 1.0,
+                               phases={"zeta": 0.5, "alpha": 0.5})),
+        ]
+        rendered = format_timing_table(entries)
+        assert "phase breakdown: alpha=0.50s (50%)  zeta=0.50s (50%)" in rendered
+
+    def test_total_row_aggregates_throughput(self):
+        # The (total) row is total work over total wall-clock, not a mean
+        # of per-row rates.
+        rendered = _rstripped(format_timing_table(ENTRIES))
+        total_line = [
+            line for line in rendered.splitlines()
+            if line.startswith("(total)")
+        ][0]
+        # 250,000 cycles / 2.5 s = 100 kcycles/s; 150,000 instrs -> 60.
+        assert total_line.split() == ["(total)", "2.50", "100.00", "60.00", "4"]
+
+    def test_zero_wall_clock_renders_zero_rates(self):
+        rendered = format_timing_table([("no", "w", _stats(10, 10, 0.0))])
+        assert "0.00" in rendered  # no ZeroDivisionError
+
+    def test_empty_entries(self):
+        rendered = format_timing_table([])
+        assert rendered.startswith("Simulation timing")
+        assert "(total)" not in rendered
+
+
+class TestFormatTable:
+    def test_alignment_and_float_format(self):
+        golden = """\
+name  value
+----  -----
+ab    1.235
+c     2"""
+        rendered = format_table(
+            ["name", "value"], [["ab", 1.23456], ["c", "2"]],
+            float_format="{:.3f}",
+        )
+        assert _rstripped(rendered) == golden
