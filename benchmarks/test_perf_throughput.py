@@ -126,7 +126,9 @@ def test_perf_throughput():
         "phases": _profiled_phase_seconds(),
     }
 
-    trajectory = load_trajectory(TRAJECTORY_PATH)
+    # Tolerant: a torn trajectory from a crashed prior run starts fresh
+    # rather than aborting the benchmark that would repair it.
+    trajectory = load_trajectory(TRAJECTORY_PATH, tolerant=True)
     trajectory.append(record)
     save_trajectory(TRAJECTORY_PATH, trajectory)
 

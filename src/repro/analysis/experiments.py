@@ -12,6 +12,7 @@ enlarged L1I (the paper's alternative use of the storage budget).
 
 from __future__ import annotations
 
+import logging
 import os
 import sys
 from contextlib import nullcontext
@@ -21,7 +22,10 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Un
 
 from repro.analysis.checkpoint import CheckpointManifest, get_checkpoint
 from repro.analysis.runcache import RunCache, get_run_cache, run_key
+from repro.check import sanitizer_from_env
 from repro.obs.profiler import stage
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:
     from repro.analysis.parallel import FaultReport, RetryPolicy
@@ -236,6 +240,11 @@ def run_single(
     preprocessing, simulation) report to the installed stage profiler —
     see :func:`repro.obs.profiler.set_stage_profiler` — and are untimed
     no-ops otherwise.
+
+    ``REPRO_SANITIZE=1`` (fatal) / ``REPRO_SANITIZE=report`` (collect)
+    attaches the runtime invariant sanitizer (:mod:`repro.check.sanitize`)
+    to the simulation; unset, the sanitizer module is never even imported
+    and the run is bit-identical.
     """
     base = base_config or SimConfig()
     prefetcher, sim_config = resolve_config(config_name, base)
@@ -244,13 +253,20 @@ def run_single(
     with stage("fetch_units"):
         units = _cached_units(spec, sim_config.line_size)
     with stage("simulate"):
-        return simulate(
+        checker = sanitizer_from_env()
+        result = simulate(
             trace,
             prefetcher,
             config=sim_config,
             units=units,
             warmup_instructions=resolve_warmup(spec, warmup_instructions),
+            checker=checker,
         )
+    if checker is not None and checker.violations:
+        logger.warning(
+            "%s/%s: %s", config_name, spec.name, checker.report().summary_line()
+        )
+    return result
 
 
 def run_cached(
@@ -446,9 +462,37 @@ def run_suite(
             evaluation.faults = outcome.report
         else:
             for name in names:
-                evaluation.runs[name] = run_prefetcher_on_suite(
-                    specs, name, base_config, warmup_instructions, cache=cache
-                )
+                evaluation.runs[name] = {}
+                for spec in specs:
+                    try:
+                        evaluation.runs[name][spec.name] = run_cached(
+                            spec, name, base_config, warmup_instructions,
+                            cache=cache,
+                        )
+                    except ValueError as exc:
+                        # Bad ingestion input (TraceError, ConfigError, an
+                        # unknown workload category, ...): quarantine the
+                        # pair instead of killing the whole suite, mirroring
+                        # the engine path's fault handling.
+                        from repro.analysis.parallel import (
+                            FaultReport,
+                            TaskFailure,
+                        )
+
+                        if evaluation.faults is None:
+                            evaluation.faults = FaultReport()
+                        evaluation.faults.attempts += 1
+                        evaluation.faults.task_errors += 1
+                        evaluation.faults.quarantined.append(
+                            TaskFailure(
+                                label=f"{name}/{spec.name}",
+                                attempts=1,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        logger.warning(
+                            "quarantined %s/%s: %s", name, spec.name, exc
+                        )
     if collector is not None:
         collector.finish()
     if trace_path is not None and recorder is not None:

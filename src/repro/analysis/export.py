@@ -13,9 +13,11 @@ dataclass separately.
 from __future__ import annotations
 
 import csv
+import io
 from typing import List, Mapping, Optional, Sequence, TextIO, Union
 
 from repro.analysis.experiments import EvaluationResult
+from repro.check.artifacts import atomic_write_text
 from repro.obs.registry import MetricsRegistry, registry_for_run
 
 PathOrFile = Union[str, TextIO]
@@ -23,16 +25,20 @@ PathOrFile = Union[str, TextIO]
 
 def _with_writer(path_or_file: PathOrFile, emit) -> None:
     if isinstance(path_or_file, str):
-        with open(path_or_file, "w", newline="") as fh:
-            emit(csv.writer(fh))
+        # Render in memory, then atomically replace the target so a crash
+        # mid-export can never leave a half-written CSV behind.  The
+        # buffer uses newline="" like the direct-file path did, so the
+        # csv module's \r\n row endings survive byte-for-byte.
+        buffer = io.StringIO(newline="")
+        emit(csv.writer(buffer))
+        atomic_write_text(path_or_file, buffer.getvalue())
     else:
         emit(csv.writer(path_or_file))
 
 
 def _write_text(path_or_file: PathOrFile, text: str) -> None:
     if isinstance(path_or_file, str):
-        with open(path_or_file, "w") as fh:
-            fh.write(text)
+        atomic_write_text(path_or_file, text)
     else:
         path_or_file.write(text)
 

@@ -28,10 +28,15 @@ append.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from statistics import median
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.artifacts import atomic_write_json
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_RETENTION",
@@ -97,16 +102,28 @@ def parse_trajectory(data: Any) -> List[Dict[str, Any]]:
     raise ValueError(f"unrecognized trajectory shape: {type(data).__name__}")
 
 
-def load_trajectory(path: str) -> List[Dict[str, Any]]:
-    """Entries at ``path``; [] when missing; ValueError when unreadable."""
+def load_trajectory(path: str, tolerant: bool = False) -> List[Dict[str, Any]]:
+    """Entries at ``path``; [] when missing; ValueError when unreadable.
+
+    With ``tolerant=True`` a corrupt or torn file is logged and treated
+    as empty instead of raising, so an appender (the bench suite) can
+    start a fresh trajectory rather than abort.  The strict default is
+    what the gate (``repro bench-check``) wants: corruption there must
+    be surfaced, not silently waved through.
+    """
     try:
         with open(path) as fh:
             data = json.load(fh)
+        return parse_trajectory(data)
     except FileNotFoundError:
         return []
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        if tolerant:
+            logger.warning(
+                "trajectory %s is unreadable (%s); starting fresh", path, exc
+            )
+            return []
         raise ValueError(f"trajectory {path} is unreadable: {exc}") from None
-    return parse_trajectory(data)
 
 
 def save_trajectory(
@@ -126,11 +143,7 @@ def save_trajectory(
         "max_entries": keep,
         "entries": kept,
     }
-    tmp = f"{path}.{os.getpid()}.tmp"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload)
     return kept
 
 
@@ -181,6 +194,9 @@ class SentinelReport:
     window: int = DEFAULT_WINDOW
     threshold: float = DEFAULT_THRESHOLD
     skipped: List[str] = field(default_factory=list)  # pairs with no history
+    #: Pairs whose newest record carried non-numeric metric fields (a torn
+    #: or hand-edited trajectory); logged and excluded, never compared.
+    malformed: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[Finding]:
@@ -212,6 +228,11 @@ class SentinelReport:
         if self.skipped:
             lines.append(
                 f"  (no history for: {', '.join(sorted(self.skipped))})"
+            )
+        if self.malformed:
+            lines.append(
+                f"  (malformed records skipped: "
+                f"{', '.join(sorted(self.malformed))})"
             )
         if self.ok:
             lines.append("  OK: no throughput regression, no drift")
@@ -259,9 +280,9 @@ def check_trajectory(
                 aggregate_history.append(float(value))
 
     def check_throughput(
-        config: str, workload: str, current: Any, baselines: List[float]
+        config: str, workload: str, current: Any, baselines: List[Any]
     ) -> None:
-        values = [v for v in baselines if v > 0]
+        values = [v for v in baselines if isinstance(v, (int, float)) and v > 0]
         if not values or not isinstance(current, (int, float)):
             return
         base = median(values)
@@ -270,9 +291,23 @@ def check_trajectory(
                 Finding("throughput", config, workload, base, float(current))
             )
 
+    def numeric_fields_ok(run: Dict[str, Any]) -> bool:
+        for key in ("instrs_per_sec", "cycles", "instructions"):
+            value = run.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                return False
+        return True
+
     for pair, run in sorted(_runs_by_pair(newest).items()):
         config, workload = pair
-        past = history.get(pair)
+        if not numeric_fields_ok(run):
+            report.malformed.append(f"{config}/{workload}")
+            logger.warning(
+                "bench-check: skipping malformed trajectory record for %s/%s "
+                "(non-numeric metric field)", config, workload,
+            )
+            continue
+        past = [r for r in history.get(pair, []) if numeric_fields_ok(r)]
         if not past:
             report.skipped.append(f"{config}/{workload}")
             continue

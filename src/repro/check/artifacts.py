@@ -1,0 +1,108 @@
+"""Crash-safe artifact IO: atomic write-replace and guarded loading.
+
+A torn artifact — a metrics export or the benchmark trajectory half
+written when the process died — is worse than a missing one: downstream
+tooling reads garbage and either stack-traces or gates CI on noise.
+Every writer in the repository that produces a consumable artifact goes
+through :func:`atomic_write_bytes`: the payload is staged in a unique
+temp file in the destination directory, fsynced, then ``os.replace``d
+into place, so readers observe either the old complete file or the new
+complete file, never a prefix.
+
+:func:`load_json_guarded` is the matching reader: it distinguishes
+missing (fine, return the default) from torn/corrupt (log and return the
+default, with the error text so callers can surface it) and never lets a
+decode error escape as a stack trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+from typing import Any, Optional, Tuple
+
+logger = logging.getLogger(__name__)
+
+#: Monotonic suffix so concurrent writers in one process never collide on
+#: the staging file; the pid handles cross-process collisions.
+_tmp_counter = itertools.count()
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    The staging file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename, which POSIX guarantees to
+    be atomic.  ``fsync=False`` skips the durability barrier for callers
+    that only need atomicity (tests, scratch output).
+    """
+    tmp = f"{path}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        # Make the rename itself durable where the platform allows it.
+        try:
+            dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def atomic_write_text(
+    path: str, text: str, encoding: str = "utf-8", fsync: bool = True
+) -> None:
+    """Atomic text variant of :func:`atomic_write_bytes`.
+
+    No newline translation is applied: the string is written byte-exact,
+    matching ``open(path, "w", newline="")`` semantics.
+    """
+    atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str, payload: Any, indent: int = 2, fsync: bool = True
+) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent) + "\n", fsync=fsync
+    )
+
+
+def load_json_guarded(
+    path: str, default: Any = None, label: str = "artifact"
+) -> Tuple[Any, Optional[str]]:
+    """Load JSON from ``path`` without ever raising for bad files.
+
+    Returns ``(payload, error)``.  A missing file yields
+    ``(default, None)`` — absence is a normal state, not damage.  A torn
+    or corrupt file yields ``(default, error_text)`` after logging a
+    warning, so callers can degrade gracefully and still tell the user
+    what was skipped.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh), None
+    except FileNotFoundError:
+        return default, None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        error = f"{label} {path} is unreadable ({exc})"
+        logger.warning("%s; treating as absent", error)
+        return default, error

@@ -1,0 +1,294 @@
+"""Runtime invariant sanitizer for the simulated hardware model.
+
+The paper's structures carry hard contracts — 2-bit confidence counters,
+≤63-line basic blocks, a 63-bit (virtual) / 46-bit (physical) compressed
+destination array, a bounded MSHR file — and the reproduction's numbers
+are only credible while the model provably stays inside them.  The
+:class:`Sanitizer` asserts those contracts *during* simulation:
+
+* **compression round-trip** — every destination array, re-encoded with
+  the bit-exact hardware packing of Tables I/II, must decode back to the
+  stored pairs and fit the declared payload budget;
+* **confidence range** — stored pairs carry confidence in [1, 3] (a
+  2-bit counter; zero-confidence pairs must have been invalidated);
+* **basic-block size** — entries never exceed ``MAX_BB_SIZE`` (63);
+* **history monotonicity** — history-buffer timestamps never decrease,
+  and the buffer never exceeds its capacity;
+* **entry bit budget** — mode field + payload stay ≤ the declared
+  per-entry destination field width;
+* **MSHR/L1I consistency** — in-flight lines are never simultaneously
+  resident, the file never exceeds its capacity, and the demand
+  hit/miss counters always sum to the access counter.
+
+Zero-cost contract: instrumented modules (``entangled_table``,
+``history``, ``simulator``) never import this package — hooks are
+duck-typed attributes defaulting to ``None`` and guarded by a single
+``is None`` check, the same pattern as :mod:`repro.obs`.  A run without
+``REPRO_SANITIZE`` never imports this module (subprocess-pinned in the
+tests) and produces bit-identical :class:`~repro.sim.stats.SimStats`
+signatures.
+
+Failure modes: ``fatal=True`` (the default, ``REPRO_SANITIZE=1``)
+raises :class:`~repro.check.errors.InvariantViolation` with the cycle
+and a state snapshot; ``fatal=False`` (``REPRO_SANITIZE=report``)
+collects violations into :meth:`Sanitizer.report` so a long run can
+surface every breach at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.check.errors import InvariantViolation
+from repro.core.compression import (
+    decode_destinations,
+    encode_destinations,
+)
+from repro.core.entangled_table import MAX_BB_SIZE, MAX_CONFIDENCE
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of a sanitized run: checks performed, violations found."""
+
+    checks: int = 0
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_line(self) -> str:
+        if self.ok:
+            return f"sanitizer: {self.checks} checks, no violations"
+        return (
+            f"sanitizer: {self.checks} checks, "
+            f"{len(self.violations)} violation(s): "
+            + "; ".join(str(v) for v in self.violations[:5])
+            + ("; ..." if len(self.violations) > 5 else "")
+        )
+
+
+class Sanitizer:
+    """Checker hooks asserting hardware-model invariants during a run.
+
+    One instance serves one simulation.  ``attach`` wires the checker
+    into the simulator's prefetcher structures (duck-typed: prefetchers
+    without a ``table``/``history`` simply get no structure hooks).
+    """
+
+    def __init__(self, fatal: bool = True) -> None:
+        self.fatal = fatal
+        self.checks = 0
+        self.violations: List[InvariantViolation] = []
+        self._sim: Optional[Any] = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def attach(self, sim: Any) -> None:
+        """Install structure hooks on the simulator's prefetcher."""
+        self._sim = sim
+        table = getattr(sim.prefetcher, "table", None)
+        if table is not None:
+            table.checker = self
+        history = getattr(sim.prefetcher, "history", None)
+        if history is not None:
+            history.checker = self
+
+    def report(self) -> SanitizerReport:
+        return SanitizerReport(checks=self.checks, violations=list(self.violations))
+
+    def _cycle(self) -> Optional[int]:
+        return self._sim.cycle if self._sim is not None else None
+
+    def _fail(self, invariant: str, message: str, **context: Any) -> None:
+        cycle = self._cycle()
+        where = f" at cycle {cycle}" if cycle is not None else ""
+        violation = InvariantViolation(
+            f"invariant {invariant!r} violated{where}: {message}",
+            invariant=invariant,
+            cycle=cycle,
+            context=context,
+        )
+        if self.fatal:
+            raise violation
+        self.violations.append(violation)
+
+    # -- entangled-table invariants -----------------------------------------
+
+    def check_entry(self, table: Any, entry: Any) -> None:
+        """Contract of one Entangled-table entry after a mutation."""
+        self.checks += 1
+        if not 0 <= entry.bb_size <= MAX_BB_SIZE:
+            self._fail(
+                "bb_size_range",
+                f"basic-block size {entry.bb_size} outside [0, {MAX_BB_SIZE}] "
+                f"for source 0x{entry.src_line:x}",
+                src_line=entry.src_line,
+                bb_size=entry.bb_size,
+            )
+        for dst_line, confidence in entry.dsts:
+            if not 1 <= confidence <= MAX_CONFIDENCE:
+                self._fail(
+                    "confidence_range",
+                    f"stored confidence {confidence} outside "
+                    f"[1, {MAX_CONFIDENCE}] for pair "
+                    f"0x{entry.src_line:x}->0x{dst_line:x} "
+                    f"(zero-confidence pairs must be invalidated)",
+                    src_line=entry.src_line,
+                    dst_line=dst_line,
+                    confidence=confidence,
+                )
+        scheme = table.scheme
+        if len(entry.dsts) > scheme.max_mode:
+            self._fail(
+                "dst_count",
+                f"{len(entry.dsts)} destinations exceed the maximum mode "
+                f"{scheme.max_mode} for source 0x{entry.src_line:x}",
+                src_line=entry.src_line,
+                count=len(entry.dsts),
+            )
+            return
+        if not entry.dsts:
+            return
+        try:
+            mode, payload = encode_destinations(scheme, entry.src_line, entry.dsts)
+        except ValueError as exc:
+            self._fail(
+                "dst_fit",
+                f"destination array of source 0x{entry.src_line:x} does not "
+                f"encode: {exc}",
+                src_line=entry.src_line,
+                dsts=[list(pair) for pair in entry.dsts],
+            )
+            return
+        if payload.bit_length() > scheme.payload_bits:
+            self._fail(
+                "payload_budget",
+                f"payload needs {payload.bit_length()} bits > declared "
+                f"{scheme.payload_bits}-bit budget (source "
+                f"0x{entry.src_line:x}, mode {mode})",
+                src_line=entry.src_line,
+                mode=mode,
+            )
+        spec = table.scheme.modes[mode]
+        used_bits = spec.slot_bits * len(entry.dsts)
+        mode_field = scheme.entry_dst_field_bits - scheme.payload_bits
+        if mode_field + used_bits > scheme.entry_dst_field_bits:
+            self._fail(
+                "entry_bit_budget",
+                f"mode field ({mode_field}b) + {len(entry.dsts)} slots of "
+                f"{spec.slot_bits}b = {mode_field + used_bits}b exceed the "
+                f"declared {scheme.entry_dst_field_bits}-bit entry field",
+                src_line=entry.src_line,
+                mode=mode,
+            )
+        decoded = decode_destinations(
+            scheme, entry.src_line, mode, payload, len(entry.dsts)
+        )
+        stored = [(dst, conf) for dst, conf in entry.dsts]
+        if decoded != stored:
+            self._fail(
+                "compression_roundtrip",
+                f"encode/decode round trip diverges for source "
+                f"0x{entry.src_line:x}: stored {stored} != decoded {decoded} "
+                f"(mode {mode})",
+                src_line=entry.src_line,
+                mode=mode,
+                stored=stored,
+                decoded=decoded,
+            )
+
+    # -- history-buffer invariants ------------------------------------------
+
+    def check_history(self, history: Any) -> None:
+        """Capacity and timestamp monotonicity after a push."""
+        self.checks += 1
+        if len(history) > history.size:
+            self._fail(
+                "history_capacity",
+                f"history holds {len(history)} entries > capacity "
+                f"{history.size}",
+                length=len(history),
+            )
+        entries = history._entries
+        if len(entries) >= 2 and entries[-1].timestamp < entries[-2].timestamp:
+            self._fail(
+                "history_monotonic",
+                f"history timestamp went backwards: "
+                f"{entries[-2].timestamp} -> {entries[-1].timestamp} "
+                f"(head 0x{entries[-1].line_addr:x})",
+                previous=entries[-2].timestamp,
+                current=entries[-1].timestamp,
+            )
+
+    # -- simulator invariants -----------------------------------------------
+
+    def check_fill(self, sim: Any, line_addr: int) -> None:
+        """MSHR/L1I/PQ consistency after a fill completes."""
+        self.checks += 1
+        if not sim.l1i.contains(line_addr):
+            self._fail(
+                "fill_resident",
+                f"filled line 0x{line_addr:x} is not resident in the L1I",
+                line_addr=line_addr,
+            )
+        if sim.mshr.lookup(line_addr) is not None:
+            self._fail(
+                "mshr_l1i_exclusive",
+                f"line 0x{line_addr:x} is both resident and in the MSHR",
+                line_addr=line_addr,
+            )
+        if len(sim.mshr) > sim.mshr.capacity:
+            self._fail(
+                "mshr_capacity",
+                f"MSHR holds {len(sim.mshr)} entries > capacity "
+                f"{sim.mshr.capacity}",
+            )
+        if len(sim.pq) > sim.pq.capacity:
+            self._fail(
+                "pq_capacity",
+                f"prefetch queue holds {len(sim.pq)} entries > capacity "
+                f"{sim.pq.capacity}",
+            )
+
+    def final_check(self, sim: Any) -> None:
+        """Whole-model sweep at the end of a run."""
+        self.checks += 1
+        for line_addr in list(sim.mshr._entries):
+            if sim.l1i.contains(line_addr):
+                self._fail(
+                    "mshr_l1i_exclusive",
+                    f"line 0x{line_addr:x} is both resident and in the MSHR "
+                    f"at end of run",
+                    line_addr=line_addr,
+                )
+        stats = sim.stats
+        if stats.l1i_demand_hits + stats.l1i_demand_misses != stats.l1i_demand_accesses:
+            self._fail(
+                "demand_counter_sum",
+                f"demand hits ({stats.l1i_demand_hits}) + misses "
+                f"({stats.l1i_demand_misses}) != accesses "
+                f"({stats.l1i_demand_accesses})",
+            )
+        table = getattr(sim.prefetcher, "table", None)
+        if table is not None:
+            for table_set in table._sets:
+                if len(table_set) > table.ways:
+                    self._fail(
+                        "table_associativity",
+                        f"set holds {len(table_set)} entries > {table.ways} "
+                        f"ways",
+                    )
+                for entry in table_set.values():
+                    self.check_entry(table, entry)
+        history = getattr(sim.prefetcher, "history", None)
+        if history is not None:
+            timestamps = [entry.timestamp for entry in history]
+            if any(b < a for a, b in zip(timestamps, timestamps[1:])):
+                self._fail(
+                    "history_monotonic",
+                    f"history timestamps are not monotonic at end of run: "
+                    f"{timestamps}",
+                )

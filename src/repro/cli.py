@@ -31,11 +31,24 @@ from typing import List, Optional
 from repro.prefetchers.registry import available_prefetchers
 from repro.analysis.experiments import resolve_config, resolve_jobs
 from repro.analysis.reporting import format_table
+from repro.check import TraceError, sanitizer_from_env
 from repro.sim.config import SimConfig
 from repro.sim.fetchunits import build_fetch_units
 from repro.sim.simulator import simulate
 from repro.workloads.generators import CATEGORIES, WorkloadSpec, make_workload
 from repro.workloads.trace import read_trace, write_trace
+
+
+def _load_trace(path: str, salvage: bool = False):
+    """Read a trace for a CLI command, reporting salvage on stderr.
+
+    Raises TraceError upward; the command wrappers turn it into exit
+    code 2 with a one-line diagnosis instead of a stack trace.
+    """
+    trace = read_trace(path, salvage=salvage)
+    if trace.salvage is not None:
+        print(f"salvage: {path}: {trace.salvage.describe()}", file=sys.stderr)
+    return trace
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -55,17 +68,26 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one(trace, config_name: str, warmup: int, units=None):
+def _run_one(trace, config_name: str, warmup: int, units=None, checker=None):
     prefetcher, sim_config = resolve_config(config_name, SimConfig())
     if units is None:
         units = build_fetch_units(trace, sim_config.line_size)
+    if checker is None:
+        checker = sanitizer_from_env()
     return simulate(
         trace, prefetcher, config=sim_config, units=units,
-        warmup_instructions=warmup,
+        warmup_instructions=warmup, checker=checker,
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import os
+
+    if args.check:
+        # Propagate to worker processes (guarded mode) and keep the
+        # in-process path on the same code route as REPRO_SANITIZE=1.
+        os.environ["REPRO_SANITIZE"] = "1"
+    checker = None
     if args.task_timeout is not None or args.retries is not None:
         # Guarded execution: run the simulation in a worker process so a
         # hang can be timed out and a crash retried.
@@ -85,8 +107,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"attempt(s): {failure.error}", file=sys.stderr)
             return 1
     else:
-        trace = read_trace(args.trace)
-        result = _run_one(trace, args.prefetcher, args.warmup)
+        try:
+            trace = _load_trace(args.trace, salvage=args.salvage)
+        except TraceError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
+        checker = sanitizer_from_env()
+        result = _run_one(trace, args.prefetcher, args.warmup, checker=checker)
     stats = result.stats
     print(f"trace:      {result.trace_name} "
           f"({stats.instructions} measured instructions)")
@@ -101,6 +128,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"(mispredict rate {stats.branch_misprediction_rate:.3f})")
     print(f"sim speed:  {stats.instrs_per_second:,.0f} instrs/s "
           f"({stats.wall_seconds:.2f}s wall)")
+    if checker is not None:
+        print(checker.report().summary_line())
     return 0
 
 
@@ -334,6 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
              f"l1i_64kb, l1i_96kb",
     )
     run.add_argument("--warmup", type=int, default=0)
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="attach the runtime invariant sanitizer (hardware-model "
+             "contracts asserted every insertion/fill; equivalent to "
+             "REPRO_SANITIZE=1)",
+    )
+    run.add_argument(
+        "--salvage",
+        action="store_true",
+        help="recover the longest valid record prefix from a damaged "
+             "trace file instead of failing ingestion",
+    )
     run.add_argument(
         "--task-timeout",
         type=float,

@@ -145,6 +145,71 @@ class CompressionScheme:
         return f"CompressionScheme({self.kind!r})"
 
 
+def encode_destinations(
+    scheme: CompressionScheme,
+    src_line: int,
+    dsts: Sequence[Sequence[int]],
+) -> Tuple[int, int]:
+    """Pack ``(dst_line, confidence)`` pairs into ``(mode, payload)``.
+
+    This is the bit-exact hardware encoding of Tables I/II: mode ``k``
+    divides the payload into ``k`` slots, each holding a 2-bit confidence
+    above the low ``addr_bits`` bits of the destination (mode 1 stores the
+    full line address).  Slot 0 occupies the least significant bits.
+
+    Raises:
+        ValueError: the array does not fit any mode, a confidence is
+            outside [0, 3], or a mode-1 address exceeds the tag width.
+    """
+    widths = [scheme.significant_bits(src_line, d) for d, _conf in dsts]
+    mode = scheme.mode_for_widths(widths)
+    if mode is None:
+        raise ValueError(
+            f"{len(dsts)} destinations of width {max(widths)} bits do not "
+            f"fit any {scheme.kind} mode"
+        )
+    spec = scheme.modes[mode]
+    addr_mask = (1 << spec.addr_bits) - 1
+    payload = 0
+    for i, (dst_line, confidence) in enumerate(dsts):
+        if not 0 <= confidence <= (1 << CONFIDENCE_BITS) - 1:
+            raise ValueError(f"confidence {confidence} exceeds 2 bits")
+        if mode == 1 and dst_line > addr_mask:
+            raise ValueError(
+                f"line 0x{dst_line:x} exceeds the {spec.addr_bits}-bit "
+                f"{scheme.kind} address space"
+            )
+        slot = (confidence << spec.addr_bits) | (dst_line & addr_mask)
+        payload |= slot << (i * spec.slot_bits)
+    return mode, payload
+
+
+def decode_destinations(
+    scheme: CompressionScheme,
+    src_line: int,
+    mode: int,
+    payload: int,
+    count: int,
+) -> List[Tuple[int, int]]:
+    """Inverse of :func:`encode_destinations`.
+
+    Reconstructs the full destination line addresses by splicing the
+    source's high bits above each slot's stored low bits (mode 1 stores
+    the complete address, so nothing is inferred).
+    """
+    spec = scheme.modes[mode]
+    addr_mask = (1 << spec.addr_bits) - 1
+    slot_mask = (1 << spec.slot_bits) - 1
+    high = 0 if mode == 1 else (src_line >> spec.addr_bits) << spec.addr_bits
+    pairs: List[Tuple[int, int]] = []
+    for i in range(count):
+        slot = (payload >> (i * spec.slot_bits)) & slot_mask
+        addr_field = slot & addr_mask
+        confidence = slot >> spec.addr_bits
+        pairs.append((high | addr_field, confidence))
+    return pairs
+
+
 def mode_table(kind: str = "virtual") -> List[Tuple[int, int, int]]:
     """(mode, capacity, addr_bits) rows — Table I (virtual) / II (physical)."""
     scheme = CompressionScheme(kind)

@@ -96,6 +96,10 @@ class EntangledTable:
         self._fifo_counter = 0
         self.stats = TableStats()
         self._set_bits = max(1, (self.sets - 1).bit_length())
+        # Runtime invariant checker (see repro.check.sanitize), duck-typed
+        # so this module never imports the check package; None = the exact
+        # unchecked path.
+        self.checker = None
 
     # -- indexing -----------------------------------------------------------
 
@@ -164,6 +168,8 @@ class EntangledTable:
             entry.bb_size = max(entry.bb_size, size)
         else:
             entry.bb_size = size
+        if self.checker is not None:
+            self.checker.check_entry(self, entry)
         return entry
 
     def bb_size_of(self, line_addr: int) -> int:
@@ -186,6 +192,8 @@ class EntangledTable:
         existing = entry.find_dst(dst_line)
         if existing is not None:
             existing[1] = MAX_CONFIDENCE
+            if self.checker is not None:
+                self.checker.check_entry(self, entry)
             return "exists"
 
         candidate = entry.dst_lines() + [dst_line]
@@ -193,6 +201,8 @@ class EntangledTable:
             entry.dsts.append([dst_line, MAX_CONFIDENCE])
             self.stats.pairs_added += 1
             self._record_format(entry)
+            if self.checker is not None:
+                self.checker.check_entry(self, entry)
             return "added"
 
         if not evict_if_full:
@@ -204,6 +214,8 @@ class EntangledTable:
             entry.dsts.append([dst_line, MAX_CONFIDENCE])
             self.stats.pairs_added += 1
             self._record_format(entry)
+            if self.checker is not None:
+                self.checker.check_entry(self, entry)
             return "added"
 
         weakest = min(range(len(entry.dsts)), key=lambda i: entry.dsts[i][1])
@@ -221,6 +233,8 @@ class EntangledTable:
         entry.dsts.append([dst_line, MAX_CONFIDENCE])
         self.stats.pairs_added += 1
         self._record_format(entry)
+        if self.checker is not None:
+            self.checker.check_entry(self, entry)
         return "added"
 
     def _record_format(self, entry: EntangledEntry) -> None:
@@ -243,6 +257,8 @@ class EntangledTable:
         pair = entry.find_dst(dst_line)
         if pair is not None and pair[1] < MAX_CONFIDENCE:
             pair[1] += 1
+            if self.checker is not None:
+                self.checker.check_entry(self, entry)
 
     def decrease_confidence(self, src_line: int, dst_line: int) -> None:
         """Demote a pair; a pair reaching zero confidence is invalidated."""
@@ -256,6 +272,8 @@ class EntangledTable:
         if pair[1] <= 0:
             entry.dsts.remove(pair)
             self.stats.pairs_invalidated += 1
+        if self.checker is not None:
+            self.checker.check_entry(self, entry)
 
     # -- storage ------------------------------------------------------------------
 

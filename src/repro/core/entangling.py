@@ -27,7 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.core.compression import CompressionScheme
+from repro.check.errors import ConfigError
+from repro.core.compression import (
+    CONFIDENCE_BITS,
+    MODE_FIELD_BITS,
+    CompressionScheme,
+)
 from repro.core.entangled_table import BB_SIZE_BITS, EntangledTable, MAX_BB_SIZE
 from repro.core.history import HistoryBuffer, HistoryEntry
 from repro.prefetchers.base import FillInfo, InstructionPrefetcher, PrefetchRequest
@@ -96,6 +101,91 @@ class EntanglingConfig:
     def label(self) -> str:
         return f"Entangling-{self.entries // 1024}K"
 
+    #: The paper's per-entry destination field: 3-bit mode + 60-bit payload
+    #: (virtual) or 2-bit mode + 44-bit payload (physical).
+    EXPECTED_DST_FIELD_BITS = {"virtual": 63, "physical": 46}
+
+    def validate(self) -> None:
+        """Fail fast on structurally invalid Entangling variants.
+
+        Raises :class:`~repro.check.errors.ConfigError` with an actionable
+        message.  Beyond basic geometry (entries divisible into ways,
+        power-of-two sets so the XOR fold indexes uniformly), this
+        cross-checks the compression scheme's bit arithmetic against the
+        paper's published budgets: the destination field must come out at
+        exactly 63 bits (virtual) / 46 bits (physical), and every mode's
+        slot layout must fit its payload.
+        """
+        if self.entries < 1 or self.ways < 1:
+            raise ConfigError(
+                f"Entangled table needs positive geometry, got "
+                f"entries={self.entries}, ways={self.ways}"
+            )
+        if self.entries % self.ways:
+            raise ConfigError(
+                f"Entangled table entries ({self.entries}) must be a "
+                f"multiple of the associativity ({self.ways})"
+            )
+        sets = self.entries // self.ways
+        if sets & (sets - 1):
+            raise ConfigError(
+                f"Entangled table has {sets} sets "
+                f"(entries={self.entries} / ways={self.ways}); the XOR-fold "
+                f"index needs a power of two"
+            )
+        if self.address_space not in MODE_FIELD_BITS:
+            raise ConfigError(
+                f"address_space {self.address_space!r} is not one of "
+                f"{tuple(MODE_FIELD_BITS)}"
+            )
+        if self.history_size < 1:
+            raise ConfigError(
+                f"history_size must be >= 1, got {self.history_size}"
+            )
+        if self.merge_distance is not None and self.merge_distance < 0:
+            raise ConfigError(
+                f"merge_distance must be >= 0, got {self.merge_distance}"
+            )
+        if self.bb_size_policy not in ("max", "latest"):
+            raise ConfigError(
+                f"bb_size_policy {self.bb_size_policy!r} is not 'max' or "
+                f"'latest'"
+            )
+        if self.commit_delay_accesses < 0:
+            raise ConfigError(
+                f"commit_delay_accesses must be >= 0, got "
+                f"{self.commit_delay_accesses}"
+            )
+        # -- destination-mode bit-budget cross-check (paper Tables I/II) --
+        scheme = CompressionScheme(self.address_space)
+        expected = self.EXPECTED_DST_FIELD_BITS[self.address_space]
+        if scheme.entry_dst_field_bits != expected:
+            raise ConfigError(
+                f"{self.address_space} destination field is "
+                f"{scheme.entry_dst_field_bits} bits "
+                f"({MODE_FIELD_BITS[self.address_space]} mode + "
+                f"{scheme.payload_bits} payload); the paper's array is "
+                f"{expected} bits"
+            )
+        for spec in scheme.modes.values():
+            if spec.slot_bits * spec.capacity > scheme.payload_bits:
+                raise ConfigError(
+                    f"mode {spec.mode}: {spec.capacity} slots of "
+                    f"{spec.slot_bits} bits overflow the "
+                    f"{scheme.payload_bits}-bit payload"
+                )
+            min_slot = (
+                scheme.full_addr_bits + CONFIDENCE_BITS
+                if spec.mode == 1
+                else spec.addr_bits + CONFIDENCE_BITS
+            )
+            if spec.mode != 1 and min_slot > spec.slot_bits:
+                raise ConfigError(
+                    f"mode {spec.mode}: {spec.addr_bits} address + "
+                    f"{CONFIDENCE_BITS} confidence bits do not fit the "
+                    f"{spec.slot_bits}-bit slot"
+                )
+
 
 @dataclass
 class EntanglingStats:
@@ -149,6 +239,7 @@ class EntanglingPrefetcher(InstructionPrefetcher):
 
     def __init__(self, config: Optional[EntanglingConfig] = None) -> None:
         self.config = config or EntanglingConfig()
+        self.config.validate()
         scheme = CompressionScheme(self.config.address_space)
         self.table = EntangledTable(
             entries=self.config.entries, ways=self.config.ways, scheme=scheme

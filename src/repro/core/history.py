@@ -45,6 +45,10 @@ class HistoryBuffer:
             raise ValueError("history buffer needs at least one entry")
         self.size = size
         self._entries: Deque[HistoryEntry] = deque(maxlen=size)
+        # Runtime invariant checker (see repro.check.sanitize), duck-typed
+        # so this module never imports the check package; None = the exact
+        # unchecked path.
+        self.checker = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,6 +59,8 @@ class HistoryBuffer:
     def push(self, line_addr: int, timestamp: int) -> HistoryEntry:
         entry = HistoryEntry(line_addr, timestamp)
         self._entries.append(entry)
+        if self.checker is not None:
+            self.checker.check_history(self)
         return entry
 
     def remove(self, entry: HistoryEntry) -> None:

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.check.errors import ConfigError
+
+_REPLACEMENT_POLICIES = ("lru", "fifo")
+_BRANCH_PREDICTORS = ("gshare", "bimodal")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -74,18 +79,88 @@ class SimConfig:
     physical_page_seed: int = 12345
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Fail fast on structurally invalid configurations.
+
+        Raises :class:`~repro.check.errors.ConfigError` (a ``ValueError``)
+        with an actionable message naming the offending field and the
+        accepted range, so a bad sweep point or hand-edited config dies at
+        construction instead of producing garbage numbers mid-suite.
+        """
+        for label, value in (
+            ("line_size", self.line_size),
+            ("page_size", self.page_size),
+        ):
+            if value < 1 or value & (value - 1):
+                raise ConfigError(
+                    f"{label} must be a positive power of two, got {value}"
+                )
+        if self.page_size < self.line_size:
+            raise ConfigError(
+                f"page_size ({self.page_size}) must be >= line_size "
+                f"({self.line_size})"
+            )
         for cache_size, ways, label in (
             (self.l1i_size, self.l1i_ways, "L1I"),
             (self.l1d_size, self.l1d_ways, "L1D"),
             (self.l2_size, self.l2_ways, "L2"),
             (self.llc_size, self.llc_ways, "LLC"),
         ):
+            if ways < 1:
+                raise ConfigError(f"{label}: needs at least one way, got {ways}")
             sets = cache_size // (ways * self.line_size)
             if sets <= 0 or cache_size % (ways * self.line_size):
-                raise ValueError(
+                raise ConfigError(
                     f"{label}: size {cache_size} not divisible into "
                     f"{ways} ways of {self.line_size}B lines"
                 )
+        for label, value in (
+            ("l1i_latency", self.l1i_latency),
+            ("l1d_latency", self.l1d_latency),
+            ("l2_latency", self.l2_latency),
+            ("llc_latency", self.llc_latency),
+            ("dram_latency", self.dram_latency),
+            ("l1i_mshrs", self.l1i_mshrs),
+            ("prefetch_queue_size", self.prefetch_queue_size),
+            ("prefetch_issue_width", self.prefetch_issue_width),
+            ("ftq_size", self.ftq_size),
+            ("fetch_lines_per_cycle", self.fetch_lines_per_cycle),
+            ("retire_width", self.retire_width),
+            ("btb_sets", self.btb_sets),
+            ("btb_ways", self.btb_ways),
+            ("ras_size", self.ras_size),
+        ):
+            if value < 1:
+                raise ConfigError(f"{label} must be >= 1, got {value}")
+        if not 0 <= self.mshr_demand_reserve < self.l1i_mshrs:
+            raise ConfigError(
+                f"mshr_demand_reserve ({self.mshr_demand_reserve}) must be "
+                f"in [0, l1i_mshrs) = [0, {self.l1i_mshrs}); prefetches "
+                f"need at least one usable MSHR slot short of the demand "
+                f"reserve"
+            )
+        if self.l1i_replacement not in _REPLACEMENT_POLICIES:
+            raise ConfigError(
+                f"l1i_replacement {self.l1i_replacement!r} is not one of "
+                f"{_REPLACEMENT_POLICIES}"
+            )
+        if self.branch_predictor not in _BRANCH_PREDICTORS:
+            raise ConfigError(
+                f"branch_predictor {self.branch_predictor!r} is not one of "
+                f"{_BRANCH_PREDICTORS}"
+            )
+        for label, value in (
+            ("decode_redirect_penalty", self.decode_redirect_penalty),
+            ("exec_redirect_penalty", self.exec_redirect_penalty),
+            ("gshare_bits", self.gshare_bits),
+            ("gshare_history", self.gshare_history),
+            ("itc_bits", self.itc_bits),
+            ("itc_history", self.itc_history),
+        ):
+            if value < 0:
+                raise ConfigError(f"{label} must be >= 0, got {value}")
 
     @property
     def l1i_sets(self) -> int:

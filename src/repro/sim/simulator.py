@@ -100,6 +100,7 @@ class Simulator:
         units: Optional[Sequence[FetchUnit]] = None,
         tracer: Optional[Any] = None,
         profiler: Optional[Any] = None,
+        checker: Optional[Any] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.trace = trace
@@ -108,8 +109,13 @@ class Simulator:
         # never imports the obs package: a ``tracer`` records lifecycle
         # events via ``emit``; a ``profiler`` times the four phases via
         # ``wrap``.  Both default to None = the exact uninstrumented path.
+        # The ``checker`` (see repro.check.sanitize) follows the same
+        # contract: it asserts hardware-model invariants via ``check_fill``
+        # / ``final_check`` and wires itself into the prefetcher's
+        # structures through ``attach``.
         self.tracer = tracer
         self.profiler = profiler
+        self.checker = checker
         self.units: Sequence[FetchUnit] = (
             units if units is not None else build_fetch_units(trace, self.config.line_size)
         )
@@ -147,6 +153,8 @@ class Simulator:
         self._pred_blocked_on: Optional[_FtqBlock] = None
         self._retired = 0
         self._refresh_counter_refs()
+        if checker is not None:
+            checker.attach(self)
 
     def _refresh_counter_refs(self) -> None:
         """Re-bind per-cache counter objects (``stats.reset`` replaces them)."""
@@ -211,6 +219,8 @@ class Simulator:
         stats.wall_seconds = time.perf_counter() - started
         if self.profiler is not None:
             stats.phase_seconds = self.profiler.snapshot()
+        if self.checker is not None:
+            self.checker.final_check(self)
         return stats
 
     _measure_start_cycle = 0
@@ -280,6 +290,8 @@ class Simulator:
                 (entry.is_demand, entry.was_prefetch, info.demand_latency),
             )
         self._collect(self.prefetcher.on_fill(info))
+        if self.checker is not None:
+            self.checker.check_fill(self, entry.line_addr)
         waiters = self._waiting.pop(entry.line_addr, None)
         if waiters:
             ready_at = self.cycle + self.config.l1i_latency
@@ -583,11 +595,22 @@ def simulate(
     warmup_instructions: int = 0,
     tracer: Optional[Any] = None,
     profiler: Optional[Any] = None,
+    checker: Optional[Any] = None,
 ) -> SimResult:
-    """Convenience wrapper: run one trace through one prefetcher."""
+    """Convenience wrapper: run one trace through one prefetcher.
+
+    With no explicit ``checker``, ``REPRO_SANITIZE`` is consulted so a
+    sanitized environment (CI's sanitizer-smoke job, ``repro run
+    --check`` worker processes) covers every entry point.  The env probe
+    never imports the sanitizer module when the variable is unset.
+    """
+    if checker is None:
+        from repro.check import sanitizer_from_env
+
+        checker = sanitizer_from_env()
     sim = Simulator(
         trace, prefetcher, config=config, units=units, tracer=tracer,
-        profiler=profiler,
+        profiler=profiler, checker=checker,
     )
     stats = sim.run(warmup_instructions=warmup_instructions)
     return SimResult(

@@ -13,6 +13,7 @@ from repro.workloads.trace import (
     BranchType,
     Instruction,
     Trace,
+    TraceSalvage,
     read_trace,
     write_trace,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "BranchType",
     "Instruction",
     "Trace",
+    "TraceSalvage",
     "read_trace",
     "write_trace",
     "BasicBlock",

@@ -17,8 +17,20 @@ import enum
 import io
 import struct
 import zlib
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.check.artifacts import atomic_write_bytes
+from repro.check.errors import (
+    TraceCRCError,
+    TraceError,
+    TraceHeaderError,
+    TraceMagicError,
+    TracePayloadError,
+    TraceRecordError,
+    TraceTruncatedError,
+    TraceVersionError,
+)
 
 
 class BranchType(enum.IntEnum):
@@ -105,6 +117,9 @@ class Trace:
         self.name = name
         self.category = category
         self.instructions: List[Instruction] = list(instructions)
+        #: Set by :func:`read_trace` in salvage mode when the file was
+        #: damaged and only a record prefix was recovered; None otherwise.
+        self.salvage: Optional["TraceSalvage"] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -136,14 +151,46 @@ class Trace:
         return sum(1 for inst in self.instructions if inst.taken)
 
 
+@dataclass
+class TraceSalvage:
+    """What salvage-mode loading recovered from a damaged trace file.
+
+    Attached as ``Trace.salvage`` so callers can tell a clean load from a
+    partial recovery — salvaged data is never returned silently.
+    """
+
+    recovered: int
+    expected: int
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.recovered == self.expected and not self.reasons
+
+    def describe(self) -> str:
+        detail = "; ".join(self.reasons) if self.reasons else "clean"
+        return f"salvaged {self.recovered}/{self.expected} records ({detail})"
+
+
 _MAGIC = b"EPTR"
-_VERSION = 2
+_VERSION = 3         # written; adds a CRC32 over header tail + payload
+_LEGACY_VERSION = 2  # still readable (no checksum)
 _RECORD = struct.Struct("<QIBBQQ")  # pc, size, branch_type|flags, pad, target, data_addr
 
 _FLAG_TAKEN = 0x10
 _FLAG_LOAD = 0x20
 _FLAG_STORE = 0x40
 _TYPE_MASK = 0x0F
+_FLAG_RESERVED = 0x80
+
+#: Address-space contract for every pc/target/data_addr in a trace: the
+#: simulator models a 58-bit line address space (virtual training), so a
+#: 62-bit byte address leaves headroom for line arithmetic while catching
+#: bit-flipped high bytes during ingestion.
+_ADDRESS_BITS = 62
+_MAX_ADDRESS = 1 << _ADDRESS_BITS
+_MAX_INSTRUCTION_SIZE = 64
+_MAX_BRANCH_TYPE = max(BranchType)
 
 
 def _pack_record(inst: Instruction) -> bytes:
@@ -157,26 +204,75 @@ def _pack_record(inst: Instruction) -> bytes:
     return _RECORD.pack(inst.pc, inst.size, flags, 0, inst.target, inst.data_addr)
 
 
+def _validate_fields(
+    pc: int, size: int, flags: int, target: int, data_addr: int
+) -> Optional[str]:
+    """Field-level validity of one record; returns a reason or None."""
+    if flags & _FLAG_RESERVED:
+        return f"reserved flag bit 0x{_FLAG_RESERVED:02x} is set"
+    branch_nibble = flags & _TYPE_MASK
+    if branch_nibble > _MAX_BRANCH_TYPE:
+        return f"branch type {branch_nibble} out of range (0-{int(_MAX_BRANCH_TYPE)})"
+    if not 1 <= size <= _MAX_INSTRUCTION_SIZE:
+        return f"instruction size {size} out of range (1-{_MAX_INSTRUCTION_SIZE})"
+    for label, value in (("pc", pc), ("target", target), ("data_addr", data_addr)):
+        if value >= _MAX_ADDRESS:
+            return (
+                f"{label} 0x{value:x} exceeds the {_ADDRESS_BITS}-bit "
+                f"address space"
+            )
+    return None
+
+
+def _decode_record(block: bytes, base: int) -> Tuple[Optional[Instruction], Optional[str]]:
+    """Decode one record at ``base``; returns (instruction, reason)."""
+    pc, size, flags, _pad, target, data_addr = _RECORD.unpack_from(block, base)
+    reason = _validate_fields(pc, size, flags, target, data_addr)
+    if reason is not None:
+        return None, reason
+    return (
+        Instruction(
+            pc=pc,
+            size=size,
+            branch_type=BranchType(flags & _TYPE_MASK),
+            taken=bool(flags & _FLAG_TAKEN),
+            target=target,
+            is_load=bool(flags & _FLAG_LOAD),
+            is_store=bool(flags & _FLAG_STORE),
+            data_addr=data_addr,
+        ),
+        None,
+    )
+
+
 def _unpack_record(raw: bytes) -> Instruction:
-    pc, size, flags, _pad, target, data_addr = _RECORD.unpack(raw)
-    return Instruction(
-        pc=pc,
-        size=size,
-        branch_type=BranchType(flags & _TYPE_MASK),
-        taken=bool(flags & _FLAG_TAKEN),
-        target=target,
-        is_load=bool(flags & _FLAG_LOAD),
-        is_store=bool(flags & _FLAG_STORE),
-        data_addr=data_addr,
+    inst, reason = _decode_record(raw, 0)
+    if reason is not None:
+        raise TraceRecordError(f"invalid record: {reason}", record_index=0, offset=0)
+    return inst
+
+
+def _serialize_header_tail(
+    compress: bool, name_bytes: bytes, cat_bytes: bytes, count: int
+) -> bytes:
+    """Version byte through record count — the checksummed header region."""
+    return (
+        bytes([_VERSION, 1 if compress else 0])
+        + struct.pack("<H", len(name_bytes))
+        + name_bytes
+        + struct.pack("<H", len(cat_bytes))
+        + cat_bytes
+        + struct.pack("<Q", count)
     )
 
 
 def write_trace(trace: Trace, path: str, compress: bool = True) -> None:
-    """Serialize a trace to ``path``.
+    """Serialize a trace to ``path`` (atomically: tmp + fsync + rename).
 
-    The format is ``EPTR`` magic, version byte, compression byte, name and
-    category as length-prefixed UTF-8, a record count, and the (optionally
-    zlib-compressed) fixed-width record block.
+    Format version 3: ``EPTR`` magic, version byte, compression byte,
+    name and category as length-prefixed UTF-8, a record count, a CRC32
+    over everything after the magic (header tail + stored payload), and
+    the (optionally zlib-compressed) fixed-width record block.
     """
     body = io.BytesIO()
     for inst in trace.instructions:
@@ -184,51 +280,245 @@ def write_trace(trace: Trace, path: str, compress: bool = True) -> None:
     payload = body.getvalue()
     if compress:
         payload = zlib.compress(payload, level=6)
-    name_bytes = trace.name.encode("utf-8")
-    cat_bytes = trace.category.encode("utf-8")
-    with open(path, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(bytes([_VERSION, 1 if compress else 0]))
-        fh.write(struct.pack("<H", len(name_bytes)))
-        fh.write(name_bytes)
-        fh.write(struct.pack("<H", len(cat_bytes)))
-        fh.write(cat_bytes)
-        fh.write(struct.pack("<Q", len(trace.instructions)))
-        fh.write(payload)
+    header_tail = _serialize_header_tail(
+        compress,
+        trace.name.encode("utf-8"),
+        trace.category.encode("utf-8"),
+        len(trace.instructions),
+    )
+    crc = zlib.crc32(payload, zlib.crc32(header_tail))
+    atomic_write_bytes(
+        path, _MAGIC + header_tail + struct.pack("<I", crc) + payload
+    )
 
 
-def read_trace(path: str) -> Trace:
+def _read_lp_string(data: bytes, offset: int, path: str, label: str) -> Tuple[str, int]:
+    """Length-prefixed UTF-8 string at ``offset``; raises TraceHeaderError."""
+    if offset + 2 > len(data):
+        raise TraceHeaderError(
+            f"{path}: header truncated before the {label} length at byte "
+            f"{offset}",
+            path=path,
+            offset=offset,
+        )
+    (length,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    if offset + length > len(data):
+        raise TraceHeaderError(
+            f"{path}: header truncated inside the {label} field at byte "
+            f"{offset} ({length} bytes declared, {len(data) - offset} left)",
+            path=path,
+            offset=offset,
+        )
+    try:
+        text = data[offset : offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceHeaderError(
+            f"{path}: {label} field at byte {offset} is not valid UTF-8 "
+            f"({exc})",
+            path=path,
+            offset=offset,
+        ) from None
+    return text, offset + length
+
+
+def _decompress_salvage(payload: bytes) -> Tuple[bytes, Optional[str]]:
+    """Best-effort decompression: the longest clean prefix plus a reason."""
+    decompressor = zlib.decompressobj()
+    chunks: List[bytes] = []
+    error: Optional[str] = None
+    # Feed in small pieces so output produced before the corruption point
+    # is retained; a single decompress() call would discard everything.
+    for start in range(0, len(payload), 4096):
+        try:
+            chunks.append(decompressor.decompress(payload[start : start + 4096]))
+        except zlib.error as exc:
+            error = f"compressed block is corrupt ({exc})"
+            break
+    else:
+        try:
+            chunks.append(decompressor.flush())
+        except zlib.error as exc:
+            error = f"compressed block ends mid-stream ({exc})"
+        if error is None and not decompressor.eof:
+            error = "compressed block is incomplete (stream did not finish)"
+    return b"".join(chunks), error
+
+
+def read_trace(path: str, salvage: bool = False) -> Trace:
     """Deserialize a trace written by :func:`write_trace`.
 
+    Reads format versions 2 (legacy, no checksum) and 3.  Every error is
+    a :class:`~repro.check.errors.TraceError` subclass (a ``ValueError``)
+    carrying the file path, the byte offset of the damage, and — for
+    record-level damage — the index of the first bad record.
+
+    With ``salvage=True``, damage past the header is not fatal: the
+    longest valid record *prefix* is recovered and the returned trace
+    carries a :class:`TraceSalvage` on ``trace.salvage`` describing what
+    was lost.  Header damage (magic, version, name/category/count) is
+    unrecoverable and still raises.
+
     Raises:
-        ValueError: the file is not a valid trace (bad magic, version, or a
-            truncated record block).
+        TraceError: the file is not a valid trace (bad magic, version,
+            header, checksum, payload, or record), subject to the salvage
+            rules above.
     """
     with open(path, "rb") as fh:
-        magic = fh.read(4)
-        if magic != _MAGIC:
-            raise ValueError(f"{path}: not a trace file (magic {magic!r})")
-        version, compressed = fh.read(2)
-        if version != _VERSION:
-            raise ValueError(f"{path}: unsupported trace version {version}")
-        (name_len,) = struct.unpack("<H", fh.read(2))
-        name = fh.read(name_len).decode("utf-8")
-        (cat_len,) = struct.unpack("<H", fh.read(2))
-        category = fh.read(cat_len).decode("utf-8")
-        (count,) = struct.unpack("<Q", fh.read(8))
-        payload = fh.read()
-    if compressed:
-        payload = zlib.decompress(payload)
-    expected = count * _RECORD.size
-    if len(payload) != expected:
-        raise ValueError(
-            f"{path}: truncated trace ({len(payload)} bytes, expected {expected})"
+        data = fh.read()
+    problems: List[str] = []
+
+    # -- header (damage here is fatal even in salvage mode) -----------------
+    if data[:4] != _MAGIC:
+        raise TraceMagicError(
+            f"{path}: not a trace file (magic {data[:4]!r} at byte 0, "
+            f"expected {_MAGIC!r})",
+            path=path,
+            offset=0,
         )
-    instructions = [
-        _unpack_record(payload[i : i + _RECORD.size])
-        for i in range(0, expected, _RECORD.size)
-    ]
-    return Trace(name=name, instructions=instructions, category=category)
+    if len(data) < 6:
+        raise TraceHeaderError(
+            f"{path}: header truncated after the magic ({len(data)} bytes)",
+            path=path,
+            offset=len(data),
+        )
+    version, compressed = data[4], data[5]
+    if version not in (_LEGACY_VERSION, _VERSION):
+        raise TraceVersionError(
+            f"{path}: unsupported trace version {version} at byte 4 "
+            f"(this reader speaks {_LEGACY_VERSION} and {_VERSION})",
+            path=path,
+            offset=4,
+        )
+    if compressed not in (0, 1):
+        raise TraceHeaderError(
+            f"{path}: compression byte {compressed} at byte 5 is neither "
+            f"0 nor 1",
+            path=path,
+            offset=5,
+        )
+    offset = 6
+    name, offset = _read_lp_string(data, offset, path, "name")
+    category, offset = _read_lp_string(data, offset, path, "category")
+    if offset + 8 > len(data):
+        raise TraceHeaderError(
+            f"{path}: header truncated before the record count at byte "
+            f"{offset}",
+            path=path,
+            offset=offset,
+        )
+    (count,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+
+    # -- checksum (v3) -------------------------------------------------------
+    stored_crc: Optional[int] = None
+    if version >= _VERSION:
+        if offset + 4 > len(data):
+            raise TraceHeaderError(
+                f"{path}: header truncated before the checksum at byte "
+                f"{offset}",
+                path=path,
+                offset=offset,
+            )
+        (stored_crc,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+    payload = data[offset:]
+    record_size = _RECORD.size
+    expected_bytes = count * record_size
+
+    # An uncompressed short payload is reported as truncation (with the
+    # first incomplete record) rather than as a checksum mismatch — the
+    # more actionable diagnosis, and the one salvage can act on.
+    crc_region_end = offset - 4 if stored_crc is not None else offset
+    if stored_crc is not None and not (
+        not compressed and len(payload) < expected_bytes
+    ):
+        actual_crc = zlib.crc32(payload, zlib.crc32(data[4:crc_region_end]))
+        if actual_crc != stored_crc:
+            err = TraceCRCError(
+                f"{path}: checksum mismatch (stored 0x{stored_crc:08x}, "
+                f"computed 0x{actual_crc:08x}) — the file is corrupt or "
+                f"torn",
+                path=path,
+                offset=crc_region_end,
+            )
+            if not salvage:
+                raise err
+            problems.append("checksum mismatch")
+
+    # -- payload -------------------------------------------------------------
+    if compressed:
+        if salvage:
+            block, decomp_error = _decompress_salvage(payload)
+            if decomp_error is not None:
+                problems.append(decomp_error)
+        else:
+            try:
+                block = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise TracePayloadError(
+                    f"{path}: compressed record block starting at byte "
+                    f"{offset} is corrupt ({exc})",
+                    path=path,
+                    offset=offset,
+                ) from None
+    else:
+        block = payload
+
+    if len(block) != expected_bytes:
+        first_incomplete = min(len(block) // record_size, count)
+        if len(block) < expected_bytes:
+            err: TraceError = TraceTruncatedError(
+                f"{path}: truncated record block ({len(block)} bytes, "
+                f"expected {expected_bytes} = {count} records x "
+                f"{record_size}B); first incomplete record is "
+                f"#{first_incomplete} at payload byte "
+                f"{first_incomplete * record_size}",
+                path=path,
+                offset=first_incomplete * record_size,
+                record_index=first_incomplete,
+            )
+        else:
+            err = TracePayloadError(
+                f"{path}: record block has {len(block)} bytes, expected "
+                f"{expected_bytes} ({len(block) - expected_bytes} trailing "
+                f"bytes after record #{count})",
+                path=path,
+                offset=expected_bytes,
+                record_index=count,
+            )
+        if not salvage:
+            raise err
+        problems.append(
+            f"record block has {len(block)} of {expected_bytes} bytes"
+        )
+
+    # -- records -------------------------------------------------------------
+    complete_records = min(len(block) // record_size, count)
+    instructions: List[Instruction] = []
+    for index in range(complete_records):
+        base = index * record_size
+        inst, reason = _decode_record(block, base)
+        if reason is None:
+            instructions.append(inst)
+            continue
+        if not salvage:
+            raise TraceRecordError(
+                f"{path}: invalid record #{index} at payload byte {base}: "
+                f"{reason}",
+                path=path,
+                offset=base,
+                record_index=index,
+            )
+        problems.append(f"record #{index} at payload byte {base}: {reason}")
+        break  # salvage keeps the longest *valid prefix* only
+
+    trace = Trace(name=name, instructions=instructions, category=category)
+    if salvage and (problems or len(instructions) != count):
+        trace.salvage = TraceSalvage(
+            recovered=len(instructions), expected=count, reasons=problems
+        )
+    return trace
 
 
 def trace_from_pcs(

@@ -1,0 +1,191 @@
+"""Tests for crash-safe artifact IO (repro.check.artifacts) and its
+adoption by the exporters, the trajectory writer, and bench-check."""
+
+import csv
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.export import (
+    export_evaluation_csv,
+    export_metrics_csv,
+    export_metrics_json,
+    export_metrics_prometheus,
+)
+from repro.analysis.regression import (
+    check_trajectory,
+    load_trajectory,
+    save_trajectory,
+)
+from repro.check.artifacts import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    load_json_guarded,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _no_tmp_leftovers(directory):
+    return [n for n in os.listdir(directory) if n.endswith(".tmp")] == []
+
+
+class TestAtomicWrite:
+    def test_bytes_roundtrip_and_no_staging_leftovers(self, tmp_path):
+        path = str(tmp_path / "artifact.bin")
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert open(path, "rb").read() == b"\x00\x01payload"
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = str(tmp_path / "artifact.txt")
+        atomic_write_text(path, "a much longer first version\n")
+        atomic_write_text(path, "short\n")
+        assert open(path).read() == "short\n"
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_text_is_byte_exact(self, tmp_path):
+        # CSV writers emit \r\n; atomic_write_text must not translate it.
+        path = str(tmp_path / "rows.csv")
+        atomic_write_text(path, "a,b\r\n1,2\r\n")
+        assert open(path, "rb").read() == b"a,b\r\n1,2\r\n"
+
+    def test_json_parses_back(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        atomic_write_json(path, {"x": [1, 2], "y": "z"})
+        assert json.load(open(path)) == {"x": [1, 2], "y": "z"}
+        assert open(path).read().endswith("\n")
+
+    def test_failed_write_leaves_no_staging_file(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert not os.path.exists(path)
+        assert _no_tmp_leftovers(tmp_path)
+
+
+class TestGuardedLoad:
+    def test_missing_file_returns_default_without_error(self, tmp_path):
+        payload, error = load_json_guarded(str(tmp_path / "absent.json"), default=[])
+        assert payload == [] and error is None
+
+    def test_corrupt_file_returns_default_with_error(self, tmp_path):
+        path = str(tmp_path / "torn.json")
+        open(path, "w").write('{"entries": [')
+        payload, error = load_json_guarded(path, default={}, label="trajectory")
+        assert payload == {}
+        assert error is not None and "trajectory" in error and path in error
+
+    def test_valid_file_returns_payload(self, tmp_path):
+        path = str(tmp_path / "ok.json")
+        atomic_write_json(path, {"n": 5})
+        payload, error = load_json_guarded(path)
+        assert payload == {"n": 5} and error is None
+
+
+class TestExportersAreAtomic:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.register("repro_test_gauge", 1.25, kind="gauge", help="x")
+        return registry
+
+    def test_metrics_json_path_output_parses(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        export_metrics_json(self._registry(), path)
+        assert json.load(open(path))["metrics"]
+        assert _no_tmp_leftovers(tmp_path)
+
+    def test_metrics_csv_path_matches_file_object_output(self, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        export_metrics_csv(self._registry(), path)
+        buffer = io.StringIO()
+        export_metrics_csv(self._registry(), buffer)
+        assert open(path, newline="").read() == buffer.getvalue()
+        rows = list(csv.reader(open(path, newline="")))
+        assert rows[0][0] == "name"
+
+    def test_metrics_prometheus_path_output(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        export_metrics_prometheus(self._registry(), path)
+        assert "repro_test_gauge" in open(path).read()
+        assert _no_tmp_leftovers(tmp_path)
+
+
+class TestTrajectoryIO:
+    def _entry(self, seq=1):
+        return {
+            "runs": [
+                {
+                    "config": "entangling_4k",
+                    "workload": "wl",
+                    "instrs_per_sec": 1000.0 * seq,
+                    "cycles": 500,
+                    "instructions": 400,
+                }
+            ],
+            "aggregate": {"instrs_per_sec": 1000.0 * seq},
+        }
+
+    def test_save_is_atomic_and_reloads(self, tmp_path):
+        path = str(tmp_path / "BENCH_throughput.json")
+        save_trajectory(path, [self._entry(1), self._entry(2)], retention=10)
+        assert _no_tmp_leftovers(tmp_path)
+        assert len(load_trajectory(path)) == 2
+
+    def test_strict_load_raises_on_torn_file(self, tmp_path):
+        path = str(tmp_path / "BENCH_throughput.json")
+        open(path, "w").write('{"schema_version": 2, "entries": [{')
+        with pytest.raises(ValueError, match="unreadable"):
+            load_trajectory(path)
+
+    def test_tolerant_load_starts_fresh_on_torn_file(self, tmp_path, caplog):
+        path = str(tmp_path / "BENCH_throughput.json")
+        open(path, "w").write("not json at all")
+        with caplog.at_level("WARNING"):
+            assert load_trajectory(path, tolerant=True) == []
+        assert any("unreadable" in r.message for r in caplog.records)
+
+    def test_tolerant_load_still_reads_good_files(self, tmp_path):
+        path = str(tmp_path / "BENCH_throughput.json")
+        save_trajectory(path, [self._entry()], retention=10)
+        assert len(load_trajectory(path, tolerant=True)) == 1
+
+
+class TestSentinelSkipsMalformedRecords:
+    def _entry(self, ips=1000.0, cycles=500):
+        return {
+            "runs": [
+                {
+                    "config": "c",
+                    "workload": "w",
+                    "instrs_per_sec": ips,
+                    "cycles": cycles,
+                    "instructions": 400,
+                }
+            ],
+        }
+
+    def test_malformed_newest_record_is_quarantined(self):
+        torn = self._entry()
+        torn["runs"][0]["instrs_per_sec"] = "garbage"
+        report = check_trajectory([self._entry(), self._entry(), torn])
+        assert report.malformed == ["c/w"]
+        assert report.checked == 0
+        assert "malformed" in report.format()
+
+    def test_malformed_history_record_is_excluded_from_baseline(self):
+        torn = self._entry()
+        torn["runs"][0]["cycles"] = "garbage"
+        report = check_trajectory([torn, self._entry(), self._entry()])
+        # The torn history entry is dropped; the remaining one still
+        # supplies a baseline and the clean pair compares fine.
+        assert report.checked == 1
+        assert report.ok
+
+    def test_clean_records_still_gate(self):
+        slow = self._entry(ips=100.0)
+        report = check_trajectory([self._entry(), self._entry(), slow])
+        assert not report.ok
+        assert report.regressions

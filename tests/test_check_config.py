@@ -1,0 +1,95 @@
+"""Tests for fail-fast configuration validation (ISSUE 5 tentpole,
+ingestion layer): SimConfig.validate() and EntanglingConfig.validate()
+raise ConfigError with actionable messages instead of letting a broken
+geometry produce silently wrong simulations."""
+
+import dataclasses
+
+import pytest
+
+from repro.check.errors import ConfigError
+from repro.core.compression import CompressionScheme
+from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
+from repro.sim.config import SimConfig
+
+
+class TestSimConfigValidation:
+    def test_default_config_is_valid(self):
+        SimConfig().validate()
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            ({"line_size": 48}, "power of two"),
+            ({"line_size": 0}, "power of two"),
+            ({"page_size": 32}, "page"),
+            ({"l1i_ways": 0}, "at least one way"),
+            ({"l1i_size": 1000}, "divisible"),
+            ({"l1i_mshrs": 0}, "l1i_mshrs"),
+            ({"mshr_demand_reserve": 10}, "mshr_demand_reserve"),
+            ({"mshr_demand_reserve": -1}, "mshr_demand_reserve"),
+            ({"prefetch_queue_size": 0}, "prefetch_queue_size"),
+            ({"l1i_replacement": "plru"}, "plru"),
+            ({"branch_predictor": "tage"}, "tage"),
+            ({"gshare_bits": -1}, "gshare_bits"),
+            ({"fetch_lines_per_cycle": 0}, "fetch_lines_per_cycle"),
+        ],
+    )
+    def test_bad_values_fail_fast_at_construction(self, overrides, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            SimConfig(**overrides)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            SimConfig(l1i_ways=0)
+
+    def test_replace_revalidates(self):
+        config = SimConfig()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(config, l1i_mshrs=0)
+
+
+class TestEntanglingConfigValidation:
+    def test_paper_variants_are_valid(self):
+        for entries in (2048, 4096, 8192):
+            for address_space in ("virtual", "physical"):
+                EntanglingConfig(
+                    entries=entries, address_space=address_space
+                ).validate()
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            ({"entries": 0}, "positive geometry"),
+            ({"entries": 4095}, "multiple"),
+            ({"entries": 4096, "ways": 4096 // 3}, "multiple"),
+            ({"entries": 3072, "ways": 16}, "power of two"),
+            ({"address_space": "banana"}, "address_space"),
+            ({"history_size": 0}, "history_size"),
+            ({"merge_distance": -2}, "merge_distance"),
+            ({"bb_size_policy": "median"}, "bb_size_policy"),
+            ({"commit_delay_accesses": -1}, "commit_delay_accesses"),
+        ],
+    )
+    def test_bad_variants_are_rejected(self, overrides, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            EntanglingConfig(**overrides).validate()
+
+    def test_prefetcher_construction_validates(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            EntanglingPrefetcher(EntanglingConfig(entries=3072, ways=16))
+
+    def test_bit_budget_matches_paper_tables(self):
+        # The cross-check target: 3-bit mode + 60-bit payload = 63 bits
+        # (virtual, Table I), 2 + 44 = 46 bits (physical, Table II).
+        assert CompressionScheme("virtual").entry_dst_field_bits == 63
+        assert CompressionScheme("physical").entry_dst_field_bits == 46
+
+    def test_bit_budget_cross_check_fires_on_mismatch(self, monkeypatch):
+        monkeypatch.setattr(
+            EntanglingConfig,
+            "EXPECTED_DST_FIELD_BITS",
+            {"virtual": 64, "physical": 46},
+        )
+        with pytest.raises(ConfigError, match="64 bits"):
+            EntanglingConfig().validate()

@@ -1,0 +1,217 @@
+"""Tests for the runtime invariant sanitizer (repro.check.sanitize).
+
+Two load-bearing properties:
+
+* **bit identity** — a sanitized run produces the same
+  ``SimStats.signature()`` as an unsanitized run in a process that never
+  imports ``repro.check.sanitize`` (the checker observes, never steers);
+* **detection** — a corrupted structure (out-of-range confidence,
+  oversized basic block, non-monotonic history) raises
+  :class:`InvariantViolation` with the invariant name and state context,
+  or collects it in non-fatal mode.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.check import (
+    InvariantViolation,
+    sanitize_mode_from_env,
+    sanitizer_from_env,
+)
+from repro.check.sanitize import Sanitizer
+from repro.core.entangled_table import EntangledTable
+from repro.core.history import HistoryBuffer
+from repro.prefetchers.registry import make_prefetcher
+from repro.sim.simulator import simulate
+from repro.workloads.generators import WorkloadSpec, make_workload
+
+SPEC = WorkloadSpec(name="san_wl", category="srv", seed=11, n_instructions=30_000)
+WARMUP = 10_000
+
+
+def sanitized_run(prefetcher="entangling_4k", fatal=True):
+    checker = Sanitizer(fatal=fatal)
+    result = simulate(
+        make_workload(SPEC),
+        make_prefetcher(prefetcher),
+        warmup_instructions=WARMUP,
+        checker=checker,
+    )
+    return result, checker
+
+
+class TestBitIdentity:
+    def test_sanitized_run_matches_plain_run(self):
+        plain = simulate(
+            make_workload(SPEC),
+            make_prefetcher("entangling_4k"),
+            warmup_instructions=WARMUP,
+        )
+        checked, checker = sanitized_run()
+        assert checker.checks > 0
+        assert not checker.violations
+        assert checked.stats.signature() == plain.stats.signature()
+
+    def test_sanitizer_covers_prefetchers_without_table(self):
+        # next_line has no table/history; attach() must degrade to the
+        # simulator-level hooks only.
+        result, checker = sanitized_run(prefetcher="next_line")
+        assert checker.checks > 0
+        assert not checker.violations
+        assert result.stats.instructions > 0
+
+    def test_unsanitized_process_never_imports_sanitizer(self, tmp_path):
+        """The acceptance check: a plain run keeps repro.check.sanitize
+        out of sys.modules entirely and its counters are bit-identical
+        to a sanitized run here."""
+        script = tmp_path / "never_imports_sanitize.py"
+        script.write_text(textwrap.dedent(
+            """
+            import json
+            import sys
+
+            from repro.workloads.generators import WorkloadSpec, make_workload
+            from repro.sim.simulator import simulate
+            from repro.prefetchers.registry import make_prefetcher
+
+            spec = WorkloadSpec(
+                name="san_wl", category="srv", seed=11, n_instructions=30000
+            )
+            result = simulate(
+                make_workload(spec),
+                make_prefetcher("entangling_4k"),
+                warmup_instructions=10000,
+            )
+            assert "repro.check.sanitize" not in sys.modules, (
+                "the sanitizer leaked into an unsanitized run"
+            )
+            print(json.dumps(result.stats.signature()))
+            """
+        ))
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = {
+            k: v for k, v in os.environ.items() if k != "REPRO_SANITIZE"
+        }
+        env["PYTHONPATH"] = src
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        theirs = json.loads(proc.stdout)
+        checked, _checker = sanitized_run()
+        ours = json.loads(json.dumps(checked.stats.signature()))
+        assert ours == theirs
+
+
+class TestDetection:
+    def _table_with_pair(self):
+        table = EntangledTable(entries=64, ways=16)
+        table.add_dest(0x100, 0x140)
+        return table
+
+    def test_out_of_range_confidence_is_fatal(self):
+        table = self._table_with_pair()
+        table.checker = Sanitizer()
+        table.peek(0x100).dsts[0][1] = 7  # 2-bit counter cannot hold 7
+        with pytest.raises(InvariantViolation, match="confidence 7") as excinfo:
+            table.update_bb_size(0x100, 5)
+        assert excinfo.value.invariant == "confidence_range"
+        assert excinfo.value.context["src_line"] == 0x100
+
+    def test_oversized_basic_block_is_fatal(self):
+        table = self._table_with_pair()
+        table.checker = Sanitizer()
+        table.peek(0x100).bb_size = 99  # 6-bit field caps at 63
+        with pytest.raises(InvariantViolation, match="99"):
+            table.add_dest(0x100, 0x180)
+
+    def test_corrupt_destination_fails_roundtrip(self):
+        table = self._table_with_pair()
+        checker = Sanitizer(fatal=False)
+        # An address outside the virtual scheme's 58-bit line space can
+        # neither re-encode nor round-trip.
+        table.peek(0x100).dsts[0][0] = 1 << 60
+        checker.check_entry(table, table.peek(0x100))
+        assert not checker.report().ok
+        assert checker.violations[0].invariant in ("dst_fit", "compression_roundtrip")
+
+    def test_non_fatal_mode_collects_instead_of_raising(self):
+        table = self._table_with_pair()
+        checker = Sanitizer(fatal=False)
+        table.checker = checker
+        table.peek(0x100).dsts[0][1] = 0  # zero must have been invalidated
+        table.update_bb_size(0x100, 5)
+        assert len(checker.violations) == 1
+        report = checker.report()
+        assert not report.ok
+        assert "confidence 0" in report.summary_line()
+
+    def test_history_monotonicity_violation(self):
+        history = HistoryBuffer(size=8)
+        history.checker = Sanitizer()
+        history.push(0x10, timestamp=100)
+        with pytest.raises(InvariantViolation, match="backwards"):
+            history.push(0x20, timestamp=50)
+
+    def test_clean_structures_pass(self):
+        table = self._table_with_pair()
+        checker = Sanitizer()
+        table.checker = checker
+        table.add_dest(0x100, 0x180)
+        table.decrease_confidence(0x100, 0x140)
+        table.increase_confidence(0x100, 0x140)
+        table.update_bb_size(0x100, 12)
+        assert checker.checks >= 4
+        assert not checker.violations
+
+
+class TestEnvWiring:
+    def test_mode_parsing(self):
+        for raw in ("", "0", "off", "OFF", "false", "no"):
+            assert sanitize_mode_from_env(raw) is None
+        for raw in ("report", "collect", "warn", "REPORT"):
+            assert sanitize_mode_from_env(raw) == "report"
+        for raw in ("1", "on", "fatal", "yes"):
+            assert sanitize_mode_from_env(raw) == "fatal"
+
+    def test_disabled_env_builds_no_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitizer_from_env() is None
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert sanitizer_from_env() is None
+
+    def test_enabled_env_builds_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        checker = sanitizer_from_env()
+        assert checker is not None and checker.fatal
+        monkeypatch.setenv("REPRO_SANITIZE", "report")
+        checker = sanitizer_from_env()
+        assert checker is not None and not checker.fatal
+
+
+class TestCliCheck:
+    def test_run_check_prints_sanitizer_summary(self, tmp_path):
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        trace_path = str(tmp_path / "wl.trace")
+        gen = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "gen", trace_path,
+             "--category", "int", "--instructions", "3000", "--seed", "5"],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert gen.returncode == 0, gen.stderr
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", trace_path,
+             "--prefetcher", "entangling_4k", "--check"],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert run.returncode == 0, run.stderr
+        assert "sanitizer:" in run.stdout
+        assert "no violations" in run.stdout

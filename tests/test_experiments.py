@@ -88,6 +88,24 @@ class TestRunSuite:
         for spec in TINY_SUITE:
             assert results[spec.name].stats.instructions == spec.n_instructions
 
+    def test_bad_workload_is_quarantined_not_fatal(self):
+        suite = TINY_SUITE[:1] + [
+            WorkloadSpec(name="t_bad", category="bogus", seed=1,
+                         n_instructions=1_000)
+        ]
+        ev = run_suite(suite, ["next_line"], jobs=1, cache=None,
+                       checkpoint=None)
+        # The good workload still ran everywhere; the broken one is
+        # quarantined into the fault report instead of killing the suite.
+        assert ev.runs["no"]["t_int"].stats.instructions > 0
+        assert "t_bad" not in ev.runs["no"]
+        assert ev.faults is not None
+        labels = [failure.label for failure in ev.faults.quarantined]
+        assert labels == ["no/t_bad", "next_line/t_bad"]
+        assert "unknown category" in ev.faults.quarantined[0].error
+        assert not ev.is_complete()
+        assert ("no", "t_bad") in ev.missing_pairs()
+
 
 class TestDefaultSuite:
     def test_scale_env(self, monkeypatch):
