@@ -4,8 +4,8 @@
 trajectory file; until now the trajectory was written but never *read*.
 This module closes the loop: :func:`check_trajectory` compares the
 newest record against a robust baseline (the median of up to ``window``
-prior records, per ``(config, workload)`` pair) and reports two classes
-of finding:
+prior records, per ``(config, workload, backend)`` triple — like-backend
+comparisons only) and reports three classes of finding:
 
 * **throughput regressions** — ``instrs_per_sec`` dropped by at least
   ``threshold`` (default 30%) against the baseline median.  Medians
@@ -17,6 +17,11 @@ of finding:
   means simulated behaviour changed: a correctness alarm, not noise.
   An intentional behaviour change (a modeling fix) acknowledges the
   alarm with ``repro bench-check --allow-cycle-drift`` for one run.
+* **speedup-gate failures** — with ``--require-speedup BACKEND:FACTOR``
+  the newest record's per-backend geomean ``speedup_vs_reference`` must
+  reach the required factor.  Unlike the history-based checks this
+  gates even the very first trajectory record, so CI enforces the fast
+  backends' raison d'être from day one.
 
 The trajectory file itself is versioned from this PR on
 (:data:`TRAJECTORY_SCHEMA_VERSION`) and capped at
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import os
 from dataclasses import dataclass, field
 from statistics import median
@@ -47,6 +53,7 @@ __all__ = [
     "TRAJECTORY_SCHEMA_VERSION",
     "check_trajectory",
     "load_trajectory",
+    "parse_speedup_requirements",
     "retention_from_env",
     "save_trajectory",
 ]
@@ -156,11 +163,14 @@ def save_trajectory(
 class Finding:
     """One comparison that tripped the sentinel."""
 
-    kind: str  # "throughput" | "cycle_drift" | "instruction_drift"
+    kind: str  # "throughput" | "cycle_drift" | "instruction_drift" | "speedup"
     config: str
     workload: str
     baseline: float
     current: float
+    #: Simulator backend of the compared runs; pre-backend trajectory
+    #: records (no ``backend`` field) are implicitly "reference".
+    backend: str = "reference"
 
     @property
     def delta(self) -> float:
@@ -171,6 +181,14 @@ class Finding:
 
     def describe(self) -> str:
         pair = f"{self.config}/{self.workload}".rstrip("/")
+        if self.backend != "reference":
+            pair = f"{pair}@{self.backend}"
+        if self.kind == "speedup":
+            return (
+                f"SPEEDUP GATE {self.backend}: geomean "
+                f"{self.current:.2f}x vs reference, required "
+                f">= {self.baseline:.2f}x"
+            )
         if self.kind == "throughput":
             return (
                 f"REGRESSION {pair}: instrs_per_sec "
@@ -204,7 +222,14 @@ class SentinelReport:
 
     @property
     def drifts(self) -> List[Finding]:
-        return [f for f in self.findings if f.kind != "throughput"]
+        return [
+            f for f in self.findings
+            if f.kind not in ("throughput", "speedup")
+        ]
+
+    @property
+    def speedup_failures(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "speedup"]
 
     @property
     def ok(self) -> bool:
@@ -212,10 +237,17 @@ class SentinelReport:
 
     def format(self) -> str:
         if self.baseline_entries == 0:
-            return (
+            lines = [
                 "bench-check: no prior entries to compare against "
-                "(need at least 2 trajectory records); nothing to gate"
-            )
+                "(need at least 2 trajectory records)"
+            ]
+            # Speedup gates apply to the newest record alone, so they
+            # still fire (and still fail the check) without history.
+            for finding in self.findings:
+                lines.append("  " + finding.describe())
+            if not self.findings:
+                lines[0] += "; nothing to gate"
+            return "\n".join(lines)
         lines = [
             f"bench-check: compared newest entry against "
             f"{self.baseline_entries} prior entr"
@@ -239,36 +271,112 @@ class SentinelReport:
         return "\n".join(lines)
 
 
-def _runs_by_pair(entry: Dict[str, Any]) -> Dict[Tuple[str, str], Dict[str, Any]]:
-    out: Dict[Tuple[str, str], Dict[str, Any]] = {}
+def _runs_by_pair(
+    entry: Dict[str, Any]
+) -> Dict[Tuple[str, str, str], Dict[str, Any]]:
+    """Newest-wins map of runs keyed by (config, workload, backend).
+
+    Trajectory records that predate the backend field carry no
+    ``backend`` key; those runs came from the reference engine, so they
+    default to ``"reference"`` and stay comparable with new reference
+    runs.  Runs from different backends never compare against each
+    other — a staged run being 3x faster than a reference run is the
+    point, not a regression signal.
+    """
+    out: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
     for run in entry.get("runs", []) or []:
         if isinstance(run, dict) and "config" in run and "workload" in run:
-            out[(run["config"], run["workload"])] = run
+            backend = run.get("backend") or "reference"
+            out[(run["config"], run["workload"], backend)] = run
     return out
+
+
+def parse_speedup_requirements(specs: List[str]) -> Dict[str, float]:
+    """``["staged:1.8", "numpy:1.5"]`` → ``{"staged": 1.8, "numpy": 1.5}``.
+
+    Raises:
+        ValueError: a spec is not ``BACKEND:FACTOR`` with a positive
+            numeric factor.
+    """
+    requirements: Dict[str, float] = {}
+    for spec in specs:
+        backend, sep, raw_factor = spec.partition(":")
+        backend = backend.strip().lower()
+        try:
+            factor = float(raw_factor.strip())
+        except ValueError:
+            factor = float("nan")
+        if not sep or not backend or not factor > 0:
+            raise ValueError(
+                f"speedup requirement must be BACKEND:FACTOR with a "
+                f"positive factor (e.g. staged:1.8), got {spec!r}"
+            ) from None
+        requirements[backend] = factor
+    return requirements
+
+
+def _check_speedups(
+    newest: Dict[str, Any],
+    requirements: Dict[str, float],
+    report: "SentinelReport",
+) -> None:
+    """Gate per-backend geomean speedup_vs_reference in the newest entry.
+
+    A required backend with no runs in the newest record fails the gate
+    (current = 0): silently passing because the bench skipped a backend
+    would defeat the CI gate's purpose.
+    """
+    speedups: Dict[str, List[float]] = {}
+    for (_, _, backend), run in _runs_by_pair(newest).items():
+        value = run.get("speedup_vs_reference")
+        if isinstance(value, (int, float)) and value > 0:
+            speedups.setdefault(backend, []).append(float(value))
+    for backend, required in sorted(requirements.items()):
+        values = speedups.get(backend, [])
+        geomean = (
+            math.exp(sum(math.log(v) for v in values) / len(values))
+            if values else 0.0
+        )
+        report.checked += 1
+        if geomean < required:
+            report.findings.append(
+                Finding(
+                    "speedup", "", "", required, geomean, backend=backend
+                )
+            )
 
 
 def check_trajectory(
     entries: List[Dict[str, Any]],
     window: int = DEFAULT_WINDOW,
     threshold: float = DEFAULT_THRESHOLD,
+    require_speedups: Optional[Dict[str, float]] = None,
 ) -> SentinelReport:
     """Compare the newest entry against the prior-window baseline.
 
-    Throughput: per pair, the newest ``instrs_per_sec`` must not fall
-    ``threshold`` or more below the *median* of the pair's values in the
-    prior window.  Drift: the newest ``cycles``/``instructions`` must
-    equal the pair's values in the *most recent* prior entry (older
-    entries may legitimately differ — modeling fixes in past PRs changed
-    behaviour once, and the alarm fired once, then).
+    Throughput: per (config, workload, backend) triple, the newest
+    ``instrs_per_sec`` must not fall ``threshold`` or more below the
+    *median* of the triple's values in the prior window — like-backend
+    comparisons only, so a fast backend's numbers never mask (or fake)
+    a reference regression.  Drift: the newest
+    ``cycles``/``instructions`` must equal the triple's values in the
+    *most recent* prior entry (older entries may legitimately differ —
+    modeling fixes in past PRs changed behaviour once, and the alarm
+    fired once, then).  ``require_speedups`` (see
+    :func:`parse_speedup_requirements`) additionally gates the newest
+    entry's per-backend geomean ``speedup_vs_reference``; unlike the
+    history checks it applies even to the first trajectory record.
     """
     report = SentinelReport(window=window, threshold=threshold)
+    if entries and require_speedups:
+        _check_speedups(entries[-1], require_speedups, report)
     if len(entries) < 2:
         return report
     newest = entries[-1]
     prior = entries[max(0, len(entries) - 1 - window):-1]
     report.baseline_entries = len(prior)
 
-    history: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    history: Dict[Tuple[str, str, str], List[Dict[str, Any]]] = {}
     aggregate_history: List[float] = []
     for entry in prior:
         for pair, run in _runs_by_pair(entry).items():
@@ -280,7 +388,8 @@ def check_trajectory(
                 aggregate_history.append(float(value))
 
     def check_throughput(
-        config: str, workload: str, current: Any, baselines: List[Any]
+        config: str, workload: str, current: Any, baselines: List[Any],
+        backend: str = "reference",
     ) -> None:
         values = [v for v in baselines if isinstance(v, (int, float)) and v > 0]
         if not values or not isinstance(current, (int, float)):
@@ -288,7 +397,10 @@ def check_trajectory(
         base = median(values)
         if base > 0 and (base - current) / base >= threshold - 1e-9:
             report.findings.append(
-                Finding("throughput", config, workload, base, float(current))
+                Finding(
+                    "throughput", config, workload, base, float(current),
+                    backend=backend,
+                )
             )
 
     def numeric_fields_ok(run: Dict[str, Any]) -> bool:
@@ -299,22 +411,26 @@ def check_trajectory(
         return True
 
     for pair, run in sorted(_runs_by_pair(newest).items()):
-        config, workload = pair
+        config, workload, backend = pair
+        label = f"{config}/{workload}"
+        if backend != "reference":
+            label = f"{label}@{backend}"
         if not numeric_fields_ok(run):
-            report.malformed.append(f"{config}/{workload}")
+            report.malformed.append(label)
             logger.warning(
-                "bench-check: skipping malformed trajectory record for %s/%s "
-                "(non-numeric metric field)", config, workload,
+                "bench-check: skipping malformed trajectory record for %s "
+                "(non-numeric metric field)", label,
             )
             continue
         past = [r for r in history.get(pair, []) if numeric_fields_ok(r)]
         if not past:
-            report.skipped.append(f"{config}/{workload}")
+            report.skipped.append(label)
             continue
         report.checked += 1
         check_throughput(
             config, workload, run.get("instrs_per_sec"),
             [r.get("instrs_per_sec", 0) or 0 for r in past],
+            backend=backend,
         )
         reference = past[-1]
         for field_name, kind in (
@@ -329,7 +445,10 @@ def check_trajectory(
                 and current != expected
             ):
                 report.findings.append(
-                    Finding(kind, config, workload, expected, current)
+                    Finding(
+                        kind, config, workload, expected, current,
+                        backend=backend,
+                    )
                 )
 
     newest_aggregate = newest.get("aggregate", {})

@@ -85,12 +85,19 @@ def run_key(
     only change when a field's *value set* actually changes; adding or
     renaming a dataclass field deliberately produces new keys (old
     entries become misses, which is the safe direction).
+
+    ``SimConfig.backend`` is excluded: every backend produces
+    bit-identical signatures (enforced by ``tests/test_backends.py``), so
+    a result computed by one core must be served to all of them — and a
+    backend switch must never invalidate a warm cache.
     """
+    config_fields = _canonical(sim_config)
+    config_fields.pop("backend", None)
     payload = {
         "format": _CACHE_FORMAT_VERSION,
         "spec": _canonical(spec),
         "config_name": config_name,
-        "sim_config": _canonical(sim_config),
+        "sim_config": config_fields,
         "warmup_instructions": warmup_instructions,
     }
     text = _canonical_json(payload)

@@ -32,7 +32,7 @@ from repro.prefetchers.registry import available_prefetchers
 from repro.analysis.experiments import resolve_config, resolve_jobs
 from repro.analysis.reporting import format_table
 from repro.check import TraceError, sanitizer_from_env
-from repro.sim.config import SimConfig
+from repro.sim.config import BACKENDS, SimConfig
 from repro.sim.fetchunits import build_fetch_units
 from repro.sim.simulator import simulate
 from repro.workloads.generators import CATEGORIES, WorkloadSpec, make_workload
@@ -83,6 +83,11 @@ def _run_one(trace, config_name: str, warmup: int, units=None, checker=None):
 def _cmd_run(args: argparse.Namespace) -> int:
     import os
 
+    if args.backend:
+        # One switch covers both the in-process path and guarded worker
+        # processes (the environment is inherited); an explicit
+        # SimConfig.backend in library code still takes precedence.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.check:
         # Propagate to worker processes (guarded mode) and keep the
         # in-process path on the same code route as REPRO_SANITIZE=1.
@@ -114,10 +119,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         checker = sanitizer_from_env()
         result = _run_one(trace, args.prefetcher, args.warmup, checker=checker)
+    from repro.sim.stages import resolve_backend
+
     stats = result.stats
     print(f"trace:      {result.trace_name} "
           f"({stats.instructions} measured instructions)")
     print(f"prefetcher: {result.prefetcher_name}")
+    print(f"backend:    {resolve_backend(None).backend_name}")
     print(f"IPC:        {stats.ipc:.4f}")
     print(f"L1I MPKI:   {stats.l1i_mpki:.2f}")
     print(f"miss ratio: {stats.l1i_miss_ratio:.4f}")
@@ -248,15 +256,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
-    from repro.analysis.regression import check_trajectory, load_trajectory
+    from repro.analysis.regression import (
+        check_trajectory,
+        load_trajectory,
+        parse_speedup_requirements,
+    )
 
     try:
         entries = load_trajectory(args.trajectory)
+        require_speedups = parse_speedup_requirements(
+            args.require_speedup or []
+        )
     except ValueError as exc:
         print(f"bench-check: {exc}", file=sys.stderr)
         return 2
     report = check_trajectory(
-        entries, window=args.window, threshold=args.threshold
+        entries, window=args.window, threshold=args.threshold,
+        require_speedups=require_speedups,
     )
     acknowledged = []
     if args.allow_cycle_drift and report.drifts:
@@ -364,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--warmup", type=int, default=0)
     run.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="simulator engine (default: REPRO_BACKEND env or reference); "
+             "all backends produce bit-identical statistics",
+    )
+    run.add_argument(
         "--check",
         action="store_true",
         help="attach the runtime invariant sanitizer (hardware-model "
@@ -461,6 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="acknowledge cycle/instruction drift findings for this run "
              "(use when a PR intentionally changed simulated behaviour)",
+    )
+    bench.add_argument(
+        "--require-speedup",
+        action="append",
+        metavar="BACKEND:FACTOR",
+        default=None,
+        help="fail unless the newest record's geomean speedup_vs_reference "
+             "for BACKEND reaches FACTOR (repeatable, e.g. "
+             "--require-speedup staged:1.8)",
     )
     bench.set_defaults(func=_cmd_bench_check)
 

@@ -248,6 +248,15 @@ class EntanglingPrefetcher(InstructionPrefetcher):
         self.estats = EntanglingStats()
         self.name = self.config.label
         self._merge_distance = self.config.resolve_merge_distance()
+        # The config is frozen; snapshot the switches the per-access hot
+        # paths read so they cost one attribute load instead of two.
+        self._track_bb = self.config.track_basic_blocks
+        self._pf_src_bb = self.config.prefetch_src_bb
+        self._pf_dsts = self.config.prefetch_dsts
+        self._pf_dst_bb = self.config.prefetch_dst_bb
+        self._do_merge = self.config.merge_blocks
+        self._bb_policy = self.config.bb_size_policy
+        self._commit_delay = self.config.commit_delay_accesses
 
         # Basic-block tracker registers.
         self._head: Optional[int] = None
@@ -267,17 +276,19 @@ class EntanglingPrefetcher(InstructionPrefetcher):
     ) -> Iterable[PrefetchRequest]:
         if self._staged:
             self._commit_staged()
-        if not self.config.track_basic_blocks:
+        if not self._track_bb:
             return self._on_access_no_bb(line_addr, hit, cycle)
 
-        if self._head is not None:
-            last_line = self._head + self._size
+        head = self._head
+        if head is not None:
+            last_line = head + self._size
             if line_addr == last_line:
                 return ()  # re-access within the current block's last line
             if line_addr == last_line + 1 and self._size < MAX_BB_SIZE:
                 self._size += 1
-                if self._head_entry is not None:
-                    self._head_entry.bb_size = self._size
+                entry = self._head_entry
+                if entry is not None:
+                    entry.bb_size = self._size
                 return ()
             self._complete_block()
 
@@ -305,7 +316,7 @@ class EntanglingPrefetcher(InstructionPrefetcher):
         """The current block ended: record its size, maybe merging it."""
         head, size, entry = self._head, self._size, self._head_entry
         self.estats.blocks_completed += 1
-        if self.config.merge_blocks:
+        if self._do_merge:
             candidate = self.history.find_merge_candidate(
                 head, self._merge_distance, exclude=entry
             )
@@ -320,39 +331,42 @@ class EntanglingPrefetcher(InstructionPrefetcher):
                         self.history.remove(entry)
                     self.estats.blocks_merged += 1
                     return
-        self.table.update_bb_size(head, size, self.config.bb_size_policy)
+        self.table.update_bb_size(head, size, self._bb_policy)
 
     # -- triggering prefetches ---------------------------------------------------
 
     def _trigger(self, line_addr: int) -> List[PrefetchRequest]:
-        self.estats.trigger_lookups += 1
+        estats = self.estats
+        estats.trigger_lookups += 1
         entry = self.table.lookup(line_addr)
         if entry is None:
             return []
-        self.estats.trigger_hits += 1
+        estats.trigger_hits += 1
         requests: List[PrefetchRequest] = []
+        append = requests.append
 
-        if self.config.prefetch_src_bb:
-            self.estats.sum_src_bb_size += entry.bb_size
+        if self._pf_src_bb:
+            estats.sum_src_bb_size += entry.bb_size
             for offset in range(1, entry.bb_size + 1):
-                requests.append(PrefetchRequest(line_addr + offset))
+                append(PrefetchRequest(line_addr + offset))
 
-        if self.config.prefetch_dsts:
-            self.estats.sum_destinations += len(entry.dsts)
+        if self._pf_dsts:
+            estats.sum_destinations += len(entry.dsts)
+            pf_dst_bb = self._pf_dst_bb
             for dst_line, _confidence in entry.dsts:
                 pair = (line_addr, dst_line)
-                requests.append(PrefetchRequest(dst_line, src_meta=pair))
-                if not self.config.prefetch_dst_bb:
+                append(PrefetchRequest(dst_line, src_meta=pair))
+                if not pf_dst_bb:
                     continue
                 dst_size = self.table.bb_size_of(dst_line)
-                self.estats.destinations_seen += 1
-                self.estats.sum_dst_bb_size += dst_size
+                estats.destinations_seen += 1
+                estats.sum_dst_bb_size += dst_size
                 # Destination-block lines carry the pair token too: a wrong
                 # or late block prefetch demotes the pair that triggered it
                 # (the paper threads the src-entangled identity through the
                 # PQ/MSHR/L1I for every prefetch).
                 for offset in range(1, dst_size + 1):
-                    requests.append(PrefetchRequest(dst_line + offset, src_meta=pair))
+                    append(PrefetchRequest(dst_line + offset, src_meta=pair))
         return requests
 
     # -- fills: building entangled pairs ---------------------------------------------
@@ -388,10 +402,8 @@ class EntanglingPrefetcher(InstructionPrefetcher):
         if not sources:
             self.estats.entangle_no_source += 1
             return
-        if self.config.commit_delay_accesses > 0:
-            self._staged.append(
-                [sources, dst_line, self.config.commit_delay_accesses]
-            )
+        if self._commit_delay > 0:
+            self._staged.append([sources, dst_line, self._commit_delay])
             return
         self._install_pair(sources, dst_line)
 

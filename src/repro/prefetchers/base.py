@@ -28,7 +28,7 @@ from typing import Any, Iterable, Optional
 from repro.workloads.trace import BranchType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """A prefetch for one instruction-cache line."""
 
@@ -36,7 +36,7 @@ class PrefetchRequest:
     src_meta: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillInfo:
     """Timing metadata delivered with an L1I fill (from the MSHR entry).
 
@@ -94,6 +94,12 @@ class InstructionPrefetcher:
     name: str = "no"
     #: Ideal prefetchers make every L1I access hit (simulator support).
     is_ideal: bool = False
+    #: Passive prefetchers never request anything and keep no state: every
+    #: hook is a no-op returning ().  The staged/numpy simulator cores may
+    #: skip hook dispatch entirely for passive prefetchers (the batch fast
+    #: paths rely on this), so only set it when *all* hooks are inherited
+    #: no-ops.
+    is_passive: bool = False
 
     def storage_bits(self) -> int:
         """Extra state this prefetcher adds, in bits."""
@@ -138,3 +144,4 @@ class NullPrefetcher(InstructionPrefetcher):
     """The no-prefetch baseline (the paper's ``no`` configuration)."""
 
     name = "no"
+    is_passive = True

@@ -14,6 +14,8 @@ from repro.check.errors import ConfigError
 
 _REPLACEMENT_POLICIES = ("lru", "fifo")
 _BRANCH_PREDICTORS = ("gshare", "bimodal")
+#: Simulator cores; all produce bit-identical signatures (see repro.sim.stages).
+BACKENDS = ("reference", "staged", "numpy")
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,11 @@ class SimConfig:
     # -- address translation (physical-address training, paper §IV-E)
     physical_addresses: bool = False
     physical_page_seed: int = 12345
+
+    # -- simulator core (host-side choice, never architectural: every
+    # backend produces bit-identical SimStats signatures, and the field
+    # is excluded from run-cache keys)
+    backend: str = "reference"   # or "staged" / "numpy"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -151,6 +158,12 @@ class SimConfig:
                 f"branch_predictor {self.branch_predictor!r} is not one of "
                 f"{_BRANCH_PREDICTORS}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend {self.backend!r} is not one of {BACKENDS} "
+                f"(set SimConfig.backend, --backend, or REPRO_BACKEND to "
+                f"a supported simulator core)"
+            )
         for label, value in (
             ("decode_redirect_penalty", self.decode_redirect_penalty),
             ("exec_redirect_penalty", self.exec_redirect_penalty),
@@ -185,6 +198,10 @@ class SimConfig:
 
     def with_physical_addresses(self) -> "SimConfig":
         return replace(self, physical_addresses=True)
+
+    def with_backend(self, backend: str) -> "SimConfig":
+        """The same configuration simulated by a different core."""
+        return replace(self, backend=backend)
 
 
 DEFAULT_CONFIG = SimConfig()

@@ -9,7 +9,8 @@ token threaded from the prefetch queue.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class MshrEntry:
@@ -62,13 +63,25 @@ class MshrEntry:
 
 
 class MshrFile:
-    """Fixed-capacity MSHR file keyed by line address."""
+    """Fixed-capacity MSHR file keyed by line address.
+
+    Entries are indexed two ways: a dict for O(1) per-line lookup and a
+    min-heap ordered by ``(ready_cycle, allocation sequence)`` so the two
+    per-cycle hot queries — "which fills completed?" and "when is the
+    next fill?" — are O(log n) pops and an O(1) peek instead of full
+    scans.  ``ready_cycle`` is immutable after :meth:`allocate`
+    (``mark_demanded`` only flips the access bit), so heap entries never
+    go stale, and the ``(ready_cycle, seq)`` ordering reproduces exactly
+    the order the previous scan-and-stable-sort implementation returned.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("MSHR file needs at least one entry")
         self.capacity = capacity
         self._entries: Dict[int, MshrEntry] = {}
+        self._heap: List[Tuple[int, int, MshrEntry]] = []
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,18 +112,28 @@ class MshrFile:
             raise RuntimeError(f"duplicate MSHR entry for 0x{line_addr:x}")
         entry = MshrEntry(line_addr, issue_cycle, ready_cycle, is_demand, src_meta)
         self._entries[line_addr] = entry
+        heappush(self._heap, (ready_cycle, self._seq, entry))
+        self._seq += 1
         return entry
 
     def pop_ready(self, cycle: int) -> List[MshrEntry]:
-        """Remove and return all entries whose fill has arrived."""
-        ready = [e for e in self._entries.values() if e.ready_cycle <= cycle]
-        for entry in ready:
+        """Remove and return all entries whose fill has arrived.
+
+        Ordered by fill time, ties broken by allocation order (the same
+        order a stable sort over insertion order produced).
+        """
+        heap = self._heap
+        if not heap or heap[0][0] > cycle:
+            return []
+        ready: List[MshrEntry] = []
+        while heap and heap[0][0] <= cycle:
+            entry = heappop(heap)[2]
             del self._entries[entry.line_addr]
-        ready.sort(key=lambda e: e.ready_cycle)
+            ready.append(entry)
         return ready
 
     def next_ready_cycle(self) -> Optional[int]:
         """Earliest pending fill time, or None when empty."""
-        if not self._entries:
+        if not self._heap:
             return None
-        return min(e.ready_cycle for e in self._entries.values())
+        return self._heap[0][0]

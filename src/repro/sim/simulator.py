@@ -92,6 +92,9 @@ class SimResult:
 class Simulator:
     """Drives one trace through the configured front end and prefetcher."""
 
+    #: Name this engine reports (see ``repro.sim.stages`` for the others).
+    backend_name = "reference"
+
     def __init__(
         self,
         trace: Trace,
@@ -238,19 +241,34 @@ class Simulator:
             self.tracer.clear()
 
     def _next_event_cycle(self) -> int:
-        candidates: List[int] = []
-        next_fill = self.mshr.next_ready_cycle()
-        if next_fill is not None:
-            candidates.append(next_fill)
-        if self._pred_stall_until > self.cycle and self._pred_blocked_on is None:
-            candidates.append(self._pred_stall_until)
+        """Earliest cycle at which anything can happen, without allocating.
+
+        Called once per skipped idle span; the old implementation built a
+        throwaway candidate list each call and re-derived the MSHR's next
+        fill with a full scan.  The MSHR now keeps its fill heap sorted
+        between fills (``next_ready_cycle`` is an O(1) peek), and the
+        min is folded manually so a stalled span costs no allocation.
+        """
+        cycle = self.cycle
+        best = self.mshr.next_ready_cycle()
+        stall = self._pred_stall_until
+        if (
+            stall > cycle
+            and self._pred_blocked_on is None
+            and (best is None or stall < best)
+        ):
+            best = stall
         if self._ftq:
             head_ready = self._ftq[0].ready_cycle
-            if head_ready is not None and head_ready > self.cycle:
-                candidates.append(head_ready)
-        if not candidates:
-            return self.cycle + 1
-        return max(self.cycle + 1, min(candidates))
+            if (
+                head_ready is not None
+                and head_ready > cycle
+                and (best is None or head_ready < best)
+            ):
+                best = head_ready
+        if best is None or best <= cycle:
+            return cycle + 1
+        return best
 
     # -- phase 1: fills --------------------------------------------------------
 
@@ -603,12 +621,21 @@ def simulate(
     sanitized environment (CI's sanitizer-smoke job, ``repro run
     --check`` worker processes) covers every entry point.  The env probe
     never imports the sanitizer module when the variable is unset.
+
+    The simulator core is selected by ``config.backend`` (with the
+    ``REPRO_BACKEND`` environment variable filling in when the config
+    keeps the default); every backend produces bit-identical
+    :meth:`~repro.sim.stats.SimStats.signature` results — see
+    :mod:`repro.sim.stages`.
     """
     if checker is None:
         from repro.check import sanitizer_from_env
 
         checker = sanitizer_from_env()
-    sim = Simulator(
+    from repro.sim.stages import resolve_backend
+
+    simulator_cls = resolve_backend(config.backend if config is not None else None)
+    sim = simulator_cls(
         trace, prefetcher, config=config, units=units, tracer=tracer,
         profiler=profiler, checker=checker,
     )

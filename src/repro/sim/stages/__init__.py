@@ -1,0 +1,106 @@
+"""Simulator backends: the staged core and its vectorized fast path.
+
+Three interchangeable engines drive the same front-end model (see
+DESIGN.md §11):
+
+* ``"reference"`` — the original per-cycle
+  :class:`~repro.sim.simulator.Simulator`; the correctness anchor.
+* ``"staged"`` — :class:`~repro.sim.stages.core.StagedSimulator`: stage
+  modules over array-of-struct state, event-skipping, and a monolithic
+  passive-prefetcher loop.
+* ``"numpy"`` — :class:`~repro.sim.stages.vector.NumpySimulator`: the
+  staged core plus vectorized batch processing of branch-free all-hit
+  spans; falls back to ``"staged"`` when numpy is not importable.
+
+Every backend produces bit-identical
+:meth:`~repro.sim.stats.SimStats.signature` results; only wall-clock
+telemetry differs.  :func:`resolve_backend` picks the engine from the
+config field and the ``REPRO_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional, Tuple, Type
+
+from repro.sim.config import BACKENDS
+
+from repro.sim.stages.core import StagedSimulator
+from repro.sim.stages.state import FastCache, FastLine, FastMetaCache
+
+__all__ = [
+    "StagedSimulator",
+    "FastCache",
+    "FastLine",
+    "FastMetaCache",
+    "resolve_backend",
+    "backend_from_env",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Backend choices already announced via the startup log line, so a
+#: sweep of hundreds of runs logs each distinct selection once.
+_announced: set = set()
+
+
+def backend_from_env() -> Optional[str]:
+    """The ``REPRO_BACKEND`` override, validated; None when unset.
+
+    Raises:
+        ValueError: the variable names an unknown backend.
+    """
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None or not raw.strip():
+        return None
+    value = raw.strip().lower()
+    if value not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {', '.join(BACKENDS)}, "
+            f"got {raw!r} (e.g. REPRO_BACKEND=staged)"
+        ) from None
+    return value
+
+
+def _select(config_backend: Optional[str]) -> Tuple[str, str]:
+    """(requested backend, why) from the config field and the env."""
+    if config_backend is not None and config_backend != "reference":
+        return config_backend, "config"
+    env_backend = backend_from_env()
+    if env_backend is not None:
+        return env_backend, "REPRO_BACKEND"
+    return "reference", "default"
+
+
+def resolve_backend(config_backend: Optional[str] = None) -> Type:
+    """Map a backend choice to a simulator class.
+
+    An explicit non-default ``config.backend`` wins; otherwise the
+    ``REPRO_BACKEND`` environment variable fills in; otherwise the
+    reference engine runs.  Requesting ``"numpy"`` without numpy
+    installed falls back to ``"staged"`` (logged, never an error: the
+    backends are bit-identical, so the fallback only affects speed).
+    """
+    requested, source = _select(config_backend)
+    chosen = requested
+    note = ""
+    if requested == "numpy":
+        from repro.sim.stages import vector
+
+        if not vector.NUMPY_AVAILABLE:
+            chosen = "staged"
+            note = " (numpy unavailable: fell back to staged)"
+    key = (requested, source, chosen)
+    if key not in _announced:
+        _announced.add(key)
+        logger.info("simulator backend: %s via %s%s", chosen, source, note)
+    if chosen == "reference":
+        from repro.sim.simulator import Simulator
+
+        return Simulator
+    if chosen == "staged":
+        return StagedSimulator
+    from repro.sim.stages import vector
+
+    return vector.NumpySimulator

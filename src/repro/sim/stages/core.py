@@ -1,0 +1,1151 @@
+"""The staged, batch-oriented simulator core (``backend="staged"``).
+
+Same architecture model, different engine.  The reference
+:class:`~repro.sim.simulator.Simulator` dispatches four bound methods per
+cycle over per-object structures; this core:
+
+* keeps the FTQ as **parallel arrays** (``fq_line`` / ``fq_remaining`` /
+  ``fq_ready`` / ``fq_penalty`` / ``fq_data`` plus a ``fq_head`` cursor)
+  so the hot loop reads plain list slots instead of chasing
+  ``_FtqBlock`` attributes, and blocks are addressed by index;
+* uses the dict-ordered caches of :mod:`repro.sim.stages.state` (O(1)
+  eviction instead of a ``min()`` scan per insertion — the reference's
+  single hottest operation);
+* runs an **event-skipping loop**: each stage call is guarded by a cheap
+  precondition (fill heap peeked, PQ non-empty, predict unblocked, FTQ
+  head ready) that is exact — a skipped call is one that would have
+  returned without side effects — and idle spans jump straight to the
+  next event supplied by the MSHR's fill heap;
+* batches passive-prefetcher stretches through one monolithic loop
+  (:meth:`StagedSimulator._run_passive`) with every structure hoisted
+  into locals and counters accumulated out-of-band.
+
+Bit-identity with the reference is the contract (enforced across every
+workload family x config by ``tests/test_backends.py``): every
+architectural counter, including per-cache read/write counts, matches
+exactly.  Observability keeps working: a ``tracer`` sees the identical
+event stream (the guarded stage path emits at the same points), a
+``profiler`` gets all four ``SIM_PHASES`` registered with per-call
+timings of the non-skipped calls, and a ``checker`` gets the same
+``attach`` / ``check_fill`` / ``final_check`` hooks (the facade exposes
+``l1i`` / ``mshr`` / ``pq`` / ``stats`` / ``cycle`` like the reference).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.prefetchers.base import FillInfo
+from repro.sim.branch_predictor import make_direction_predictor
+from repro.sim.btb import BranchTargetBuffer
+from repro.sim.config import SimConfig
+from repro.sim.fetchunits import FetchUnit, build_fetch_units
+from repro.sim.indirect import IndirectTargetCache
+from repro.sim.memory import MemoryHierarchy, PageMapper
+from repro.sim.mshr import MshrFile
+from repro.sim.prefetch_queue import PrefetchQueue
+from repro.sim.ras import ReturnAddressStack
+from repro.sim.stats import SimStats
+from repro.workloads.trace import BranchType, Trace
+
+from repro.sim.stages.state import FastCache, FastMetaCache, install_fast_hierarchy
+from repro.sim.stages.fills import run_fills
+from repro.sim.stages.predict import run_predict
+from repro.sim.stages.issue import collect, run_issue
+from repro.sim.stages.retire import run_retire
+
+__all__ = ["StagedSimulator"]
+
+#: Compact the FTQ arrays once the consumed prefix exceeds this length.
+#: MSHR waiters and the blocked-branch marker hold absolute indices, so
+#: compaction only runs when neither is outstanding.
+_COMPACT_THRESHOLD = 1 << 16
+
+
+class StagedSimulator:
+    """Drives one trace through the staged front-end core."""
+
+    backend_name = "staged"
+
+    def __init__(
+        self,
+        trace: Trace,
+        prefetcher: Any,
+        config: Optional[SimConfig] = None,
+        units: Optional[Sequence[FetchUnit]] = None,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+        checker: Optional[Any] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.trace = trace
+        self.prefetcher = prefetcher
+        self.tracer = tracer
+        self.profiler = profiler
+        self.checker = checker
+        self.units: Sequence[FetchUnit] = (
+            units if units is not None else build_fetch_units(trace, self.config.line_size)
+        )
+        self.stats = SimStats()
+        self.l1i = FastMetaCache(
+            self.config.l1i_sets,
+            self.config.l1i_ways,
+            replacement=self.config.l1i_replacement,
+        )
+        self.l1d = FastCache(self.config.l1d_sets, self.config.l1d_ways)
+        self.mshr = MshrFile(self.config.l1i_mshrs)
+        self.pq = PrefetchQueue(self.config.prefetch_queue_size)
+        self.memory = MemoryHierarchy(self.config, self.stats)
+        install_fast_hierarchy(self.memory, self.config)
+        self.gshare = make_direction_predictor(
+            self.config.branch_predictor,
+            self.config.gshare_bits,
+            self.config.gshare_history,
+        )
+        self.btb = BranchTargetBuffer(self.config.btb_sets, self.config.btb_ways)
+        self.ras = ReturnAddressStack(self.config.ras_size)
+        self.itc = IndirectTargetCache(self.config.itc_bits, self.config.itc_history)
+        self.mapper: Optional[PageMapper] = None
+        if self.config.physical_addresses:
+            self.mapper = PageMapper(
+                self.config.physical_page_seed,
+                self.config.page_size,
+                self.config.line_size,
+            )
+
+        self.cycle = 0
+        # Array-of-struct FTQ: parallel lists plus a consumed-head cursor.
+        self.fq_line: List[int] = []
+        self.fq_remaining: List[int] = []
+        self.fq_ready: List[Optional[int]] = []
+        self.fq_penalty: List[int] = []
+        self.fq_data: List[Any] = []
+        self.fq_head = 0
+        self._waiting: Dict[int, List[int]] = {}
+        self._pred_idx = 0
+        self._pred_stall_until = 0
+        self._pred_blocked_idx: Optional[int] = None
+        self._retired = 0
+        self._refresh_counter_refs()
+        if checker is not None:
+            checker.attach(self)
+
+    def _refresh_counter_refs(self) -> None:
+        """Re-bind per-cache counter objects (``stats.reset`` replaces them)."""
+        self._l1i_counts = self.stats.cache_accesses["L1I"]
+        self._l1d_counts = self.stats.cache_accesses["L1D"]
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, warmup_instructions: int = 0) -> SimStats:
+        """Simulate the whole trace; returns the (post-warmup) statistics."""
+        started = time.perf_counter()
+        warm_pending = warmup_instructions > 0
+        total_units = len(self.units)
+        fills = run_fills
+        predict = run_predict
+        issue = run_issue
+        retire = run_retire
+        if self.profiler is not None:
+            # wrap() pre-registers every phase key, so phase_seconds
+            # always covers all SIM_PHASES even when guards skip calls.
+            fills = self.profiler.wrap("fills", fills)
+            predict = self.profiler.wrap("predict", predict)
+            issue = self.profiler.wrap("issue", issue)
+            retire = self.profiler.wrap("retire", retire)
+        fq_line = self.fq_line
+        fq_ready = self.fq_ready
+        pq_queue = self.pq._queue
+        mshr_heap = self.mshr._heap
+        ftq_size = self.config.ftq_size
+        retire_width = self.config.retire_width
+        stats = self.stats
+        # The monolithic streak loops handle everything themselves
+        # (fills, misses, branches, stalls — plus prefetcher hooks and
+        # PQ issue on the active variant) when no tracer/profiler can
+        # observe the run and addresses are virtual.
+        streak = None
+        if self.tracer is None and self.profiler is None and self.mapper is None:
+            if not self.prefetcher.is_ideal:
+                streak = (
+                    self._run_passive
+                    if self.prefetcher.is_passive
+                    else self._run_active
+                )
+        while self._pred_idx < total_units or self.fq_head < len(fq_line):
+            if streak is not None:
+                limit = (
+                    warmup_instructions - retire_width if warm_pending else sys.maxsize
+                )
+                if self._retired < limit:
+                    # Runs whole cycles until the warm-up margin or the
+                    # end of the trace; the per-cycle loop below then
+                    # crosses the warm-up boundary exactly.
+                    streak(limit)
+                    continue
+            cycle = self.cycle
+            progress = False
+            if mshr_heap and mshr_heap[0][0] <= cycle:
+                progress = fills(self)
+            if (
+                self._pred_blocked_idx is None
+                and cycle >= self._pred_stall_until
+                and self._pred_idx < total_units
+                and len(fq_line) - self.fq_head < ftq_size
+            ):
+                progress = predict(self) or progress
+            if pq_queue:
+                progress = issue(self) or progress
+            retired_now = 0
+            if self.fq_head < len(fq_line):
+                head_ready = fq_ready[self.fq_head]
+                if head_ready is not None and head_ready <= cycle:
+                    retired_now = retire(self)
+
+            if warm_pending and self._retired >= warmup_instructions:
+                warm_pending = False
+                self._reset_stats_for_measurement()
+                stats = self.stats
+
+            next_cycle = (
+                cycle + 1 if (progress or retired_now) else self._next_event_cycle()
+            )
+            if retired_now == 0:
+                span = next_cycle - cycle
+                if self.fq_head < len(fq_line):
+                    stats.fetch_stall_cycles += span
+                else:
+                    stats.ftq_empty_cycles += span
+            self.cycle = next_cycle
+            self._maybe_compact()
+        stats.cycles = self.cycle - self._measure_start_cycle
+        stats.instructions = self._retired - self._measure_start_retired
+        stats.wall_seconds = time.perf_counter() - started
+        if self.profiler is not None:
+            stats.phase_seconds = self.profiler.snapshot()
+        if self.checker is not None:
+            self.checker.final_check(self)
+        return stats
+
+    _measure_start_cycle = 0
+    _measure_start_retired = 0
+
+    def _reset_stats_for_measurement(self) -> None:
+        """End of warm-up: zero the counters, keep all structures warm."""
+        self.stats.reset()
+        self._refresh_counter_refs()
+        self._measure_start_cycle = self.cycle
+        self._measure_start_retired = self._retired
+        if self.tracer is not None:
+            self.tracer.clear()
+
+    def _next_event_cycle(self) -> int:
+        """Earliest cycle at which anything can happen, without allocating."""
+        cycle = self.cycle
+        heap = self.mshr._heap
+        best = heap[0][0] if heap else None
+        stall = self._pred_stall_until
+        if (
+            stall > cycle
+            and self._pred_blocked_idx is None
+            and (best is None or stall < best)
+        ):
+            best = stall
+        if self.fq_head < len(self.fq_line):
+            head_ready = self.fq_ready[self.fq_head]
+            if (
+                head_ready is not None
+                and head_ready > cycle
+                and (best is None or head_ready < best)
+            ):
+                best = head_ready
+        if best is None or best <= cycle:
+            return cycle + 1
+        return best
+
+    def _maybe_compact(self) -> None:
+        """Drop the consumed FTQ prefix once it is long enough to matter."""
+        head = self.fq_head
+        if (
+            head >= _COMPACT_THRESHOLD
+            and not self._waiting
+            and self._pred_blocked_idx is None
+        ):
+            del self.fq_line[:head]
+            del self.fq_remaining[:head]
+            del self.fq_ready[:head]
+            del self.fq_penalty[:head]
+            del self.fq_data[:head]
+            self.fq_head = 0
+
+    # -- the monolithic passive-prefetcher loop ------------------------------
+
+    def _run_passive(
+        self,
+        limit: int,
+        max_cycles: Optional[int] = None,
+        until_quiesce: bool = False,
+    ) -> None:
+        """Batch-run cycles for a passive prefetcher with no observers.
+
+        Preconditions (established by ``run``): no tracer, no profiler,
+        ``prefetcher.is_passive`` (every hook a no-op returning ()), not
+        ideal, virtual addressing.  Under those, the PQ stays empty, no
+        prefetch ever enters the MSHR or the L1I, and no hook needs to
+        see a cycle number — so fills, demand accesses, branches, and
+        retire can run in one loop with every structure in a local and
+        the hot counters accumulated out-of-band (flushed on exit).
+
+        Processes whole cycles until the trace is done or ``_retired``
+        reaches ``limit`` (the warm-up *margin*: ``run`` crosses the
+        exact boundary with per-cycle steps).  The sanitizer's
+        ``check_fill`` still fires per fill; it reads structure state,
+        never counters, so the out-of-band accumulation is invisible to
+        it.  Cold paths (fills, miss allocation) go through the real
+        ``MshrFile`` / ``FastMetaCache`` methods; only the dominant hit
+        and retire paths are inlined.
+
+        ``max_cycles`` bounds the number of loop iterations so the numpy
+        backend can interleave scalar stretches with vectorized span
+        processing; None (the default) runs to the limit or trace end.
+        ``until_quiesce`` additionally returns at the first top-of-cycle
+        state where the numpy fast path could engage (MSHR drained, no
+        waiter, predict unblocked) — but only after at least one miss
+        was allocated here, so a caller whose span check just rejected
+        this very state always makes progress before re-checking.
+        """
+        config = self.config
+        stats = self.stats
+        units = self.units
+        total = len(units)
+        mshr = self.mshr
+        mshr_entries = mshr._entries
+        mshr_heap = mshr._heap
+        mshr_capacity = mshr.capacity
+        mshr_pop_ready = mshr.pop_ready
+        mshr_allocate = mshr.allocate
+        request_instruction = self.memory.request_instruction
+        checker = self.checker
+        check_fill = checker.check_fill if checker is not None else None
+        l1i = self.l1i
+        l1i_sets = l1i._sets
+        l1i_nsets = l1i.sets
+        l1i_lru = l1i._lru
+        l1i_insert = l1i.insert
+        l1d = self.l1d
+        l1d_sets = l1d._sets
+        l1d_nsets = l1d.sets
+        l1d_ways = l1d.ways
+        l1d_members = l1d._members
+        l1i_counts = self._l1i_counts
+        l1d_counts = self._l1d_counts
+        # The L2 -> LLC -> DRAM walk is inlined below (same accounting as
+        # ``MemoryHierarchy._access``); hoist the fast caches' internals.
+        l2 = self.memory.l2
+        llc = self.memory.llc
+        l2_sets = l2._sets
+        l2_nsets = l2.sets
+        l2_ways = l2.ways
+        l2_members = l2._members
+        llc_sets = llc._sets
+        llc_nsets = llc.sets
+        llc_ways = llc.ways
+        llc_members = llc._members
+        waiting = self._waiting
+        fq_line = self.fq_line
+        fq_remaining = self.fq_remaining
+        fq_ready = self.fq_ready
+        fq_penalty = self.fq_penalty
+        fq_data = self.fq_data
+        head = self.fq_head
+        gshare_predict = self.gshare.predict
+        gshare_update = self.gshare.update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        itc_predict = self.itc.predict
+        itc_update = self.itc.update
+        ras_pop = self.ras.pop
+        ras_push = self.ras.push
+        latency = config.l1i_latency
+        fetch_width = config.fetch_lines_per_cycle
+        ftq_size = config.ftq_size
+        retire_width = config.retire_width
+        decode_penalty = config.decode_redirect_penalty
+        exec_penalty = config.exec_redirect_penalty
+        CONDITIONAL = BranchType.CONDITIONAL
+        DIRECT_JUMP = BranchType.DIRECT_JUMP
+        DIRECT_CALL = BranchType.DIRECT_CALL
+        INDIRECT_JUMP = BranchType.INDIRECT_JUMP
+        INDIRECT_CALL = BranchType.INDIRECT_CALL
+        RETURN = BranchType.RETURN
+
+        cycle = self.cycle
+        pred_idx = self._pred_idx
+        stall_until = self._pred_stall_until
+        blocked_idx = self._pred_blocked_idx
+        retired_total = self._retired
+        cycles_budget = sys.maxsize if max_cycles is None else max_cycles
+        had_alloc = False
+
+        # Out-of-band counter accumulation (flushed on exit).
+        demand_accesses = 0
+        demand_hits = 0
+        demand_misses = 0
+        merges = 0
+        l1i_reads = 0
+        l1i_writes = 0
+        l1d_reads = 0
+        l1d_writes = 0
+        l2_reads = 0
+        l2_writes = 0
+        llc_reads = 0
+        llc_writes = 0
+        branches = 0
+        mispredicts = 0
+        btb_redirects = 0
+        mshr_full_events = 0
+        useful = 0
+        wrong = 0
+        late = 0
+        fetch_stall = 0
+        ftq_empty = 0
+
+        while pred_idx < total or head < len(fq_line):
+            if retired_total >= limit:
+                break
+            progress = False
+
+            # -- phase 1: fills
+            if mshr_heap and mshr_heap[0][0] <= cycle:
+                ready_at = cycle + latency
+                for entry in mshr_pop_ready(cycle):
+                    line_addr = entry.line_addr
+                    victim = l1i_insert(line_addr)
+                    l1i_writes += 1
+                    if victim is not None and victim.prefetched:
+                        # Unreachable for a passive prefetcher (no
+                        # prefetch ever fills); kept for the exact
+                        # reference accounting.
+                        wrong += 1
+                    line = l1i_sets[line_addr % l1i_nsets][line_addr]
+                    line.prefetched = not entry.is_demand
+                    line.src_meta = entry.src_meta
+                    if check_fill is not None:
+                        check_fill(self, line_addr)
+                    waiters = waiting.pop(line_addr, None)
+                    if waiters:
+                        for w in waiters:
+                            fq_ready[w] = ready_at
+                    progress = True
+
+            # -- phase 3: predict (phase 2, issue, is a no-op: the PQ
+            # stays empty under a passive prefetcher)
+            if blocked_idx is None and cycle >= stall_until and pred_idx < total:
+                for _ in range(fetch_width):
+                    if pred_idx >= total or len(fq_line) - head >= ftq_size:
+                        break
+                    unit = units[pred_idx]
+                    line_addr = unit.line_addr
+                    cache_set = l1i_sets[line_addr % l1i_nsets]
+                    line = cache_set.get(line_addr)
+                    if line is not None:
+                        if l1i_lru:
+                            del cache_set[line_addr]
+                            cache_set[line_addr] = line
+                        l1i_reads += 1
+                        demand_accesses += 1
+                        demand_hits += 1
+                        if line.prefetched:
+                            line.prefetched = False
+                            useful += 1
+                        ready_val: Optional[int] = cycle + latency
+                    else:
+                        in_flight = mshr_entries.get(line_addr)
+                        if in_flight is None and len(mshr_entries) >= mshr_capacity:
+                            # MSHR full: retry the same unit next cycle.
+                            mshr_full_events += 1
+                            break
+                        l1i_reads += 1
+                        demand_accesses += 1
+                        demand_misses += 1
+                        if in_flight is not None:
+                            if not in_flight.is_demand:
+                                in_flight.mark_demanded(cycle)
+                                late += 1
+                            else:
+                                merges += 1
+                        else:
+                            fill_ready = request_instruction(line_addr, cycle + latency)
+                            mshr_allocate(line_addr, cycle, fill_ready, True, None)
+                            had_alloc = True
+                        ready_val = None
+                    idx = len(fq_line)
+                    fq_line.append(line_addr)
+                    fq_remaining.append(unit.n_instrs)
+                    fq_ready.append(ready_val)
+                    fq_penalty.append(0)
+                    fq_data.append(unit.data_lines)
+                    if ready_val is None:
+                        waiting.setdefault(line_addr, []).append(idx)
+                    progress = True
+                    pred_idx += 1
+                    branch = unit.branch
+                    if branch is not None:
+                        pc, branch_type, taken, target = branch
+                        branches += 1
+                        penalty = 0
+                        if branch_type == CONDITIONAL:
+                            predicted_taken = gshare_predict(pc)
+                            gshare_update(pc, taken)
+                            if predicted_taken != taken:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            elif taken:
+                                if btb_lookup(pc) is None:
+                                    penalty = decode_penalty
+                                    btb_redirects += 1
+                                btb_update(pc, target)
+                        elif branch_type == DIRECT_JUMP or branch_type == DIRECT_CALL:
+                            if btb_lookup(pc) is None:
+                                penalty = decode_penalty
+                                btb_redirects += 1
+                            btb_update(pc, target)
+                        elif (
+                            branch_type == INDIRECT_JUMP
+                            or branch_type == INDIRECT_CALL
+                        ):
+                            if itc_predict(pc) != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            itc_update(pc, target)
+                        elif branch_type == RETURN:
+                            if ras_pop() != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                        if branch_type == DIRECT_CALL or branch_type == INDIRECT_CALL:
+                            ras_push(pc + 4)
+                        if penalty:
+                            fq_penalty[idx] = penalty
+                            blocked_idx = idx
+                            break
+
+            # -- phase 4: retire
+            retired_now = 0
+            tail = len(fq_line)
+            if head < tail:
+                head_ready = fq_ready[head]
+                if head_ready is not None and head_ready <= cycle:
+                    budget = retire_width
+                    while budget > 0 and head < tail:
+                        head_ready = fq_ready[head]
+                        if head_ready is None or head_ready > cycle:
+                            break
+                        remaining = fq_remaining[head]
+                        if remaining <= budget:
+                            budget -= remaining
+                            retired_now += remaining
+                            penalty = fq_penalty[head]
+                            if penalty:
+                                stall_until = cycle + penalty
+                                if blocked_idx == head:
+                                    blocked_idx = None
+                            data_lines = fq_data[head]
+                            if data_lines:
+                                for data_line, is_store in data_lines:
+                                    if is_store:
+                                        l1d_writes += 1
+                                    else:
+                                        l1d_reads += 1
+                                    data_set = l1d_sets[data_line % l1d_nsets]
+                                    if data_line in data_set:
+                                        del data_set[data_line]
+                                        data_set[data_line] = True
+                                    else:
+                                        # Inline L2 -> LLC -> DRAM walk
+                                        # (``MemoryHierarchy._access``);
+                                        # the completion cycle is unused
+                                        # on the data side.
+                                        l2_reads += 1
+                                        l2_set = l2_sets[data_line % l2_nsets]
+                                        if data_line in l2_set:
+                                            del l2_set[data_line]
+                                            l2_set[data_line] = True
+                                        else:
+                                            llc_reads += 1
+                                            llc_set = llc_sets[
+                                                data_line % llc_nsets
+                                            ]
+                                            if data_line in llc_set:
+                                                del llc_set[data_line]
+                                                llc_set[data_line] = True
+                                            else:
+                                                if len(llc_set) >= llc_ways:
+                                                    v = next(iter(llc_set))
+                                                    del llc_set[v]
+                                                    if llc_members is not None:
+                                                        llc_members.discard(v)
+                                                llc_set[data_line] = True
+                                                if llc_members is not None:
+                                                    llc_members.add(data_line)
+                                                llc._version += 1
+                                                llc_writes += 1
+                                            if len(l2_set) >= l2_ways:
+                                                v = next(iter(l2_set))
+                                                del l2_set[v]
+                                                if l2_members is not None:
+                                                    l2_members.discard(v)
+                                            l2_set[data_line] = True
+                                            if l2_members is not None:
+                                                l2_members.add(data_line)
+                                            l2._version += 1
+                                            l2_writes += 1
+                                        if len(data_set) >= l1d_ways:
+                                            victim_addr = next(iter(data_set))
+                                            del data_set[victim_addr]
+                                            if l1d_members is not None:
+                                                l1d_members.discard(victim_addr)
+                                        data_set[data_line] = True
+                                        if l1d_members is not None:
+                                            l1d_members.add(data_line)
+                                        l1d._version += 1
+                                        l1d_writes += 1
+                                fq_data[head] = ()  # release; the block is done
+                            head += 1
+                        else:
+                            fq_remaining[head] = remaining - budget
+                            retired_now += budget
+                            budget = 0
+                    retired_total += retired_now
+
+            # -- cycle advance + stall attribution
+            if progress or retired_now:
+                next_cycle = cycle + 1
+            else:
+                best = mshr_heap[0][0] if mshr_heap else None
+                if (
+                    stall_until > cycle
+                    and blocked_idx is None
+                    and (best is None or stall_until < best)
+                ):
+                    best = stall_until
+                if head < len(fq_line):
+                    head_ready = fq_ready[head]
+                    if (
+                        head_ready is not None
+                        and head_ready > cycle
+                        and (best is None or head_ready < best)
+                    ):
+                        best = head_ready
+                next_cycle = best if (best is not None and best > cycle) else cycle + 1
+            if retired_now == 0:
+                span = next_cycle - cycle
+                if head < len(fq_line):
+                    fetch_stall += span
+                else:
+                    ftq_empty += span
+            cycle = next_cycle
+            cycles_budget -= 1
+            if cycles_budget <= 0:
+                break
+
+            if head >= _COMPACT_THRESHOLD and not waiting and blocked_idx is None:
+                del fq_line[:head]
+                del fq_remaining[:head]
+                del fq_ready[:head]
+                del fq_penalty[:head]
+                del fq_data[:head]
+                head = 0
+
+            if (
+                until_quiesce
+                and had_alloc
+                and not mshr_entries
+                and not waiting
+                and blocked_idx is None
+            ):
+                break
+
+        # -- flush locals back into the shared state
+        self.cycle = cycle
+        self._pred_idx = pred_idx
+        self._pred_stall_until = stall_until
+        self._pred_blocked_idx = blocked_idx
+        self._retired = retired_total
+        self.fq_head = head
+        stats.l1i_demand_accesses += demand_accesses
+        stats.l1i_demand_hits += demand_hits
+        stats.l1i_demand_misses += demand_misses
+        stats.l1i_mshr_merges += merges
+        stats.useful_prefetches += useful
+        stats.late_prefetches += late
+        stats.wrong_prefetches += wrong
+        stats.branches += branches
+        stats.branch_mispredictions += mispredicts
+        stats.btb_miss_redirects += btb_redirects
+        stats.mshr_full_events += mshr_full_events
+        stats.fetch_stall_cycles += fetch_stall
+        stats.ftq_empty_cycles += ftq_empty
+        l1i_counts.reads += l1i_reads
+        l1i_counts.writes += l1i_writes
+        l1d_counts.reads += l1d_reads
+        l1d_counts.writes += l1d_writes
+        l2_counts = stats.cache_accesses["L2C"]
+        l2_counts.reads += l2_reads
+        l2_counts.writes += l2_writes
+        llc_counts = stats.cache_accesses["LLC"]
+        llc_counts.reads += llc_reads
+        llc_counts.writes += llc_writes
+
+    # -- the monolithic active-prefetcher loop -------------------------------
+
+    def _run_active(self, limit: int, max_cycles: Optional[int] = None) -> None:
+        """Batch-run cycles for an *active* prefetcher with no observers.
+
+        Same contract as :meth:`_run_passive` plus the hook traffic an
+        active prefetcher generates: ``on_fill`` / ``on_demand_access``
+        / ``on_branch`` / ``on_prefetch_useful`` / ``on_prefetch_late``
+        / ``on_evict_unused`` fire at the reference call sites with the
+        live cycle, returned requests go through the shared
+        :func:`~repro.sim.stages.issue.collect` admission filter
+        (skipped for empty returns — a no-op in the reference too), and
+        the PQ issue phase runs inline, including the demand-reserve
+        MSHR limit.  Counters this loop owns are accumulated out-of-band
+        and flushed on exit; the counters ``collect`` updates go through
+        ``stats`` directly, so the two sets never overlap.
+        """
+        config = self.config
+        stats = self.stats
+        units = self.units
+        total = len(units)
+        prefetcher = self.prefetcher
+        on_fill = prefetcher.on_fill
+        on_demand_access = prefetcher.on_demand_access
+        on_branch = prefetcher.on_branch
+        on_prefetch_useful = prefetcher.on_prefetch_useful
+        on_prefetch_late = prefetcher.on_prefetch_late
+        on_evict_unused = prefetcher.on_evict_unused
+        mshr = self.mshr
+        mshr_entries = mshr._entries
+        mshr_heap = mshr._heap
+        mshr_capacity = mshr.capacity
+        mshr_pop_ready = mshr.pop_ready
+        mshr_allocate = mshr.allocate
+        request_instruction = self.memory.request_instruction
+        checker = self.checker
+        check_fill = checker.check_fill if checker is not None else None
+        pq = self.pq
+        pq_queue = pq._queue
+        pq_pop = pq.pop
+        issue_width = config.prefetch_issue_width
+        mshr_limit = mshr_capacity - config.mshr_demand_reserve
+        l1i = self.l1i
+        l1i_sets = l1i._sets
+        l1i_nsets = l1i.sets
+        l1i_lru = l1i._lru
+        l1i_insert = l1i.insert
+        l1d = self.l1d
+        l1d_sets = l1d._sets
+        l1d_nsets = l1d.sets
+        l1d_ways = l1d.ways
+        l1d_members = l1d._members
+        l1i_counts = self._l1i_counts
+        l1d_counts = self._l1d_counts
+        l2 = self.memory.l2
+        llc = self.memory.llc
+        l2_sets = l2._sets
+        l2_nsets = l2.sets
+        l2_ways = l2.ways
+        l2_members = l2._members
+        llc_sets = llc._sets
+        llc_nsets = llc.sets
+        llc_ways = llc.ways
+        llc_members = llc._members
+        waiting = self._waiting
+        fq_line = self.fq_line
+        fq_remaining = self.fq_remaining
+        fq_ready = self.fq_ready
+        fq_penalty = self.fq_penalty
+        fq_data = self.fq_data
+        head = self.fq_head
+        gshare_predict = self.gshare.predict
+        gshare_update = self.gshare.update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        itc_predict = self.itc.predict
+        itc_update = self.itc.update
+        ras_pop = self.ras.pop
+        ras_push = self.ras.push
+        latency = config.l1i_latency
+        fetch_width = config.fetch_lines_per_cycle
+        ftq_size = config.ftq_size
+        retire_width = config.retire_width
+        decode_penalty = config.decode_redirect_penalty
+        exec_penalty = config.exec_redirect_penalty
+        CONDITIONAL = BranchType.CONDITIONAL
+        DIRECT_JUMP = BranchType.DIRECT_JUMP
+        DIRECT_CALL = BranchType.DIRECT_CALL
+        INDIRECT_JUMP = BranchType.INDIRECT_JUMP
+        INDIRECT_CALL = BranchType.INDIRECT_CALL
+        RETURN = BranchType.RETURN
+
+        cycle = self.cycle
+        pred_idx = self._pred_idx
+        stall_until = self._pred_stall_until
+        blocked_idx = self._pred_blocked_idx
+        retired_total = self._retired
+        cycles_budget = sys.maxsize if max_cycles is None else max_cycles
+
+        demand_accesses = 0
+        demand_hits = 0
+        demand_misses = 0
+        merges = 0
+        l1i_reads = 0
+        l1i_writes = 0
+        l1d_reads = 0
+        l1d_writes = 0
+        l2_reads = 0
+        l2_writes = 0
+        llc_reads = 0
+        llc_writes = 0
+        branches = 0
+        mispredicts = 0
+        btb_redirects = 0
+        mshr_full_events = 0
+        useful = 0
+        wrong = 0
+        late = 0
+        stale_in_cache = 0
+        stale_in_flight = 0
+        sent = 0
+        fetch_stall = 0
+        ftq_empty = 0
+
+        while pred_idx < total or head < len(fq_line):
+            if retired_total >= limit:
+                break
+            progress = False
+
+            # -- phase 1: fills (with prefetch feedback hooks)
+            if mshr_heap and mshr_heap[0][0] <= cycle:
+                ready_at = cycle + latency
+                for entry in mshr_pop_ready(cycle):
+                    line_addr = entry.line_addr
+                    victim = l1i_insert(line_addr)
+                    l1i_writes += 1
+                    if victim is not None and victim.prefetched:
+                        wrong += 1
+                        on_evict_unused(victim.line_addr, victim.src_meta, cycle)
+                    line = l1i_sets[line_addr % l1i_nsets][line_addr]
+                    is_demand = entry.is_demand
+                    line.prefetched = not is_demand
+                    line.src_meta = entry.src_meta
+                    reqs = on_fill(
+                        FillInfo(
+                            line_addr=line_addr,
+                            fill_cycle=cycle,
+                            issue_cycle=entry.issue_cycle,
+                            is_demand=is_demand,
+                            was_prefetch=entry.was_prefetch,
+                            demand_cycle=entry.demand_cycle,
+                            src_meta=entry.src_meta,
+                        )
+                    )
+                    if reqs:
+                        collect(self, reqs)
+                    if check_fill is not None:
+                        check_fill(self, line_addr)
+                    waiters = waiting.pop(line_addr, None)
+                    if waiters:
+                        for w in waiters:
+                            fq_ready[w] = ready_at
+                    progress = True
+
+            # -- phase 3: predict (demand accesses + branch prediction,
+            # with on_demand_access / on_branch hooks)
+            if blocked_idx is None and cycle >= stall_until and pred_idx < total:
+                for _ in range(fetch_width):
+                    if pred_idx >= total or len(fq_line) - head >= ftq_size:
+                        break
+                    unit = units[pred_idx]
+                    line_addr = unit.line_addr
+                    cache_set = l1i_sets[line_addr % l1i_nsets]
+                    line = cache_set.get(line_addr)
+                    if line is not None:
+                        if l1i_lru:
+                            del cache_set[line_addr]
+                            cache_set[line_addr] = line
+                        l1i_reads += 1
+                        demand_accesses += 1
+                        demand_hits += 1
+                        if line.prefetched:
+                            line.prefetched = False
+                            useful += 1
+                            on_prefetch_useful(line_addr, line.src_meta, cycle)
+                        reqs = on_demand_access(line_addr, True, cycle)
+                        if reqs:
+                            collect(self, reqs)
+                        ready_val: Optional[int] = cycle + latency
+                    else:
+                        in_flight = mshr_entries.get(line_addr)
+                        if in_flight is None and len(mshr_entries) >= mshr_capacity:
+                            # MSHR full: retry the same unit next cycle.
+                            mshr_full_events += 1
+                            break
+                        l1i_reads += 1
+                        demand_accesses += 1
+                        demand_misses += 1
+                        if in_flight is not None:
+                            if not in_flight.is_demand:
+                                in_flight.mark_demanded(cycle)
+                                late += 1
+                                on_prefetch_late(
+                                    line_addr, in_flight.src_meta, cycle
+                                )
+                            else:
+                                merges += 1
+                        else:
+                            fill_ready = request_instruction(
+                                line_addr, cycle + latency
+                            )
+                            mshr_allocate(line_addr, cycle, fill_ready, True, None)
+                        reqs = on_demand_access(line_addr, False, cycle)
+                        if reqs:
+                            collect(self, reqs)
+                        ready_val = None
+                    idx = len(fq_line)
+                    fq_line.append(line_addr)
+                    fq_remaining.append(unit.n_instrs)
+                    fq_ready.append(ready_val)
+                    fq_penalty.append(0)
+                    fq_data.append(unit.data_lines)
+                    if ready_val is None:
+                        waiting.setdefault(line_addr, []).append(idx)
+                    progress = True
+                    pred_idx += 1
+                    branch = unit.branch
+                    if branch is not None:
+                        pc, branch_type, taken, target = branch
+                        branches += 1
+                        penalty = 0
+                        if branch_type == CONDITIONAL:
+                            predicted_taken = gshare_predict(pc)
+                            gshare_update(pc, taken)
+                            if predicted_taken != taken:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            elif taken:
+                                if btb_lookup(pc) is None:
+                                    penalty = decode_penalty
+                                    btb_redirects += 1
+                                btb_update(pc, target)
+                        elif branch_type == DIRECT_JUMP or branch_type == DIRECT_CALL:
+                            if btb_lookup(pc) is None:
+                                penalty = decode_penalty
+                                btb_redirects += 1
+                            btb_update(pc, target)
+                        elif (
+                            branch_type == INDIRECT_JUMP
+                            or branch_type == INDIRECT_CALL
+                        ):
+                            if itc_predict(pc) != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            itc_update(pc, target)
+                        elif branch_type == RETURN:
+                            if ras_pop() != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                        if branch_type == DIRECT_CALL or branch_type == INDIRECT_CALL:
+                            ras_push(pc + 4)
+                        reqs = on_branch(pc, branch_type, taken, target, cycle)
+                        if reqs:
+                            collect(self, reqs)
+                        if penalty:
+                            fq_penalty[idx] = penalty
+                            blocked_idx = idx
+                            break
+
+            # -- phase 2 (ordered after predict, as in the guarded loop):
+            # prefetch issue from the PQ into the memory hierarchy
+            if pq_queue:
+                for _ in range(issue_width):
+                    if not pq_queue:
+                        break
+                    line_addr, src_meta = pq_queue[0]
+                    l1i_reads += 1
+                    if line_addr in l1i_sets[line_addr % l1i_nsets]:
+                        pq_pop()
+                        stale_in_cache += 1
+                        continue
+                    if mshr_entries.get(line_addr) is not None:
+                        pq_pop()
+                        stale_in_flight += 1
+                        continue
+                    if len(mshr_entries) >= mshr_limit:
+                        break
+                    pq_pop()
+                    fill_ready = request_instruction(line_addr, cycle)
+                    mshr_allocate(line_addr, cycle, fill_ready, False, src_meta)
+                    sent += 1
+                    progress = True
+
+            # -- phase 4: retire
+            retired_now = 0
+            tail = len(fq_line)
+            if head < tail:
+                head_ready = fq_ready[head]
+                if head_ready is not None and head_ready <= cycle:
+                    budget = retire_width
+                    while budget > 0 and head < tail:
+                        head_ready = fq_ready[head]
+                        if head_ready is None or head_ready > cycle:
+                            break
+                        remaining = fq_remaining[head]
+                        if remaining <= budget:
+                            budget -= remaining
+                            retired_now += remaining
+                            penalty = fq_penalty[head]
+                            if penalty:
+                                stall_until = cycle + penalty
+                                if blocked_idx == head:
+                                    blocked_idx = None
+                            data_lines = fq_data[head]
+                            if data_lines:
+                                for data_line, is_store in data_lines:
+                                    if is_store:
+                                        l1d_writes += 1
+                                    else:
+                                        l1d_reads += 1
+                                    data_set = l1d_sets[data_line % l1d_nsets]
+                                    if data_line in data_set:
+                                        del data_set[data_line]
+                                        data_set[data_line] = True
+                                    else:
+                                        # Inline L2 -> LLC -> DRAM walk
+                                        # (``MemoryHierarchy._access``).
+                                        l2_reads += 1
+                                        l2_set = l2_sets[data_line % l2_nsets]
+                                        if data_line in l2_set:
+                                            del l2_set[data_line]
+                                            l2_set[data_line] = True
+                                        else:
+                                            llc_reads += 1
+                                            llc_set = llc_sets[
+                                                data_line % llc_nsets
+                                            ]
+                                            if data_line in llc_set:
+                                                del llc_set[data_line]
+                                                llc_set[data_line] = True
+                                            else:
+                                                if len(llc_set) >= llc_ways:
+                                                    v = next(iter(llc_set))
+                                                    del llc_set[v]
+                                                    if llc_members is not None:
+                                                        llc_members.discard(v)
+                                                llc_set[data_line] = True
+                                                if llc_members is not None:
+                                                    llc_members.add(data_line)
+                                                llc._version += 1
+                                                llc_writes += 1
+                                            if len(l2_set) >= l2_ways:
+                                                v = next(iter(l2_set))
+                                                del l2_set[v]
+                                                if l2_members is not None:
+                                                    l2_members.discard(v)
+                                            l2_set[data_line] = True
+                                            if l2_members is not None:
+                                                l2_members.add(data_line)
+                                            l2._version += 1
+                                            l2_writes += 1
+                                        if len(data_set) >= l1d_ways:
+                                            victim_addr = next(iter(data_set))
+                                            del data_set[victim_addr]
+                                            if l1d_members is not None:
+                                                l1d_members.discard(victim_addr)
+                                        data_set[data_line] = True
+                                        if l1d_members is not None:
+                                            l1d_members.add(data_line)
+                                        l1d._version += 1
+                                        l1d_writes += 1
+                                fq_data[head] = ()  # release; the block is done
+                            head += 1
+                        else:
+                            fq_remaining[head] = remaining - budget
+                            retired_now += budget
+                            budget = 0
+                    retired_total += retired_now
+
+            # -- cycle advance + stall attribution
+            if progress or retired_now:
+                next_cycle = cycle + 1
+            else:
+                best = mshr_heap[0][0] if mshr_heap else None
+                if (
+                    stall_until > cycle
+                    and blocked_idx is None
+                    and (best is None or stall_until < best)
+                ):
+                    best = stall_until
+                if head < len(fq_line):
+                    head_ready = fq_ready[head]
+                    if (
+                        head_ready is not None
+                        and head_ready > cycle
+                        and (best is None or head_ready < best)
+                    ):
+                        best = head_ready
+                next_cycle = best if (best is not None and best > cycle) else cycle + 1
+            if retired_now == 0:
+                span = next_cycle - cycle
+                if head < len(fq_line):
+                    fetch_stall += span
+                else:
+                    ftq_empty += span
+            cycle = next_cycle
+            cycles_budget -= 1
+            if cycles_budget <= 0:
+                break
+
+            if head >= _COMPACT_THRESHOLD and not waiting and blocked_idx is None:
+                del fq_line[:head]
+                del fq_remaining[:head]
+                del fq_ready[:head]
+                del fq_penalty[:head]
+                del fq_data[:head]
+                head = 0
+
+        # -- flush locals back into the shared state
+        self.cycle = cycle
+        self._pred_idx = pred_idx
+        self._pred_stall_until = stall_until
+        self._pred_blocked_idx = blocked_idx
+        self._retired = retired_total
+        self.fq_head = head
+        stats.l1i_demand_accesses += demand_accesses
+        stats.l1i_demand_hits += demand_hits
+        stats.l1i_demand_misses += demand_misses
+        stats.l1i_mshr_merges += merges
+        stats.useful_prefetches += useful
+        stats.late_prefetches += late
+        stats.wrong_prefetches += wrong
+        stats.branches += branches
+        stats.branch_mispredictions += mispredicts
+        stats.btb_miss_redirects += btb_redirects
+        stats.mshr_full_events += mshr_full_events
+        stats.prefetches_stale_in_cache += stale_in_cache
+        stats.prefetches_stale_in_flight += stale_in_flight
+        stats.prefetches_sent += sent
+        stats.fetch_stall_cycles += fetch_stall
+        stats.ftq_empty_cycles += ftq_empty
+        l1i_counts.reads += l1i_reads
+        l1i_counts.writes += l1i_writes
+        l1d_counts.reads += l1d_reads
+        l1d_counts.writes += l1d_writes
+        l2_counts = stats.cache_accesses["L2C"]
+        l2_counts.reads += l2_reads
+        l2_counts.writes += l2_writes
+        llc_counts = stats.cache_accesses["LLC"]
+        llc_counts.reads += llc_reads
+        llc_counts.writes += llc_writes

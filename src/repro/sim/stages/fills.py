@@ -1,0 +1,76 @@
+"""Stage 1 of the staged core: MSHR fill completion -> L1I insertion.
+
+Equivalent to the reference ``Simulator._do_fills`` / ``_fill_line``
+operating on the staged core's array-of-struct FTQ: waiters are woken by
+*block index* into the parallel FTQ arrays rather than by object
+reference.  Event order (victim accounting, fill metadata, tracer
+emission, prefetcher feedback, sanitizer hook, waiter wake-up) is
+identical to the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.prefetchers.base import FillInfo
+
+from repro.sim.stages.issue import collect
+
+__all__ = ["run_fills"]
+
+
+def run_fills(sim: Any) -> bool:
+    """Complete every MSHR entry whose fill has arrived.
+
+    Safe to call unguarded: with no ready entry it returns False with no
+    side effects (the staged loop peeks the fill heap to skip the call).
+    """
+    ready = sim.mshr.pop_ready(sim.cycle)
+    for entry in ready:
+        fill_line(sim, entry)
+    return bool(ready)
+
+
+def fill_line(sim: Any, entry: Any) -> None:
+    tracer = sim.tracer
+    cycle = sim.cycle
+    prefetcher = sim.prefetcher
+    line_addr = entry.line_addr
+    victim = sim.l1i.insert(line_addr)
+    sim._l1i_counts.writes += 1
+    if victim is not None and victim.prefetched:
+        sim.stats.wrong_prefetches += 1
+        if tracer is not None:
+            tracer.emit("pf_wrong", cycle, victim.line_addr, victim.src_meta)
+        prefetcher.on_evict_unused(victim.line_addr, victim.src_meta, cycle)
+    line = sim.l1i.lookup(line_addr, update_lru=False)
+    line.prefetched = not entry.is_demand
+    line.src_meta = entry.src_meta
+    if tracer is not None or not prefetcher.is_passive:
+        info = FillInfo(
+            line_addr=line_addr,
+            fill_cycle=cycle,
+            issue_cycle=entry.issue_cycle,
+            is_demand=entry.is_demand,
+            was_prefetch=entry.was_prefetch,
+            demand_cycle=entry.demand_cycle,
+            src_meta=entry.src_meta,
+        )
+        if tracer is not None:
+            tracer.emit(
+                "fill",
+                cycle,
+                line_addr,
+                entry.src_meta,
+                (entry.is_demand, entry.was_prefetch, info.demand_latency),
+            )
+        if not prefetcher.is_passive:
+            collect(sim, prefetcher.on_fill(info))
+    if sim.checker is not None:
+        sim.checker.check_fill(sim, line_addr)
+    waiters = sim._waiting.pop(line_addr, None)
+    if waiters:
+        ready_at = cycle + sim.config.l1i_latency
+        fq_ready = sim.fq_ready
+        for idx in waiters:
+            fq_ready[idx] = ready_at

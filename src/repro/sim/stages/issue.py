@@ -1,0 +1,107 @@
+"""Stage 2 of the staged core: prefetch issue (PQ -> memory hierarchy).
+
+Also home of :func:`collect`, the PQ admission filter every stage that
+receives prefetcher requests shares.  Both functions are line-for-line
+equivalent to the reference ``Simulator._do_prefetch_issue`` /
+``Simulator._collect``, operating on the staged core's fast structures;
+tracer emissions and counter updates happen in the identical order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["run_issue", "collect"]
+
+
+def run_issue(sim: Any) -> bool:
+    """Issue up to ``prefetch_issue_width`` requests from the PQ.
+
+    Safe to call unguarded: an empty PQ returns False with no side
+    effects (the staged loop skips the call in that case).
+    """
+    pq = sim.pq
+    if not pq._queue:
+        return False
+    issued = False
+    stats = sim.stats
+    l1i = sim.l1i
+    mshr = sim.mshr
+    l1i_counts = sim._l1i_counts
+    tracer = sim.tracer
+    cycle = sim.cycle
+    # Prefetches may not occupy the last MSHR slots: demand misses
+    # stall the predict stage when the file is full, so a prefetch
+    # burst must not starve them.
+    mshr_limit = mshr.capacity - sim.config.mshr_demand_reserve
+    for _ in range(sim.config.prefetch_issue_width):
+        item = pq.peek()
+        if item is None:
+            break
+        line_addr, src_meta = item
+        l1i_counts.reads += 1
+        if l1i.contains(line_addr):
+            pq.pop()
+            stats.prefetches_stale_in_cache += 1
+            if tracer is not None:
+                tracer.emit("pf_stale", cycle, line_addr, src_meta, "in_cache")
+            continue
+        if mshr.lookup(line_addr) is not None:
+            pq.pop()
+            stats.prefetches_stale_in_flight += 1
+            if tracer is not None:
+                tracer.emit("pf_stale", cycle, line_addr, src_meta, "in_flight")
+            continue
+        if len(mshr) >= mshr_limit:
+            break
+        pq.pop()
+        ready = sim.memory.request_instruction(line_addr, cycle)
+        mshr.allocate(line_addr, cycle, ready, False, src_meta)
+        stats.prefetches_sent += 1
+        if tracer is not None:
+            tracer.emit("pf_issued", cycle, line_addr, src_meta)
+        issued = True
+    return issued
+
+
+def collect(sim: Any, requests: Iterable) -> None:
+    """Accept prefetcher requests into the PQ (admission filtering).
+
+    Requests for lines already resident or already in flight are
+    filtered here so they do not occupy PQ slots.
+    """
+    stats = sim.stats
+    l1i = sim.l1i
+    mshr = sim.mshr
+    pq = sim.pq
+    tracer = sim.tracer
+    cycle = sim.cycle
+    for request in requests:
+        stats.prefetches_requested += 1
+        line_addr = request.line_addr
+        if tracer is not None:
+            tracer.emit("pf_requested", cycle, line_addr, request.src_meta)
+        if l1i.contains(line_addr):
+            stats.prefetches_dropped_in_cache += 1
+            if tracer is not None:
+                tracer.emit(
+                    "pf_dropped", cycle, line_addr, request.src_meta, "in_cache"
+                )
+            continue
+        if mshr.lookup(line_addr) is not None:
+            stats.prefetches_dropped_in_flight += 1
+            if tracer is not None:
+                tracer.emit(
+                    "pf_dropped", cycle, line_addr, request.src_meta, "in_flight"
+                )
+            continue
+        if pq.push(line_addr, request.src_meta):
+            stats.prefetches_enqueued += 1
+            if tracer is not None:
+                tracer.emit("pf_enqueued", cycle, line_addr, request.src_meta)
+        else:
+            stats.prefetches_dropped_pq_full += 1
+            if tracer is not None:
+                tracer.emit(
+                    "pf_dropped", cycle, line_addr, request.src_meta, "pq_full"
+                )

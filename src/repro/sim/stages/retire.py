@@ -1,0 +1,79 @@
+"""Stage 4 of the staged core: retire + data-side (L1D) accounting.
+
+Consumes up to ``retire_width`` instructions per cycle from ready FTQ
+blocks in the parallel arrays, releasing redirect penalties and charging
+the finished blocks' data-line traffic to the L1D/L2/LLC — identical in
+order and effect to ``Simulator._do_retire`` / ``_finish_block`` /
+``_l1d_access``.  The data-side walk is cycle-*independent* (nothing
+reads the access cycle except the unused completion time), a property
+the batch fast paths rely on; order still matters for LRU state, and is
+preserved exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["run_retire", "finish_block"]
+
+
+def run_retire(sim: Any) -> int:
+    """Retire up to ``retire_width`` instructions; returns the count.
+
+    Safe to call unguarded: with an empty FTQ or a not-ready head it
+    returns 0 with no side effects.
+    """
+    budget = sim.config.retire_width
+    retired = 0
+    fq_ready = sim.fq_ready
+    fq_remaining = sim.fq_remaining
+    head = sim.fq_head
+    tail = len(sim.fq_line)
+    cycle = sim.cycle
+    while budget > 0 and head < tail:
+        ready = fq_ready[head]
+        if ready is None or ready > cycle:
+            break
+        remaining = fq_remaining[head]
+        take = remaining if remaining <= budget else budget
+        budget -= take
+        retired += take
+        if take == remaining:
+            sim.fq_head = head + 1
+            finish_block(sim, head)
+            head += 1
+        else:
+            fq_remaining[head] = remaining - take
+    sim.fq_head = head
+    sim._retired += retired
+    return retired
+
+
+def finish_block(sim: Any, idx: int) -> None:
+    penalty = sim.fq_penalty[idx]
+    if penalty:
+        sim._pred_stall_until = sim.cycle + penalty
+        if sim._pred_blocked_idx == idx:
+            sim._pred_blocked_idx = None
+    data_lines = sim.fq_data[idx]
+    if data_lines:
+        mapper = sim.mapper
+        for data_line, is_store in data_lines:
+            l1d_access(
+                sim,
+                data_line if mapper is None else mapper.translate_line(data_line),
+                is_store,
+            )
+        sim.fq_data[idx] = ()  # release the tuple; the block is done
+
+
+def l1d_access(sim: Any, line_addr: int, is_store: bool) -> None:
+    counts = sim._l1d_counts
+    if is_store:
+        counts.writes += 1
+    else:
+        counts.reads += 1
+    if sim.l1d.lookup(line_addr) is None:
+        sim.memory.request_data(line_addr, sim.cycle)
+        sim.l1d.insert(line_addr)
+        counts.writes += 1

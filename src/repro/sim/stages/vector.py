@@ -1,0 +1,528 @@
+"""The vectorized simulator backend (``backend="numpy"``).
+
+:class:`NumpySimulator` extends the staged core with a batch fast path
+for the only stretches of a run that are regular enough to batch
+exactly: **L1I-hit spans** — maximal runs of consecutive fetch units
+whose instruction lines are all L1I-resident, reached while the memory
+side is quiescent (MSHR empty, no block waiting on a fill).
+
+Inside such a span no fill can land and no L1I membership can change
+(hits never insert or evict), so the whole span's residency can be
+decided up front: a linear probe against the cache's membership mirror
+set, switching to one ``np.isin`` over the trace's columnar line array
+once the span provably exceeds :data:`WALK_UNITS` (the vector call only
+pays off on long spans; short ones — the common case — stay on the
+early-exiting set walk).  The per-cycle semantics then collapse to an
+integer timing replay: the predict stage enqueues
+``fetch_lines_per_cycle`` units per cycle (FTQ-capacity permitting),
+each block turns ready exactly ``l1i_latency`` cycles after its
+enqueue, and retire drains ``retire_width`` instructions per cycle in
+FIFO order.  Branches are *not* span boundaries: the replay runs the
+branch predictors inline at the exact point each unit is enqueued, and
+redirect penalties are replayed in full — a penalized unit blocks
+further enqueue until it retires, its retirement starts the
+``stall_until`` window, and idle stretches jump straight to the next
+event, all in plain integers.  Only an L1I miss (a genuine event: MSHR
+allocation, a future fill) ends the fast path.
+
+Everything order-dependent but **cycle-independent** is applied in bulk
+after the replay:
+
+* L1I: counters in closed form; the LRU effect of N ordered touches is
+  one move per distinct line in ascending order of *last* occurrence
+  (dedupe-keep-last over the reversed sequence);
+* L1D: retired blocks' data lines replayed in retire order with the
+  same inline L2/LLC walk the scalar loops use (the data side is
+  cycle-independent, so post-hoc replay in order is exact, misses
+  included).
+
+The trailing not-yet-retired blocks are materialized back into the FTQ
+arrays and the staged scalar loop resumes.  Spans shorter than
+:data:`MIN_SPAN_UNITS` and every event boundary (any L1I miss, pending
+fill) fall back to :meth:`StagedSimulator._run_passive`, run with
+``until_quiesce`` so it returns at the first state where the fast path
+could engage again.
+
+Bit-identity with the other backends is the contract; the fast path is
+only entered from states where its assumptions are *provably* exact
+(a passive prefetcher never marks a line prefetched, so the span's
+demand hits carry no useful-prefetch side effects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+try:  # pragma: no cover - exercised via both CI backend-matrix legs
+    import numpy as np
+
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    NUMPY_AVAILABLE = False
+
+from repro.sim.stages.core import StagedSimulator
+from repro.workloads.trace import BranchType
+
+__all__ = ["NumpySimulator", "NUMPY_AVAILABLE", "MIN_SPAN_UNITS"]
+
+#: Smallest all-hit run (in fetch units) worth the span setup overhead;
+#: shorter runs go through the scalar staged loop.
+MIN_SPAN_UNITS = 64
+
+#: Cap on units batched per engagement (bounds temporary arrays).
+MAX_SPAN_UNITS = 16384
+
+#: Length of the early-exiting set-membership walk before the residency
+#: check switches to one vectorized ``np.isin`` over the remainder.
+WALK_UNITS = 512
+
+#: Upper bound (cycles) on one scalar-fallback stretch.  The stretch
+#: normally ends much earlier, at the first quiescent top-of-cycle state
+#: after a miss drains (``until_quiesce``); the bound only caps
+#: pathological never-quiescent phases.
+_SCALAR_CHUNK_CYCLES = 4096
+
+
+class _UnitColumns:
+    """Per-trace immutable columns of the fetch-unit list."""
+
+    __slots__ = ("u_line", "u_line_l", "u_n", "branch", "d_tuple")
+
+    def __init__(self, units) -> None:
+        total = len(units)
+        self.u_line = np.fromiter(
+            (u.line_addr for u in units), dtype=np.int64, count=total
+        )
+        self.u_line_l: List[int] = self.u_line.tolist()
+        self.u_n = [u.n_instrs for u in units]
+        self.branch = [u.branch for u in units]
+        self.d_tuple = [u.data_lines for u in units]
+
+
+class NumpySimulator(StagedSimulator):
+    """Staged core plus batch L1I-hit span processing."""
+
+    backend_name = "numpy"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if not NUMPY_AVAILABLE:  # resolve_backend never routes here then
+            raise RuntimeError("the numpy backend requires numpy")
+        super().__init__(*args, **kwargs)
+        self._vec: Optional[_UnitColumns] = None
+        self._l1i_members = self.l1i.enable_member_mirror()
+        self._l1i_marr = None
+        self._l1i_mver = -1
+
+    def _l1i_members_arr(self):
+        """The L1I membership mirror as an array, cached per ``_version``."""
+        if self._l1i_mver != self.l1i._version:
+            self._l1i_marr = np.fromiter(
+                self._l1i_members, dtype=np.int64, count=len(self._l1i_members)
+            )
+            self._l1i_mver = self.l1i._version
+        return self._l1i_marr
+
+    # -- driver --------------------------------------------------------------
+
+    def _run_passive(self, limit: int, max_cycles: Optional[int] = None) -> None:
+        """Alternate batch spans with quiesce-bounded scalar stretches."""
+        if self._vec is None:
+            self._vec = _UnitColumns(self.units)
+        total = len(self.units)
+        scalar = StagedSimulator._run_passive
+        while (
+            self._pred_idx < total or self.fq_head < len(self.fq_line)
+        ) and self._retired < limit:
+            if not self._process_span(limit):
+                scalar(self, limit, _SCALAR_CHUNK_CYCLES, True)
+
+    # -- the fast path -------------------------------------------------------
+
+    def _process_span(self, limit: int) -> bool:
+        """Detect and batch-process one span; False = use the scalar loop.
+
+        Entry requires a quiescent memory side: empty MSHR (no fill can
+        land mid-span), no block waiting on a fill, and no blocked
+        predict (the blocked marker is an absolute FTQ index the replay
+        doesn't track).  A pending ``stall_until`` is fine — the replay
+        models redirect stalls itself.  Every ``return False`` below
+        happens before any architectural state is touched, so a rejected
+        span leaves nothing to undo.
+        """
+        if self.mshr._entries or self._waiting or self._pred_blocked_idx is not None:
+            return False
+        cycle = self.cycle
+        pred_idx = self._pred_idx
+        vec = self._vec
+        total = len(self.units)
+        if pred_idx >= total:
+            return False
+        if self.config.l1i_latency < 1:
+            # With a zero-latency L1I a penalized unit could retire on
+            # its own enqueue cycle, which the replay's blocked handling
+            # doesn't model; such configs stay on the scalar loop.
+            return False
+
+        # All-L1I-hit span: early-exiting set walk first (most attempts
+        # die within a few units, costing a handful of set lookups), one
+        # vectorized isin for the long tail.
+        cap = total - pred_idx
+        if cap > MAX_SPAN_UNITS:
+            cap = MAX_SPAN_UNITS
+        members = self._l1i_members
+        u_line_l = vec.u_line_l
+        walk_end = pred_idx + (cap if cap < WALK_UNITS else WALK_UNITS)
+        i = pred_idx
+        while i < walk_end and u_line_l[i] in members:
+            i += 1
+        span = i - pred_idx
+        if span < MIN_SPAN_UNITS:
+            return False
+        if span == WALK_UNITS and cap > WALK_UNITS:
+            rest = np.isin(
+                vec.u_line[pred_idx + WALK_UNITS : pred_idx + cap],
+                self._l1i_members_arr(),
+            )
+            span = cap if rest.all() else WALK_UNITS + int(np.argmax(~rest))
+        # The boundary unit (an L1I miss) may share a predict window with
+        # the span's tail, so the replay must stop a window short of it;
+        # only a span ending at the trace's last unit may fill a final
+        # partial window.
+        open_end = pred_idx + span >= total
+
+        head0 = self.fq_head
+        tail0 = len(self.fq_line)
+        fq_penalty = self.fq_penalty
+        for i in range(head0, tail0):
+            # A live penalized block implies a blocked predict, already
+            # rejected above; scanned anyway as cheap defense (the replay
+            # retires entry blocks without a penalty check).
+            if fq_penalty[i]:
+                return False
+
+        # ---- integer timing replay with inline branch prediction --------
+        config = self.config
+        width = config.fetch_lines_per_cycle
+        latency = config.l1i_latency
+        ftq_cap = config.ftq_size
+        retire_width = config.retire_width
+        entry_count = tail0 - head0
+        entry_ready = self.fq_ready[head0:tail0]
+        entry_rem = self.fq_remaining[head0:tail0]
+        span_n = vec.u_n[pred_idx : pred_idx + span]
+        span_branch = vec.branch[pred_idx : pred_idx + span]
+        gshare_predict = self.gshare.predict
+        gshare_update = self.gshare.update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        itc_predict = self.itc.predict
+        itc_update = self.itc.update
+        ras_pop = self.ras.pop
+        ras_push = self.ras.push
+        decode_penalty = config.decode_redirect_penalty
+        exec_penalty = config.exec_redirect_penalty
+        CONDITIONAL = BranchType.CONDITIONAL
+        DIRECT_JUMP = BranchType.DIRECT_JUMP
+        DIRECT_CALL = BranchType.DIRECT_CALL
+        INDIRECT_JUMP = BranchType.INDIRECT_JUMP
+        INDIRECT_CALL = BranchType.INDIRECT_CALL
+        RETURN = BranchType.RETURN
+
+        enq_at = [0] * span
+        enq = 0  # span units enqueued so far
+        rc = 0  # retire cursor over [entry blocks..., enqueued span units]
+        cur_rem = -1  # remaining of block rc; -1 = load from source
+        occupancy = entry_count
+        retired_total = self._retired
+        stall_v = self._pred_stall_until
+        blocked_off = None  # span offset of the pending penalized unit
+        pen_of: dict = {}  # span offset -> redirect penalty
+        fetch_stall = 0
+        ftq_empty = 0
+        branches = 0
+        mispredicts = 0
+        btb_redirects = 0
+        while retired_total < limit:
+            remaining = span - enq
+            if remaining == 0 or (remaining < width and not open_end):
+                break
+            enq_progress = False
+            if blocked_off is None and cycle >= stall_v:
+                room = ftq_cap - occupancy
+                take = width if room >= width else room
+                if take > remaining:
+                    take = remaining
+                if take > 0:
+                    enq_progress = True
+                for _ in range(take):
+                    enq_at[enq] = cycle
+                    branch = span_branch[enq]
+                    enq += 1
+                    occupancy += 1
+                    if branch is not None:
+                        pc, branch_type, taken, target = branch
+                        branches += 1
+                        penalty = 0
+                        if branch_type == CONDITIONAL:
+                            predicted_taken = gshare_predict(pc)
+                            gshare_update(pc, taken)
+                            if predicted_taken != taken:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            elif taken:
+                                if btb_lookup(pc) is None:
+                                    penalty = decode_penalty
+                                    btb_redirects += 1
+                                btb_update(pc, target)
+                        elif branch_type == DIRECT_JUMP or branch_type == DIRECT_CALL:
+                            if btb_lookup(pc) is None:
+                                penalty = decode_penalty
+                                btb_redirects += 1
+                            btb_update(pc, target)
+                        elif (
+                            branch_type == INDIRECT_JUMP
+                            or branch_type == INDIRECT_CALL
+                        ):
+                            if itc_predict(pc) != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                            itc_update(pc, target)
+                        elif branch_type == RETURN:
+                            if ras_pop() != target:
+                                penalty = exec_penalty
+                                mispredicts += 1
+                        if branch_type == DIRECT_CALL or branch_type == INDIRECT_CALL:
+                            ras_push(pc + 4)
+                        if penalty:
+                            # Same semantics as the scalar predict break:
+                            # no further enqueue until this unit retires,
+                            # which starts the stall window below.
+                            offset = enq - 1
+                            pen_of[offset] = penalty
+                            blocked_off = offset
+                            break
+            budget = retire_width
+            retired_now = 0
+            while budget > 0 and rc < entry_count + enq:
+                if rc < entry_count:
+                    ready = entry_ready[rc]
+                    if cur_rem < 0:
+                        cur_rem = entry_rem[rc]
+                else:
+                    offset = rc - entry_count
+                    ready = enq_at[offset] + latency
+                    if cur_rem < 0:
+                        cur_rem = span_n[offset]
+                if ready > cycle:
+                    break
+                if cur_rem <= budget:
+                    budget -= cur_rem
+                    retired_now += cur_rem
+                    if rc >= entry_count and pen_of:
+                        penalty = pen_of.get(rc - entry_count)
+                        if penalty is not None:
+                            stall_v = cycle + penalty
+                            if blocked_off == rc - entry_count:
+                                blocked_off = None
+                    rc += 1
+                    cur_rem = -1
+                    occupancy -= 1
+                else:
+                    cur_rem -= budget
+                    retired_now += budget
+                    budget = 0
+            retired_total += retired_now
+
+            # Cycle advance with the scalar loop's exact event jump and
+            # stall attribution (the MSHR heap is empty throughout).
+            if enq_progress or retired_now:
+                next_cycle = cycle + 1
+            else:
+                best = None
+                if stall_v > cycle and blocked_off is None:
+                    best = stall_v
+                if rc < entry_count + enq:
+                    if rc < entry_count:
+                        head_ready = entry_ready[rc]
+                    else:
+                        head_ready = enq_at[rc - entry_count] + latency
+                    if head_ready > cycle and (best is None or head_ready < best):
+                        best = head_ready
+                next_cycle = best if (best is not None and best > cycle) else cycle + 1
+            if retired_now == 0:
+                if occupancy:
+                    fetch_stall += next_cycle - cycle
+                else:
+                    ftq_empty += next_cycle - cycle
+            cycle = next_cycle
+
+        if enq == 0:
+            return False
+
+        # ---- bulk state application -------------------------------------
+        stats = self.stats
+        l1i = self.l1i
+
+        # Predict-side: every enqueued span unit was one L1I demand hit.
+        stats.l1i_demand_accesses += enq
+        stats.l1i_demand_hits += enq
+        stats.branches += branches
+        stats.branch_mispredictions += mispredicts
+        stats.btb_miss_redirects += btb_redirects
+        self._l1i_counts.reads += enq
+        if l1i._lru:
+            # The LRU effect of the span's ordered touches: one move per
+            # distinct line, in ascending order of last occurrence.
+            seen = set()
+            moves = []
+            for i in range(pred_idx + enq - 1, pred_idx - 1, -1):
+                line_addr = u_line_l[i]
+                if line_addr not in seen:
+                    seen.add(line_addr)
+                    moves.append(line_addr)
+            l1i_sets = l1i._sets
+            l1i_nsets = l1i.sets
+            for line_addr in reversed(moves):
+                cache_set = l1i_sets[line_addr % l1i_nsets]
+                entry = cache_set.pop(line_addr)
+                cache_set[line_addr] = entry
+
+        # Retire-side: blocks fully retired by the replay, data lines
+        # replayed in retire order (entry blocks first, then the span
+        # prefix) through the same inline L2/LLC walk the scalar loops
+        # use.  The data side is cycle-independent, so the post-hoc
+        # replay is exact even when it contains misses.
+        entry_retired = rc if rc < entry_count else entry_count
+        span_retired = rc - entry_count if rc > entry_count else 0
+        l1d = self.l1d
+        l1d_sets = l1d._sets
+        l1d_nsets = l1d.sets
+        l1d_ways = l1d.ways
+        l1d_members = l1d._members
+        l2 = self.memory.l2
+        llc = self.memory.llc
+        l2_sets = l2._sets
+        l2_nsets = l2.sets
+        l2_ways = l2.ways
+        l2_members = l2._members
+        llc_sets = llc._sets
+        llc_nsets = llc.sets
+        llc_ways = llc.ways
+        llc_members = llc._members
+        l1d_reads = 0
+        l1d_writes = 0
+        l2_reads = 0
+        l2_writes = 0
+        llc_reads = 0
+        llc_writes = 0
+        fq_data = self.fq_data
+        d_tuple = vec.d_tuple
+        for block in range(entry_retired + span_retired):
+            if block < entry_retired:
+                data_lines = fq_data[head0 + block]
+                if data_lines:
+                    fq_data[head0 + block] = ()
+            else:
+                data_lines = d_tuple[pred_idx + block - entry_retired]
+            for data_line, is_store in data_lines:
+                if is_store:
+                    l1d_writes += 1
+                else:
+                    l1d_reads += 1
+                data_set = l1d_sets[data_line % l1d_nsets]
+                if data_line in data_set:
+                    del data_set[data_line]
+                    data_set[data_line] = True
+                else:
+                    l2_reads += 1
+                    l2_set = l2_sets[data_line % l2_nsets]
+                    if data_line in l2_set:
+                        del l2_set[data_line]
+                        l2_set[data_line] = True
+                    else:
+                        llc_reads += 1
+                        llc_set = llc_sets[data_line % llc_nsets]
+                        if data_line in llc_set:
+                            del llc_set[data_line]
+                            llc_set[data_line] = True
+                        else:
+                            if len(llc_set) >= llc_ways:
+                                v = next(iter(llc_set))
+                                del llc_set[v]
+                                if llc_members is not None:
+                                    llc_members.discard(v)
+                            llc_set[data_line] = True
+                            if llc_members is not None:
+                                llc_members.add(data_line)
+                            llc._version += 1
+                            llc_writes += 1
+                        if len(l2_set) >= l2_ways:
+                            v = next(iter(l2_set))
+                            del l2_set[v]
+                            if l2_members is not None:
+                                l2_members.discard(v)
+                        l2_set[data_line] = True
+                        if l2_members is not None:
+                            l2_members.add(data_line)
+                        l2._version += 1
+                        l2_writes += 1
+                    if len(data_set) >= l1d_ways:
+                        victim_addr = next(iter(data_set))
+                        del data_set[victim_addr]
+                        if l1d_members is not None:
+                            l1d_members.discard(victim_addr)
+                    data_set[data_line] = True
+                    if l1d_members is not None:
+                        l1d_members.add(data_line)
+                    l1d._version += 1
+                    l1d_writes += 1
+        l1d_counts = self._l1d_counts
+        l1d_counts.reads += l1d_reads
+        l1d_counts.writes += l1d_writes
+        if l2_reads:
+            l2_counts = stats.cache_accesses["L2C"]
+            l2_counts.reads += l2_reads
+            l2_counts.writes += l2_writes
+            llc_counts = stats.cache_accesses["LLC"]
+            llc_counts.reads += llc_reads
+            llc_counts.writes += llc_writes
+        stats.fetch_stall_cycles += fetch_stall
+        stats.ftq_empty_cycles += ftq_empty
+
+        # ---- materialize the live tail back into the FTQ arrays ---------
+        fq_remaining = self.fq_remaining
+        if rc < entry_count:
+            # Partially-retired entry block: shrink it in place.
+            if cur_rem >= 0:
+                fq_remaining[head0 + rc] = cur_rem
+            self.fq_head = head0 + rc
+        else:
+            self.fq_head = tail0
+        fq_line = self.fq_line
+        fq_ready = self.fq_ready
+        fq_penalty_l = self.fq_penalty
+        fq_data_l = self.fq_data
+        u_n = vec.u_n
+        first_live = span_retired
+        for offset in range(first_live, enq):
+            abs_idx = pred_idx + offset
+            fq_line.append(u_line_l[abs_idx])
+            if offset == first_live and rc >= entry_count and cur_rem >= 0:
+                fq_remaining.append(cur_rem)
+            else:
+                fq_remaining.append(u_n[abs_idx])
+            fq_ready.append(enq_at[offset] + latency)
+            fq_penalty_l.append(pen_of.get(offset, 0) if pen_of else 0)
+            fq_data_l.append(d_tuple[abs_idx])
+        if blocked_off is not None:
+            # The penalized unit is live by construction (the blocked
+            # marker clears exactly when its block retires).
+            self._pred_blocked_idx = len(fq_line) - enq + blocked_off
+
+        self._pred_idx = pred_idx + enq
+        self._pred_stall_until = stall_v
+        self._retired = retired_total
+        self.cycle = cycle
+        self._maybe_compact()
+        return True

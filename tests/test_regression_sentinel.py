@@ -264,3 +264,122 @@ class TestBenchCheckCli:
         )
         assert main(["bench-check", path]) == 0  # 15% < default 30%
         assert main(["bench-check", path, "--threshold", "0.10"]) == 1
+
+
+def backend_entry(backends_ips, cycles=1_000):
+    """One record with a no/bench_int run per backend.
+
+    ``backends_ips`` maps backend name -> instrs_per_sec; the reference
+    backend anchors the per-run ``speedup_vs_reference`` ratios.
+    """
+    ref_ips = backends_ips.get("reference")
+    runs = []
+    for backend, ips in backends_ips.items():
+        run = {
+            "config": "no",
+            "workload": "bench_int",
+            "backend": backend,
+            "instrs_per_sec": ips,
+            "cycles": cycles,
+            "instructions": 5_000,
+            "wall_seconds": 5_000 / ips,
+        }
+        if ref_ips:
+            run["speedup_vs_reference"] = ips / ref_ips
+        runs.append(run)
+    return {
+        "timestamp": "2026-01-01T00:00:00",
+        "runs": runs,
+        "aggregate": {"instrs_per_sec": ref_ips or 1.0},
+    }
+
+
+class TestBackendAwareSentinel:
+    def test_backendless_history_compares_as_reference(self):
+        # Pre-backend records (no "backend" field) must keep gating new
+        # reference runs: a 2x reference slowdown still fires.
+        old = entry(ips=100_000.0)
+        new = entry(ips=100_000.0)
+        for run in new["runs"]:
+            run["backend"] = "reference"
+            run["instrs_per_sec"] = 40_000.0
+        report = check_trajectory([old, old, new])
+        assert any(f.kind == "throughput" for f in report.findings)
+
+    def test_like_backend_comparisons_only(self):
+        # A staged run 4x faster than the reference history is NOT a
+        # regression signal for reference, and reference history gives
+        # staged runs nothing to compare against (skipped, not checked).
+        old = backend_entry({"reference": 100_000.0})
+        new = backend_entry({"reference": 100_000.0, "staged": 400_000.0})
+        report = check_trajectory([old, old, new])
+        assert report.ok
+        assert "no/bench_int@staged" in report.skipped
+
+    def test_staged_regression_fires_against_staged_history(self):
+        old = backend_entry({"reference": 100_000.0, "staged": 400_000.0})
+        new = backend_entry({"reference": 100_000.0, "staged": 150_000.0})
+        report = check_trajectory([old, old, new])
+        regressions = report.regressions
+        assert len(regressions) == 1
+        assert regressions[0].backend == "staged"
+        assert "@staged" in regressions[0].describe()
+
+    def test_drift_reported_per_backend(self):
+        old = backend_entry({"reference": 100_000.0, "staged": 300_000.0})
+        new = backend_entry(
+            {"reference": 100_000.0, "staged": 300_000.0}, cycles=999
+        )
+        report = check_trajectory([old, new])
+        assert {f.backend for f in report.drifts} == {"reference", "staged"}
+
+
+class TestSpeedupGate:
+    def test_parse_speedup_requirements(self):
+        from repro.analysis.regression import parse_speedup_requirements
+
+        assert parse_speedup_requirements([]) == {}
+        assert parse_speedup_requirements(["staged:1.8", "NumPy: 2"]) == {
+            "staged": 1.8,
+            "numpy": 2.0,
+        }
+        for bad in ("staged", "staged:", "staged:zero", ":1.8", "staged:-1"):
+            with pytest.raises(ValueError, match="BACKEND:FACTOR"):
+                parse_speedup_requirements([bad])
+
+    def test_gate_passes_and_fails_on_geomean(self):
+        new = backend_entry({"reference": 100_000.0, "staged": 200_000.0})
+        ok = check_trajectory([new], require_speedups={"staged": 1.8})
+        assert ok.ok
+        bad = check_trajectory([new], require_speedups={"staged": 2.5})
+        assert not bad.ok
+        finding = bad.speedup_failures[0]
+        assert finding.backend == "staged"
+        assert finding.current == pytest.approx(2.0)
+        assert "SPEEDUP GATE" in finding.describe()
+
+    def test_gate_applies_to_first_record(self):
+        # Unlike the history checks, the speedup gate must fire on a
+        # single-entry trajectory (fresh CI checkout).
+        new = backend_entry({"reference": 100_000.0, "staged": 110_000.0})
+        report = check_trajectory([new], require_speedups={"staged": 1.8})
+        assert not report.ok
+        assert "SPEEDUP GATE" in report.format()
+
+    def test_missing_backend_fails_the_gate(self):
+        new = backend_entry({"reference": 100_000.0})
+        report = check_trajectory([new], require_speedups={"numpy": 1.5})
+        assert not report.ok
+        assert report.speedup_failures[0].current == 0.0
+
+    def test_cli_require_speedup(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_throughput.json")
+        save_trajectory(
+            path,
+            [backend_entry({"reference": 100_000.0, "staged": 300_000.0})],
+        )
+        assert main(["bench-check", path, "--require-speedup", "staged:1.8"]) == 0
+        assert main(["bench-check", path, "--require-speedup", "staged:9"]) == 1
+        assert "SPEEDUP GATE" in capsys.readouterr().out
+        assert main(["bench-check", path, "--require-speedup", "bogus"]) == 2
+        assert "BACKEND:FACTOR" in capsys.readouterr().err
