@@ -153,6 +153,11 @@ def test_perf_throughput():
         backend_instrs = 0
         speedups = []
         for config, workload, stats in entries:
+            # Cache-served stats carry the *original* run's wall-clock
+            # (and run_key ignores the backend), which would fake the
+            # speedup math; the fresh per-backend RunCache above makes
+            # this impossible, and the stamp check keeps it that way.
+            assert not stats.from_cache, (backend, config, workload)
             assert stats.wall_seconds > 0.0, (backend, config, workload)
             assert stats.instrs_per_second > 0.0, (backend, config, workload)
             speedup = ref_wall[(config, workload)] / stats.wall_seconds

@@ -28,12 +28,28 @@ from repro.analysis.reporting import format_table, format_timing_table
 from repro.analysis.export import (
     export_curves_csv,
     export_evaluation_csv,
+    export_pareto_csv,
     export_series_csv,
 )
 from repro.analysis.sweeps import (
     SweepPoint,
     sweep_entangling_parameter,
     sweep_sim_parameter,
+)
+from repro.analysis.pareto import (
+    crowding_distances,
+    dominates,
+    nondominated_sort,
+    pareto_front_indices,
+)
+from repro.analysis.tune import (
+    GeneticTuner,
+    GridTuner,
+    RandomTuner,
+    TunableParam,
+    TuneResult,
+    Tuner,
+    make_tuner,
 )
 
 __all__ = [
@@ -65,8 +81,20 @@ __all__ = [
     "format_timing_table",
     "export_curves_csv",
     "export_evaluation_csv",
+    "export_pareto_csv",
     "export_series_csv",
     "SweepPoint",
     "sweep_entangling_parameter",
     "sweep_sim_parameter",
+    "crowding_distances",
+    "dominates",
+    "nondominated_sort",
+    "pareto_front_indices",
+    "GeneticTuner",
+    "GridTuner",
+    "RandomTuner",
+    "TunableParam",
+    "TuneResult",
+    "Tuner",
+    "make_tuner",
 ]

@@ -164,6 +164,59 @@ def export_curves_csv(
     _with_writer(path_or_file, emit)
 
 
+def export_pareto_csv(result, path_or_file: PathOrFile) -> None:
+    """One row per Pareto-front point of a :class:`~repro.analysis.tune.TuneResult`.
+
+    Columns are the union of genome parameters (sorted) plus the
+    objective scores, so external tools can redraw the searched Figure 6
+    frontier without re-running the search.  Unset parameters and
+    held-out scores render as empty cells; tuple-valued parameters
+    (mode whitelists) are joined with ``|`` so the CSV stays
+    single-delimiter.
+    """
+    params = sorted({name for point in result.front for name in point.genome})
+
+    def render(value) -> object:
+        if value is None:
+            return ""
+        if isinstance(value, (list, tuple)):
+            return "|".join(str(v) for v in value)
+        return value
+
+    def emit(writer) -> None:
+        writer.writerow(
+            ["point"]
+            + params
+            + [
+                "speedup",
+                "test_speedup",
+                "storage_bits",
+                "storage_kb",
+                "energy",
+                "failures",
+            ]
+        )
+        for point in result.front:
+            writer.writerow(
+                [point.name]
+                + [render(point.genome.get(name)) for name in params]
+                + [
+                    f"{point.speedup:.6f}",
+                    (
+                        f"{point.test_speedup:.6f}"
+                        if point.test_speedup is not None
+                        else ""
+                    ),
+                    point.storage_bits,
+                    f"{point.storage_kb:.2f}",
+                    f"{point.energy:.6f}",
+                    point.failures,
+                ]
+            )
+
+    _with_writer(path_or_file, emit)
+
+
 def export_series_csv(
     series: Mapping[object, float],
     path_or_file: PathOrFile,

@@ -1,0 +1,134 @@
+"""Pareto-dominance primitives for multi-objective design-space search.
+
+The tuner (:mod:`repro.analysis.tune`) scores every candidate
+configuration on several objectives at once — performance, storage
+budget, energy — and no scalar weighting of those axes is defensible a
+priori: the paper itself presents its headline result as a
+*performance-vs-storage* frontier (Figure 6), not a single number.
+These helpers implement the standard machinery over plain objective
+vectors:
+
+* every objective is **minimized** (callers negate maximize-objectives);
+* :func:`dominates` is strict Pareto dominance (no worse everywhere,
+  strictly better somewhere);
+* :func:`pareto_front_indices` extracts the nondominated set;
+* :func:`nondominated_sort` and :func:`crowding_distances` are the
+  NSGA-II selection ingredients the genetic strategy uses.
+
+Everything is deterministic and order-stable: equal inputs produce equal
+outputs with ties broken by index, which the tuner's bit-reproducibility
+guarantee leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (all objectives minimized).
+
+    ``a`` dominates ``b`` iff it is no worse in every objective and
+    strictly better in at least one.  Equal vectors dominate neither way,
+    so duplicated design points coexist on a front instead of silently
+    evicting each other.
+
+    Raises:
+        ValueError: the vectors have different lengths (comparing scores
+            from different objective sets is always a bug).
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+def pareto_front_indices(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the nondominated points, in input order.
+
+    O(n^2) pairwise sweep — fronts here are tens of configurations, not
+    millions, and the simple form is easy to audit.
+    """
+    front: List[int] = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def nondominated_sort(points: Sequence[Sequence[float]]) -> List[List[int]]:
+    """Partition point indices into successive nondominated fronts.
+
+    Front 0 is the Pareto front of the whole set; front ``k`` is the
+    Pareto front after removing fronts ``0..k-1`` (the classic NSGA-II
+    ranking).  Every index appears in exactly one front; indices within a
+    front keep input order.
+    """
+    n = len(points)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        nxt.sort()
+        current = nxt
+    return fronts
+
+
+def crowding_distances(
+    points: Sequence[Sequence[float]], indices: Sequence[int]
+) -> Dict[int, float]:
+    """NSGA-II crowding distance for one front's ``indices``.
+
+    Boundary points on every objective get ``inf`` (always kept);
+    interior points get the normalized neighbour-gap sum.  Larger is
+    less crowded, i.e. more valuable for diversity.
+    """
+    distances: Dict[int, float] = {i: 0.0 for i in indices}
+    if not indices:
+        return distances
+    n_objectives = len(points[indices[0]])
+    for m in range(n_objectives):
+        # Ties broken by index so the ordering (and therefore the
+        # distances) are deterministic for equal objective values.
+        ordered = sorted(indices, key=lambda i: (points[i][m], i))
+        distances[ordered[0]] = float("inf")
+        distances[ordered[-1]] = float("inf")
+        span = points[ordered[-1]][m] - points[ordered[0]][m]
+        if span <= 0:
+            continue
+        for pos in range(1, len(ordered) - 1):
+            idx = ordered[pos]
+            if distances[idx] == float("inf"):
+                continue
+            gap = points[ordered[pos + 1]][m] - points[ordered[pos - 1]][m]
+            distances[idx] += gap / span
+    return distances

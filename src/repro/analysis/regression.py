@@ -328,6 +328,11 @@ def _check_speedups(
     """
     speedups: Dict[str, List[float]] = {}
     for (_, _, backend), run in _runs_by_pair(newest).items():
+        if run.get("from_cache"):
+            # A cache-served run's wall-clock belongs to the original
+            # simulation (possibly another backend); its "speedup" is
+            # fiction and must not enter the gate's geomean.
+            continue
         value = run.get("speedup_vs_reference")
         if isinstance(value, (int, float)) and value > 0:
             speedups.setdefault(backend, []).append(float(value))

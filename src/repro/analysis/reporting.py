@@ -51,6 +51,11 @@ def format_timing_table(
     fault-tolerant runner retried it).  Pass an evaluation's ``faults``
     report to append the retry/timeout/quarantine summary.
 
+    Runs served by the run cache (``stats.from_cache``) carry the
+    *original* simulation's wall-clock, so they render as ``cached`` and
+    are excluded from the total row and the phase breakdown — the
+    aggregate reflects only work this evaluation actually performed.
+
     Footers compose deterministically: the phase breakdown (ties broken
     by phase name), then the fault summary, then one sorted line per
     quarantined task, then the sorted stale-heartbeat list — the same
@@ -63,7 +68,23 @@ def format_timing_table(
     total_cycles = 0
     total_attempts = 0
     phase_totals: dict = {}
+    cached_runs = 0
     for config, workload, stats in entries:
+        if getattr(stats, "from_cache", False):
+            # Cache hits carry the original run's timing: show the row
+            # (flagged) but keep stale numbers out of every aggregate.
+            cached_runs += 1
+            rows.append(
+                [
+                    config,
+                    workload,
+                    stats.wall_seconds,
+                    stats.cycles_per_second / 1e3,
+                    stats.instrs_per_second / 1e3,
+                    "cached",
+                ]
+            )
+            continue
         total_wall += stats.wall_seconds
         total_instrs += stats.instructions
         total_cycles += stats.cycles
@@ -93,6 +114,12 @@ def format_timing_table(
             ]
         )
     text = f"{title}\n" + format_table(headers, rows, float_format="{:.2f}")
+    if cached_runs:
+        text += (
+            f"\n({cached_runs} run(s) served from the run cache; their "
+            f"timing reflects the original simulations and is excluded "
+            f"from the total row)"
+        )
     if phase_totals:
         # Profiled runs carry per-phase wall-clock (see repro.obs.profiler);
         # aggregate them into one breakdown line under the table.

@@ -60,12 +60,20 @@ def _canonical(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        # Sort by the *emitted* key form (str) — plain sorted() raises
+        # TypeError on mixed-type keys (e.g. an int-keyed config dict
+        # from a tuner genome), and the JSON keys are strings anyway.
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
     return value
 
 
 def _canonical_json(payload: Any) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    # Canonicalize first: sort_keys alone raises TypeError on mixed-type
+    # dict keys, and _canonical is idempotent for already-canonical input.
+    return json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
 
 
 def run_key(
@@ -143,7 +151,12 @@ class RunCache:
         """The cached result for ``key``, or None (counts a hit/miss).
 
         Returns an independent copy: callers may mutate the stats (e.g.
-        ``reset``) without corrupting the cache.
+        ``reset``) without corrupting the cache.  Served copies are
+        stamped ``stats.from_cache = True`` (telemetry, signature-
+        excluded): their ``wall_seconds`` / ``instrs_per_second`` belong
+        to the *original* simulation — possibly another process or even
+        another backend, since ``run_key`` ignores the backend field —
+        so timing aggregation and speedup gates must skip them.
         """
         result = self._mem.get(key)
         if result is None and self.disk_dir:
@@ -156,11 +169,16 @@ class RunCache:
             return None
         self.hits += 1
         self.wall_seconds_saved += result.stats.wall_seconds
-        return self._copy(result)
+        served = self._copy(result)
+        served.stats.from_cache = True
+        return served
 
     def put(self, key: str, result: SimResult) -> None:
         """Store a detached copy of ``result`` under ``key``."""
         detached = self._copy(result)
+        # The stored truth is never "served from a cache": the stamp is
+        # applied per-get, so a round-tripped result cannot smuggle it in.
+        detached.stats.from_cache = False
         self._mem[key] = detached
         self.stores += 1
         if self.disk_dir:

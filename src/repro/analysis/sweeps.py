@@ -21,8 +21,13 @@ from typing import Callable, List, Optional, Sequence
 
 logger = logging.getLogger(__name__)
 
-from repro.analysis.experiments import _cached_units, _cached_workload, run_cached
-from repro.analysis.metrics import geometric_mean
+from repro.analysis.experiments import (
+    _cached_units,
+    _cached_workload,
+    resolve_warmup,
+    run_cached,
+)
+from repro.analysis.metrics import robust_geometric_mean
 from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
 from repro.prefetchers.base import InstructionPrefetcher
 from repro.sim.config import SimConfig
@@ -34,9 +39,11 @@ from repro.workloads.generators import WorkloadSpec
 class SweepPoint:
     """Aggregate metrics for one parameter value.
 
-    ``failures`` counts workloads that raised during simulation and were
-    skipped (the point aggregates over the survivors); a long sensitivity
-    sweep degrades per-workload instead of dying wholesale.
+    ``failures`` counts workloads that were skipped — either they raised
+    during simulation or they produced a zero-IPC baseline whose speedup
+    ratio is meaningless (the point aggregates over the survivors); a
+    long sensitivity sweep degrades per-workload instead of dying
+    wholesale.
     """
 
     value: object
@@ -61,7 +68,11 @@ def _evaluate_point(
         try:
             trace = _cached_workload(spec)
             units = _cached_units(spec, sim_config.line_size)
-            warm = int(spec.n_instructions * 0.4)
+            # Both legs of the comparison must share one warm-up window
+            # (resolve_warmup); a hardcoded fraction here would silently
+            # diverge from the cached `no` baselines if
+            # experiments.WARMUP_FRACTION ever changed.
+            warm = resolve_warmup(spec, None)
             # The baseline repeats across sweep points (and across sweeps
             # with the same SimConfig): serve it from the run cache.
             base = run_cached(spec, "no", sim_config).stats
@@ -76,14 +87,32 @@ def _evaluate_point(
                 spec.name, type(exc).__name__, exc,
             )
             continue
-        ratios.append(stats.ipc / base.ipc if base.ipc else 0.0)
+        if base.ipc <= 0.0:
+            # A zero-IPC baseline (e.g. a degenerate or faulted run) has
+            # no meaningful speedup ratio: skip-and-flag like a raised
+            # workload instead of poisoning the strict geomean.
+            failures += 1
+            logger.warning(
+                "sweep point skipped workload %s: zero-IPC baseline",
+                spec.name,
+            )
+            continue
+        ratios.append(stats.ipc / base.ipc)
         coverages.append(stats.coverage_vs(base))
         accuracies.append(stats.accuracy)
         drops.append(float(stats.prefetches_dropped_pq_full))
+    # robust_geometric_mean skips-and-warns non-positive ratios (a
+    # zero-IPC prefetcher run against a healthy baseline); surface those
+    # skips in the point's failure count too.
+    failures += sum(1 for ratio in ratios if ratio <= 0.0)
     n = max(1, len(ratios))
     return SweepPoint(
         value=None,
-        geomean_speedup=geometric_mean(ratios) if ratios else 0.0,
+        geomean_speedup=(
+            robust_geometric_mean(ratios, context="sweep point")
+            if ratios
+            else 0.0
+        ),
         mean_coverage=sum(coverages) / n,
         mean_accuracy=sum(accuracies) / n,
         mean_pq_drops=sum(drops) / n,

@@ -128,12 +128,13 @@ class Sanitizer:
                 src_line=entry.src_line,
                 bb_size=entry.bb_size,
             )
+        max_confidence = getattr(table, "max_confidence", MAX_CONFIDENCE)
         for dst_line, confidence in entry.dsts:
-            if not 1 <= confidence <= MAX_CONFIDENCE:
+            if not 1 <= confidence <= max_confidence:
                 self._fail(
                     "confidence_range",
                     f"stored confidence {confidence} outside "
-                    f"[1, {MAX_CONFIDENCE}] for pair "
+                    f"[1, {max_confidence}] for pair "
                     f"0x{entry.src_line:x}->0x{dst_line:x} "
                     f"(zero-confidence pairs must be invalidated)",
                     src_line=entry.src_line,

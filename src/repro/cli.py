@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Five subcommands mirror the typical workflow of a prefetching study::
+Six subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
     python -m repro run  out.trc --prefetcher entangling_4k --warmup 200000
     python -m repro sweep out.trc --prefetchers no,next_line,entangling_4k
+    python -m repro tune --strategy genetic --seed 7 --out front
     python -m repro trace out.trc --prefetcher entangling_4k --export out
     python -m repro bench-check BENCH_throughput.json
 
@@ -12,6 +13,9 @@ Five subcommands mirror the typical workflow of a prefetching study::
 trace with one prefetcher configuration and prints the statistics;
 ``sweep`` compares several configurations on the same trace (and with
 ``--trace PATH`` writes a merged Chrome trace of the sweep's execution);
+``tune`` runs a resumable multi-objective search over the Entangling
+design space and emits the Pareto front (see
+:mod:`repro.analysis.tune`);
 ``trace`` runs with the prefetch-lifecycle tracer attached (see
 :mod:`repro.obs`) and prints per-pair timeliness histograms plus the
 late/wrong breakdown; ``bench-check`` gates the newest throughput
@@ -285,6 +289,76 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.analysis.checkpoint import CheckpointManifest
+    from repro.analysis.export import export_pareto_csv
+    from repro.analysis.runcache import RunCache
+    from repro.analysis.tune import make_tuner
+    from repro.check.artifacts import atomic_write_text
+    from repro.workloads.generators import cvp_suite
+
+    objectives = [o.strip() for o in args.objectives.split(",") if o.strip()]
+    if args.resume and not args.cache_dir:
+        print("tune: --resume needs --cache-dir (the disk run cache is "
+              "what resumption serves finished genomes from)",
+              file=sys.stderr)
+        return 2
+    suite = cvp_suite(
+        per_category=args.per_category, n_instructions=args.instructions
+    )
+    cache = RunCache(disk_dir=args.cache_dir)
+    checkpoint = None
+    if args.cache_dir:
+        checkpoint = CheckpointManifest(
+            os.path.join(args.cache_dir, "tune_checkpoint.json"),
+            resume=args.resume,
+        )
+    kwargs = {}
+    if args.strategy == "genetic":
+        kwargs = dict(
+            population=args.population, generations=args.generations
+        )
+    elif args.strategy == "random":
+        kwargs = dict(samples=args.population * args.generations)
+    elif args.strategy == "grid":
+        kwargs = dict(max_evals=args.max_evals)
+    try:
+        tuner = make_tuner(
+            args.strategy,
+            suite,
+            objectives=objectives,
+            seed=args.seed,
+            train_fraction=args.train_fraction,
+            cache=cache,
+            checkpoint=checkpoint,
+            jobs=resolve_jobs(args.jobs),
+            **kwargs,
+        )
+    except ValueError as exc:
+        print(f"tune: {exc}", file=sys.stderr)
+        return 2
+    result = tuner.search()
+    print(result.render())
+    if result.invalid:
+        print(f"({result.invalid} structurally invalid genome(s) skipped)")
+    print(result.cache_line)
+    if result.checkpoint_line:
+        print(result.checkpoint_line)
+    if args.out:
+        json_path = args.out + ".json"
+        atomic_write_text(
+            json_path, json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        csv_path = args.out + ".csv"
+        export_pareto_csv(result, csv_path)
+        print(f"wrote {json_path}")
+        print(f"wrote {csv_path}")
+    return 0 if result.front else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.export import (
         export_metrics_csv,
@@ -495,6 +569,94 @@ def build_parser() -> argparse.ArgumentParser:
              "--require-speedup staged:1.8)",
     )
     bench.set_defaults(func=_cmd_bench_check)
+
+    tune = sub.add_parser(
+        "tune",
+        help="multi-objective search over the Entangling design space "
+             "(emits the Pareto front; resumable via --cache-dir/--resume)",
+    )
+    tune.add_argument(
+        "--strategy",
+        choices=("genetic", "random", "grid"),
+        default="genetic",
+        help="search strategy (default: genetic, NSGA-II-style)",
+    )
+    tune.add_argument(
+        "--generations",
+        type=int,
+        default=4,
+        help="genetic generations (random: multiplies --population into "
+             "the sample count; default 4)",
+    )
+    tune.add_argument(
+        "--population",
+        type=int,
+        default=12,
+        help="genomes per genetic generation (default 12)",
+    )
+    tune.add_argument(
+        "--max-evals",
+        type=int,
+        default=None,
+        help="cap on grid-search points (default: the full cross product)",
+    )
+    tune.add_argument(
+        "--objectives",
+        default="ipc,storage,energy",
+        help="comma-separated objectives: ipc (maximized geomean "
+             "normalized IPC), storage (bits), energy (normalized nJ)",
+    )
+    tune.add_argument(
+        "--per-category",
+        type=int,
+        default=1,
+        help="workloads per CVP category in the evaluation suite",
+    )
+    tune.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="instructions per workload (default: the suite's own sizes)",
+    )
+    tune.add_argument(
+        "--train-fraction",
+        type=float,
+        default=0.75,
+        help="fraction of the suite used for search objectives; the rest "
+             "scores the front out-of-sample (default 0.75)",
+    )
+    tune.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="search seed; equal seeds reproduce the front bit-for-bit",
+    )
+    tune.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation fan-out "
+             "(default: REPRO_JOBS env or 1 = serial)",
+    )
+    tune.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist simulation results and the tune checkpoint here "
+             "(makes the search resumable)",
+    )
+    tune.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted search: checkpointed genomes are "
+             "served from the disk cache, never re-simulated",
+    )
+    tune.add_argument(
+        "--out",
+        default=None,
+        metavar="PREFIX",
+        help="write the Pareto front to PREFIX.json and PREFIX.csv",
+    )
+    tune.set_defaults(func=_cmd_tune)
 
     traced = sub.add_parser(
         "trace",

@@ -29,7 +29,7 @@ destinations fit in 18 bits (mode 3) and 25%/10% fit in 8 bits (mode 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 CONFIDENCE_BITS = 2
 
@@ -52,20 +52,52 @@ class ModeSpec:
 
 
 class CompressionScheme:
-    """Mode table plus fitting logic for one address space."""
+    """Mode table plus fitting logic for one address space.
 
-    def __init__(self, kind: str = "virtual") -> None:
+    ``confidence_bits`` widens or narrows the per-slot confidence field
+    (the paper uses 2); ``allowed_modes`` restricts the mode table to a
+    whitelist (mode 1 — the full-address fallback — is always kept).
+    Both default to the paper's layout and exist for the design-space
+    explorer (:mod:`repro.analysis.tune`).
+    """
+
+    def __init__(
+        self,
+        kind: str = "virtual",
+        confidence_bits: int = CONFIDENCE_BITS,
+        allowed_modes: Optional[Iterable[int]] = None,
+    ) -> None:
         if kind not in _PAYLOAD_BITS:
             raise ValueError(f"unknown address space {kind!r}")
+        if confidence_bits < 1:
+            raise ValueError(
+                f"confidence_bits must be >= 1, got {confidence_bits}"
+            )
         self.kind = kind
+        self.confidence_bits = confidence_bits
         self.payload_bits = _PAYLOAD_BITS[kind]
         self.full_addr_bits = _FULL_ADDR_BITS[kind]
-        self.max_mode = _MAX_MODE[kind]
+        whitelist = None if allowed_modes is None else set(allowed_modes)
+        if whitelist is not None:
+            unknown = whitelist - set(range(1, _MAX_MODE[kind] + 1))
+            if unknown:
+                raise ValueError(
+                    f"allowed_modes {sorted(unknown)} outside the {kind} "
+                    f"mode range [1, {_MAX_MODE[kind]}]"
+                )
         self.modes: Dict[int, ModeSpec] = {}
-        for k in range(1, self.max_mode + 1):
+        for k in range(1, _MAX_MODE[kind] + 1):
+            if whitelist is not None and k != 1 and k not in whitelist:
+                continue
+            # Every slot carries its confidence above the address bits;
+            # mode 1's "full address" is payload - confidence wide (58
+            # virtual / 42 physical at the paper's 2 confidence bits).
             slot = self.payload_bits // k
-            addr = self.full_addr_bits if k == 1 else slot - CONFIDENCE_BITS
+            addr = slot - confidence_bits
+            if addr < 1:
+                continue  # confidence field leaves no address bits
             self.modes[k] = ModeSpec(mode=k, capacity=k, addr_bits=addr, slot_bits=slot)
+        self.max_mode = max(self.modes)
 
     @classmethod
     def virtual(cls) -> "CompressionScheme":
@@ -92,7 +124,7 @@ class CompressionScheme:
 
         Mode 1 always works because it stores the full address.
         """
-        for k in range(self.max_mode, 0, -1):
+        for k in sorted(self.modes, reverse=True):
             if self.modes[k].addr_bits >= addr_bits_needed:
                 return k
         return 1
@@ -141,6 +173,11 @@ class CompressionScheme:
         """History-buffer tag width (58 virtual / 42 physical)."""
         return self.full_addr_bits
 
+    @property
+    def max_confidence(self) -> int:
+        """Saturation value of the per-destination confidence counter."""
+        return (1 << self.confidence_bits) - 1
+
     def __repr__(self) -> str:
         return f"CompressionScheme({self.kind!r})"
 
@@ -172,8 +209,11 @@ def encode_destinations(
     addr_mask = (1 << spec.addr_bits) - 1
     payload = 0
     for i, (dst_line, confidence) in enumerate(dsts):
-        if not 0 <= confidence <= (1 << CONFIDENCE_BITS) - 1:
-            raise ValueError(f"confidence {confidence} exceeds 2 bits")
+        if not 0 <= confidence <= scheme.max_confidence:
+            raise ValueError(
+                f"confidence {confidence} exceeds "
+                f"{scheme.confidence_bits} bits"
+            )
         if mode == 1 and dst_line > addr_mask:
             raise ValueError(
                 f"line 0x{dst_line:x} exceeds the {spec.addr_bits}-bit "

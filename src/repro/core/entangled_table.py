@@ -92,6 +92,10 @@ class EntangledTable:
         self.ways = ways
         self.sets = entries // ways
         self.scheme = scheme or CompressionScheme.virtual()
+        #: Saturation value of the per-destination confidence counters,
+        #: derived from the scheme's confidence field width (paper: 2
+        #: bits -> 3); tunable via EntanglingConfig.confidence_bits.
+        self.max_confidence = self.scheme.max_confidence
         self._sets: List[Dict[int, EntangledEntry]] = [dict() for _ in range(self.sets)]
         self._fifo_counter = 0
         self.stats = TableStats()
@@ -191,14 +195,14 @@ class EntangledTable:
         entry = self.find_or_allocate(src_line)
         existing = entry.find_dst(dst_line)
         if existing is not None:
-            existing[1] = MAX_CONFIDENCE
+            existing[1] = self.max_confidence
             if self.checker is not None:
                 self.checker.check_entry(self, entry)
             return "exists"
 
         candidate = entry.dst_lines() + [dst_line]
         if self.scheme.fits(src_line, candidate):
-            entry.dsts.append([dst_line, MAX_CONFIDENCE])
+            entry.dsts.append([dst_line, self.max_confidence])
             self.stats.pairs_added += 1
             self._record_format(entry)
             if self.checker is not None:
@@ -211,7 +215,7 @@ class EntangledTable:
         if not entry.dsts:
             # A single destination always fits (full-address mode), so an
             # empty array can never be "full"; defensive guard.
-            entry.dsts.append([dst_line, MAX_CONFIDENCE])
+            entry.dsts.append([dst_line, self.max_confidence])
             self.stats.pairs_added += 1
             self._record_format(entry)
             if self.checker is not None:
@@ -230,7 +234,7 @@ class EntangledTable:
             weakest = min(range(len(entry.dsts)), key=lambda i: entry.dsts[i][1])
             entry.dsts.pop(weakest)
             self.stats.pairs_replaced += 1
-        entry.dsts.append([dst_line, MAX_CONFIDENCE])
+        entry.dsts.append([dst_line, self.max_confidence])
         self.stats.pairs_added += 1
         self._record_format(entry)
         if self.checker is not None:
@@ -255,7 +259,7 @@ class EntangledTable:
         if entry is None:
             return
         pair = entry.find_dst(dst_line)
-        if pair is not None and pair[1] < MAX_CONFIDENCE:
+        if pair is not None and pair[1] < self.max_confidence:
             pair[1] += 1
             if self.checker is not None:
                 self.checker.check_entry(self, entry)

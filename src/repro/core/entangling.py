@@ -28,11 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.check.errors import ConfigError
-from repro.core.compression import (
-    CONFIDENCE_BITS,
-    MODE_FIELD_BITS,
-    CompressionScheme,
-)
+from repro.core.compression import MODE_FIELD_BITS, CompressionScheme
 from repro.core.entangled_table import BB_SIZE_BITS, EntangledTable, MAX_BB_SIZE
 from repro.core.history import HistoryBuffer, HistoryEntry
 from repro.prefetchers.base import FillInfo, InstructionPrefetcher, PrefetchRequest
@@ -63,6 +59,15 @@ class EntanglingConfig:
     address_space: str = "virtual"
     history_size: int = 16
     merge_distance: Optional[int] = None
+
+    #: Width of the per-destination confidence counters (paper: 2 bits).
+    #: Wider counters hold pairs longer before invalidation but shrink
+    #: every compression mode's address field.
+    confidence_bits: int = 2
+
+    #: Compression-mode whitelist (None = the paper's full Table I/II
+    #: set).  Mode 1, the full-address fallback, is always available.
+    allowed_modes: Optional[tuple] = None
 
     # Ablation switches (Figure 11)
     track_basic_blocks: bool = True
@@ -96,6 +101,14 @@ class EntanglingConfig:
         if self.merge_distance is not None:
             return self.merge_distance
         return DEFAULT_MERGE_DISTANCE.get(self.entries, 6)
+
+    def compression_scheme(self) -> CompressionScheme:
+        """The destination-compression scheme this variant trains with."""
+        return CompressionScheme(
+            self.address_space,
+            confidence_bits=self.confidence_bits,
+            allowed_modes=self.allowed_modes,
+        )
 
     @property
     def label(self) -> str:
@@ -156,8 +169,21 @@ class EntanglingConfig:
                 f"commit_delay_accesses must be >= 0, got "
                 f"{self.commit_delay_accesses}"
             )
+        if not 1 <= self.confidence_bits <= 8:
+            raise ConfigError(
+                f"confidence_bits must be in [1, 8], got "
+                f"{self.confidence_bits}"
+            )
+        if self.allowed_modes is not None and not self.allowed_modes:
+            raise ConfigError(
+                "allowed_modes must be None (all modes) or a non-empty "
+                "whitelist of mode numbers"
+            )
         # -- destination-mode bit-budget cross-check (paper Tables I/II) --
-        scheme = CompressionScheme(self.address_space)
+        try:
+            scheme = self.compression_scheme()
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
         expected = self.EXPECTED_DST_FIELD_BITS[self.address_space]
         if scheme.entry_dst_field_bits != expected:
             raise ConfigError(
@@ -174,16 +200,11 @@ class EntanglingConfig:
                     f"{spec.slot_bits} bits overflow the "
                     f"{scheme.payload_bits}-bit payload"
                 )
-            min_slot = (
-                scheme.full_addr_bits + CONFIDENCE_BITS
-                if spec.mode == 1
-                else spec.addr_bits + CONFIDENCE_BITS
-            )
-            if spec.mode != 1 and min_slot > spec.slot_bits:
+            if spec.addr_bits + scheme.confidence_bits > spec.slot_bits:
                 raise ConfigError(
                     f"mode {spec.mode}: {spec.addr_bits} address + "
-                    f"{CONFIDENCE_BITS} confidence bits do not fit the "
-                    f"{spec.slot_bits}-bit slot"
+                    f"{scheme.confidence_bits} confidence bits do not fit "
+                    f"the {spec.slot_bits}-bit slot"
                 )
 
 
@@ -240,7 +261,7 @@ class EntanglingPrefetcher(InstructionPrefetcher):
     def __init__(self, config: Optional[EntanglingConfig] = None) -> None:
         self.config = config or EntanglingConfig()
         self.config.validate()
-        scheme = CompressionScheme(self.config.address_space)
+        scheme = self.config.compression_scheme()
         self.table = EntangledTable(
             entries=self.config.entries, ways=self.config.ways, scheme=scheme
         )

@@ -83,6 +83,11 @@ class SimStats:
     # wall-clock seconds per simulator phase (fills/predict/issue/retire),
     # populated only when the run was profiled (see repro.obs.profiler)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # True on copies served by the run cache: wall_seconds /
+    # instrs_per_second then describe the *original* simulation (possibly
+    # another process or backend), so timing tables and speedup gates
+    # must exclude this run — telemetry, like wall_seconds
+    from_cache: bool = False
 
     def reset(self) -> None:
         """Zero every counter in place (end-of-warm-up measurement start).
@@ -151,7 +156,7 @@ class SimStats:
     # -- serialization / comparison ----------------------------------------
 
     #: Fields that reflect the host machine, not simulated behaviour.
-    TELEMETRY_FIELDS = ("wall_seconds", "attempts", "phase_seconds")
+    TELEMETRY_FIELDS = ("wall_seconds", "attempts", "phase_seconds", "from_cache")
 
     def signature(self) -> Dict[str, Any]:
         """All architectural counters as a plain dict.

@@ -1,0 +1,156 @@
+"""Property tests for the Pareto-dominance primitives.
+
+The tuner's headline guarantee — "the emitted front is mutually
+nondominated and nothing evaluated dominates it" — reduces entirely to
+these helpers, so they are pinned with both hand-built cases and
+hypothesis-generated vector sets.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import (
+    crowding_distances,
+    dominates,
+    nondominated_sort,
+    pareto_front_indices,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(n_objectives):
+    return st.lists(
+        st.tuples(*([finite] * n_objectives)), min_size=1, max_size=24
+    )
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((0.0, 0.0), (1.0, 1.0))
+
+    def test_better_in_one_equal_elsewhere(self):
+        assert dominates((0.0, 1.0), (1.0, 1.0))
+
+    def test_equal_vectors_dominate_neither_way(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_dominates_neither_way(self):
+        assert not dominates((0.0, 1.0), (1.0, 0.0))
+        assert not dominates((1.0, 0.0), (0.0, 1.0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            dominates((1.0,), (1.0, 2.0))
+
+    @given(vectors(3))
+    @settings(max_examples=60, deadline=None)
+    def test_irreflexive_and_asymmetric(self, points):
+        for a in points:
+            assert not dominates(a, a)
+            for b in points:
+                assert not (dominates(a, b) and dominates(b, a))
+
+    @given(vectors(2))
+    @settings(max_examples=60, deadline=None)
+    def test_transitive(self, points):
+        for a in points:
+            for b in points:
+                for c in points:
+                    if dominates(a, b) and dominates(b, c):
+                        assert dominates(a, c)
+
+
+class TestParetoFront:
+    def test_single_point_is_the_front(self):
+        assert pareto_front_indices([(1.0, 2.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_front_indices([(0.0, 0.0), (1.0, 1.0)]) == [0]
+
+    def test_tradeoff_points_coexist(self):
+        points = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+        assert pareto_front_indices(points) == [0, 1, 2]
+
+    def test_duplicate_vectors_both_kept(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_front_indices(points) == [0, 1]
+
+    @given(vectors(3))
+    @settings(max_examples=80, deadline=None)
+    def test_front_is_mutually_nondominated(self, points):
+        front = pareto_front_indices(points)
+        assert front, "a nonempty set always has a nonempty front"
+        for i in front:
+            for j in front:
+                assert not dominates(points[i], points[j])
+
+    @given(vectors(3))
+    @settings(max_examples=80, deadline=None)
+    def test_every_outsider_is_dominated_by_someone(self, points):
+        front = set(pareto_front_indices(points))
+        for i, candidate in enumerate(points):
+            if i in front:
+                continue
+            assert any(
+                dominates(points[j], candidate) for j in range(len(points))
+            )
+
+
+class TestNondominatedSort:
+    def test_fronts_partition_the_indices(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (0.5, 0.4)]
+        fronts = nondominated_sort(points)
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(len(points)))
+
+    def test_rank_zero_is_the_pareto_front(self):
+        points = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0), (2.0, 2.0)]
+        fronts = nondominated_sort(points)
+        assert fronts[0] == pareto_front_indices(points)
+
+    @given(vectors(2))
+    @settings(max_examples=60, deadline=None)
+    def test_each_front_nondominated_after_removing_earlier(self, points):
+        fronts = nondominated_sort(points)
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(len(points)))
+        removed = set()
+        for front in fronts:
+            for i in front:
+                assert not any(
+                    dominates(points[j], points[i])
+                    for j in range(len(points))
+                    if j not in removed
+                )
+            removed.update(front)
+
+
+class TestCrowdingDistances:
+    def test_boundary_points_are_infinite(self):
+        points = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+        distances = crowding_distances(points, [0, 1, 2])
+        assert distances[0] == math.inf
+        assert distances[2] == math.inf
+        assert 0.0 < distances[1] < math.inf
+
+    def test_identical_points_get_zero_interior_distance(self):
+        points = [(1.0, 1.0)] * 4
+        distances = crowding_distances(points, [0, 1, 2, 3])
+        # Degenerate span: boundary slots are inf, the rest stay 0.
+        assert math.inf in distances.values()
+        assert all(d in (0.0, math.inf) for d in distances.values())
+
+    def test_empty_front(self):
+        assert crowding_distances([(1.0, 1.0)], []) == {}
+
+    def test_deterministic_for_equal_inputs(self):
+        points = [(0.0, 3.0), (1.0, 1.0), (1.0, 1.0), (3.0, 0.0)]
+        a = crowding_distances(points, [0, 1, 2, 3])
+        b = crowding_distances(points, [0, 1, 2, 3])
+        assert a == b

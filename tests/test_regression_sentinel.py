@@ -372,6 +372,40 @@ class TestSpeedupGate:
         assert not report.ok
         assert report.speedup_failures[0].current == 0.0
 
+    def test_cache_served_runs_do_not_enter_the_gate(self):
+        """A run served by the run cache carries the *original*
+        simulation's wall-clock (possibly from another backend); its
+        speedup ratio is fiction and must be skipped, not averaged."""
+        new = backend_entry({"reference": 100_000.0, "staged": 200_000.0})
+        phantom = {
+            "config": "no",
+            "workload": "bench_fp",
+            "backend": "staged",
+            "instrs_per_sec": 100_000_000.0,
+            "cycles": 1_000,
+            "instructions": 5_000,
+            "wall_seconds": 0.00005,
+            "speedup_vs_reference": 1000.0,  # absurd: cached wall-clock
+            "from_cache": True,
+        }
+        new["runs"].append(phantom)
+        # Gate at 2.5x: the honest run is 2.0x, so the gate must fail —
+        # if the cached 1000x entered the geomean it would pass easily.
+        report = check_trajectory([new], require_speedups={"staged": 2.5})
+        assert not report.ok
+        assert report.speedup_failures[0].current == pytest.approx(2.0)
+        # And the honest 2.0x still passes a 1.8x requirement.
+        assert check_trajectory([new], require_speedups={"staged": 1.8}).ok
+
+    def test_all_cached_backend_counts_as_missing(self):
+        new = backend_entry({"reference": 100_000.0, "staged": 200_000.0})
+        for run in new["runs"]:
+            if run["backend"] == "staged":
+                run["from_cache"] = True
+        report = check_trajectory([new], require_speedups={"staged": 1.8})
+        assert not report.ok
+        assert report.speedup_failures[0].current == 0.0
+
     def test_cli_require_speedup(self, tmp_path, capsys):
         path = str(tmp_path / "BENCH_throughput.json")
         save_trajectory(

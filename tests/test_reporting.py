@@ -121,6 +121,57 @@ faults: 5 attempts, 2 retries, 1 timeouts, 2 errors, 2 stale heartbeats, 2 quara
         assert "(total)" not in rendered
 
 
+class TestCachedRuns:
+    """Cache-served rows render flagged and stay out of every aggregate."""
+
+    def _entries_with_cached(self):
+        cached = _stats(80_000, 160_000, 9.0, attempts=2,
+                        phases={"simulate": 8.0})
+        cached.from_cache = True
+        return ENTRIES + [("ent", "w_c", cached)]
+
+    def test_golden_with_cached_row(self):
+        golden = """\
+Simulation timing
+config   workload  wall s  kcycles/s  kinstr/s  tries
+-------  --------  ------  ---------  --------  ------
+no       w_a       2.00    100.00     50.00     1
+ent      w_b       0.50    100.00     100.00    3
+ent      w_c       9.00    17.78      8.89      cached
+(total)            2.50    100.00     60.00     4
+(1 run(s) served from the run cache; their timing reflects the original simulations and is excluded from the total row)
+phase breakdown: simulate=1.75s (70%)  workload=0.50s (20%)  fetch_units=0.25s (10%)"""
+        rendered = _rstripped(format_timing_table(self._entries_with_cached()))
+        assert rendered == golden
+
+    def test_cached_row_excluded_from_total(self):
+        # The cached row's 9.0 s belongs to the original simulation; the
+        # (total) row must match the uncached-only rendering exactly.
+        with_cached = _rstripped(
+            format_timing_table(self._entries_with_cached())
+        )
+        total = [l for l in with_cached.splitlines()
+                 if l.startswith("(total)")][0]
+        assert total.split() == ["(total)", "2.50", "100.00", "60.00", "4"]
+
+    def test_cached_phases_excluded_from_breakdown(self):
+        rendered = format_timing_table(self._entries_with_cached())
+        breakdown = [l for l in rendered.splitlines()
+                     if l.startswith("phase breakdown")][0]
+        # 8.0 s of cached "simulate" must not inflate the 1.75 s total.
+        assert "simulate=1.75s" in breakdown
+
+    def test_all_cached_renders_zero_total(self):
+        cached = _stats(10_000, 20_000, 1.0)
+        cached.from_cache = True
+        rendered = format_timing_table([("ent", "w", cached)])
+        assert "cached" in rendered
+        assert "1 run(s) served from the run cache" in rendered
+        total = [l for l in rendered.splitlines()
+                 if l.startswith("(total)")][0]
+        assert total.split()[1] == "0.00"
+
+
 class TestFormatTable:
     def test_alignment_and_float_format(self):
         golden = """\

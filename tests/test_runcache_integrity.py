@@ -17,6 +17,7 @@ from repro.analysis.experiments import run_cached
 from repro.analysis.runcache import (
     RunCache,
     _CACHE_FORMAT_VERSION,
+    _canonical_json,
     run_key,
 )
 from repro.sim.config import SimConfig
@@ -59,6 +60,65 @@ class TestRunKeyCanonical:
         )
         assert key != run_key(other, "next_line", base, 1000)
         assert key == run_key(SPEC, "next_line", SimConfig(), 1000)
+
+    def test_mixed_type_dict_keys_do_not_crash(self):
+        """Canonicalization sorts dict keys by ``str(k)``: a mapping that
+        mixes int and str keys (e.g. a mode-whitelist keyed by degree)
+        must serialize deterministically instead of raising TypeError on
+        the ``int < str`` comparison."""
+        mixed = {1: "a", "b": 2, 10: "c"}
+        text = _canonical_json(mixed)
+        assert text == _canonical_json({"b": 2, 10: "c", 1: "a"})
+        assert json.loads(text) == {"1": "a", "10": "c", "b": 2}
+
+
+class TestFromCacheStamp:
+    def test_served_copy_is_stamped(self):
+        cache = RunCache()
+        cache.put("k" * 32, _make_result())
+        served = cache.get("k" * 32)
+        assert served.stats.from_cache is True
+
+    def test_stored_copy_stays_unstamped(self):
+        """Re-putting a served result must not freeze the stamp into the
+        cache: every *store* records a fresh simulation."""
+        cache = RunCache()
+        cache.put("k" * 32, _make_result())
+        served = cache.get("k" * 32)
+        cache.put("m" * 32, served)
+        round_tripped = cache._mem["m" * 32]
+        assert round_tripped.stats.from_cache is False
+        assert cache.get("m" * 32).stats.from_cache is True
+
+    def test_stamp_excluded_from_signature(self):
+        cache = RunCache()
+        original = _make_result()
+        cache.put("k" * 32, original)
+        served = cache.get("k" * 32)
+        assert served.stats.signature() == original.stats.signature()
+
+    def test_disk_round_trip_stamped(self, tmp_path):
+        writer = RunCache(disk_dir=str(tmp_path))
+        writer.put("k" * 32, _make_result())
+        reader = RunCache(disk_dir=str(tmp_path))
+        served = reader.get("k" * 32)
+        assert served is not None
+        assert served.stats.from_cache is True
+
+    def test_cross_backend_disk_hit_is_stamped(self, tmp_path):
+        """run_key drops ``backend`` (all backends are bit-identical), so
+        a result simulated by one backend serves requests from another —
+        exactly the case where the cached wall-clock is *most* misleading
+        and the stamp must travel with the disk entry."""
+        ref_key = run_key(SPEC, "no", SimConfig(backend="reference"), 1000)
+        staged_key = run_key(SPEC, "no", SimConfig(backend="staged"), 1000)
+        assert ref_key == staged_key
+        writer = RunCache(disk_dir=str(tmp_path))
+        writer.put(ref_key, _make_result())
+        reader = RunCache(disk_dir=str(tmp_path))
+        served = reader.get(staged_key)
+        assert served is not None
+        assert served.stats.from_cache is True
 
 
 class TestDiskIntegrity:

@@ -51,3 +51,51 @@ class TestEntanglingSweep:
         text = render_sweep("history sweep", points)
         assert "history sweep" in text
         assert "speedup=" in text
+
+
+class TestEvaluateRobustness:
+    def test_zero_ipc_baseline_skipped_and_flagged(self, monkeypatch):
+        """A degenerate baseline must not poison the geomean (or crash)."""
+        import repro.analysis.sweeps as sweeps_mod
+
+        class _DeadStats:
+            ipc = 0.0
+
+        class _DeadResult:
+            stats = _DeadStats()
+
+        monkeypatch.setattr(
+            sweeps_mod, "run_cached", lambda *a, **kw: _DeadResult()
+        )
+        points = sweep_sim_parameter(TINY, "prefetch_queue_size", [16])
+        assert points[0].failures == len(TINY)
+        assert points[0].geomean_speedup == 0.0
+
+    def test_raising_workload_skipped_and_flagged(self, monkeypatch):
+        import repro.analysis.sweeps as sweeps_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected baseline fault")
+
+        monkeypatch.setattr(sweeps_mod, "run_cached", boom)
+        points = sweep_sim_parameter(TINY, "prefetch_queue_size", [16])
+        assert points[0].failures == len(TINY)
+        assert points[0].geomean_speedup == 0.0
+
+    def test_warmup_resolved_through_shared_helper(self, monkeypatch):
+        """Both sweep legs must share resolve_warmup's window, not a
+        hardcoded fraction that could drift from the cached baselines."""
+        import repro.analysis.sweeps as sweeps_mod
+        from repro.analysis.experiments import resolve_warmup
+
+        calls = []
+
+        def spy(spec, warmup_instructions):
+            calls.append((spec.name, warmup_instructions))
+            return resolve_warmup(spec, warmup_instructions)
+
+        monkeypatch.setattr(sweeps_mod, "resolve_warmup", spy)
+        sweep_sim_parameter(TINY, "prefetch_queue_size", [16, 32])
+        # One resolution per (point, workload), always deferring to the
+        # suite-wide default (None).
+        assert calls == [(spec.name, None) for _ in range(2) for spec in TINY]
