@@ -47,6 +47,7 @@ from repro.analysis.figures import (
     fig6_ipc_vs_storage,
     fig11_ablation,
     fig16_cloudsuite,
+    fig_microservice,
     figs12_to_15_internals,
     per_workload_curves,
     render_curves,
@@ -55,6 +56,7 @@ from repro.analysis.figures import (
     render_fig6,
     render_fig11,
     render_fig16,
+    render_fig_microservice,
     render_figs12_to_15,
     render_sec4e,
     render_tab1_tab2,
@@ -193,6 +195,10 @@ def main() -> None:
     t = time.time()
     cloud_data, _ = fig16_cloudsuite(clouds, FIG16_CONFIGS, jobs=jobs)
     section("Figure 16", render_fig16(cloud_data), t)
+
+    t = time.time()
+    msvc_data, _ = fig_microservice(jobs=jobs)
+    section("Microservices (extension)", render_fig_microservice(msvc_data), t)
 
     total = time.time() - started_all
     lines = [

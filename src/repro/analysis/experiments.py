@@ -506,7 +506,9 @@ def run_suite(
 
 
 def default_suite(
-    per_category: int = 2, n_instructions: Optional[int] = None
+    per_category: int = 2,
+    n_instructions: Optional[int] = None,
+    include_microservice: bool = False,
 ) -> List[WorkloadSpec]:
     """The suite benchmarks use by default (scaled down for wall-clock).
 
@@ -514,8 +516,19 @@ def default_suite(
     per-category workload count (e.g. ``REPRO_SUITE_SCALE=3`` runs 6 per
     category, matching the full evaluation in EXPERIMENTS.md).  Values
     below 1 clamp to 1; non-integers raise a clear ``ValueError``.
+
+    ``include_microservice`` appends the cloud-microservice suite
+    (single-tenant services plus 2-4-tenant mixes) — off by default so
+    historical benchmark trajectories keep comparing like with like.
     """
     scale = positive_env_int("REPRO_SUITE_SCALE", 1)
-    return cvp_suite(
+    specs = cvp_suite(
         per_category=per_category * scale, n_instructions=n_instructions
     )
+    if include_microservice:
+        from repro.workloads.microservice import microservice_suite
+
+        specs = specs + microservice_suite(
+            n_instructions=n_instructions or 300_000
+        )
+    return specs

@@ -452,3 +452,45 @@ def render_fig16(data: Dict[str, Dict[str, float]]) -> str:
     return "Fig 16 — normalized IPC for CloudSuite applications\n" + format_table(
         headers, rows, float_format="{:.3f}"
     )
+
+
+# -- Microservice extension (beyond the paper) -------------------------------------------------
+
+
+MICROSERVICE_CONFIGS = (
+    "next_line",
+    "entangling_2k",
+    "entangling_4k",
+    "ideal",
+)
+
+
+def fig_microservice(
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    configs: Sequence[str] = MICROSERVICE_CONFIGS,
+    jobs: Optional[int] = None,
+) -> Tuple[Dict[str, Dict[str, float]], EvaluationResult]:
+    """Normalized IPC per microservice workload (single- and multi-tenant).
+
+    An extension beyond the paper's figures: SLOFetch-style RPC-chain
+    services, alone and context-switched 2-4 to a core, showing how much
+    prefetch reach survives multi-tenant L1I/BTB thrashing.  ``specs``
+    defaults to :func:`repro.workloads.microservice.microservice_suite`.
+    """
+    if specs is None:
+        from repro.workloads.microservice import microservice_suite
+
+        specs = microservice_suite()
+    evaluation = run_suite(specs, list(configs), jobs=jobs)
+    data = {name: evaluation.normalized_ipc(name) for name in configs}
+    return data, evaluation
+
+
+def render_fig_microservice(data: Dict[str, Dict[str, float]]) -> str:
+    workloads = sorted(next(iter(data.values())))
+    headers = ["config"] + workloads
+    rows = [[name] + [series[w] for w in workloads] for name, series in data.items()]
+    return (
+        "Microservices — normalized IPC (single- and multi-tenant)\n"
+        + format_table(headers, rows, float_format="{:.3f}")
+    )

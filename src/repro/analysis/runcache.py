@@ -47,7 +47,7 @@ logger = logging.getLogger(__name__)
 
 #: Bumped whenever the key derivation or the disk schema changes; entries
 #: written by other versions are treated as misses, never mis-served.
-_CACHE_FORMAT_VERSION = 2
+_CACHE_FORMAT_VERSION = 3  # v3: WorkloadSpec gained trace_file/tenants
 
 
 def _canonical(value: Any) -> Any:

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Six subcommands mirror the typical workflow of a prefetching study::
+Seven subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
+    python -m repro import server.champsimtrace.gz out.trc
     python -m repro run  out.trc --prefetcher entangling_4k --warmup 200000
     python -m repro sweep out.trc --prefetchers no,next_line,entangling_4k
     python -m repro tune --strategy genetic --seed 7 --out front
     python -m repro trace out.trc --prefetcher entangling_4k --export out
     python -m repro bench-check BENCH_throughput.json
 
-``gen`` writes a synthetic workload to a trace file; ``run`` simulates a
-trace with one prefetcher configuration and prints the statistics;
+``gen`` writes a synthetic workload to a trace file (including the
+multi-tenant ``microservice`` category); ``import`` converts an external
+trace — ChampSim-format binary (raw or gzipped), the line-oriented text
+format, or our native binary — into the native format; ``run`` simulates
+a trace with one prefetcher configuration and prints the statistics;
 ``sweep`` compares several configurations on the same trace (and with
 ``--trace PATH`` writes a merged Chrome trace of the sweep's execution);
 ``tune`` runs a resumable multi-objective search over the Entangling
@@ -20,9 +24,10 @@ design space and emits the Pareto front (see
 :mod:`repro.obs`) and prints per-pair timeliness histograms plus the
 late/wrong breakdown; ``bench-check`` gates the newest throughput
 benchmark record against the trajectory (see
-:mod:`repro.analysis.regression`).  Traces use the compact binary format
-of :mod:`repro.workloads.trace`, so externally produced traces (see
-:mod:`repro.workloads.convert`) run the same way.
+:mod:`repro.analysis.regression`).  ``run``/``sweep``/``trace`` accept
+any supported trace format directly (the bytes are sniffed — see
+:mod:`repro.workloads.importers`), so ``import`` is only needed when the
+converted trace will be reused many times.
 """
 
 from __future__ import annotations
@@ -39,28 +44,41 @@ from repro.check import TraceError, sanitizer_from_env
 from repro.sim.config import BACKENDS, SimConfig
 from repro.sim.fetchunits import build_fetch_units
 from repro.sim.simulator import simulate
-from repro.workloads.generators import CATEGORIES, WorkloadSpec, make_workload
-from repro.workloads.trace import read_trace, write_trace
+from repro.workloads.generators import (
+    ALL_CATEGORIES,
+    WorkloadSpec,
+    make_workload,
+)
+from repro.workloads.importers import load_external_trace
+from repro.workloads.trace import write_trace
 
 
-def _load_trace(path: str, salvage: bool = False):
-    """Read a trace for a CLI command, reporting salvage on stderr.
+def _load_trace(path: str, salvage: bool = False, fmt: str = "auto"):
+    """Read a trace of any supported format, reporting salvage on stderr.
 
     Raises TraceError upward; the command wrappers turn it into exit
     code 2 with a one-line diagnosis instead of a stack trace.
     """
-    trace = read_trace(path, salvage=salvage)
+    trace = load_external_trace(path, fmt=fmt, salvage=salvage)
     if trace.salvage is not None:
         print(f"salvage: {path}: {trace.salvage.describe()}", file=sys.stderr)
     return trace
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
+    tenants = None
+    if args.tenants:
+        if args.category != "microservice":
+            print("gen: --tenants only applies to --category microservice",
+                  file=sys.stderr)
+            return 2
+        tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
     spec = WorkloadSpec(
         name=args.name or f"{args.category}_{args.seed}",
         category=args.category,
         seed=args.seed,
         n_instructions=args.instructions,
+        tenants=tenants,
     )
     trace = make_workload(spec)
     write_trace(trace, args.output)
@@ -68,6 +86,44 @@ def _cmd_gen(args: argparse.Namespace) -> int:
         f"wrote {args.output}: {len(trace)} instructions, "
         f"{trace.footprint_lines()} lines "
         f"({trace.footprint_lines() * 64 // 1024} KB footprint)"
+    )
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from repro.workloads.importers import detect_trace_format
+
+    try:
+        fmt = args.format
+        if fmt == "auto":
+            fmt = detect_trace_format(args.source)
+        trace = load_external_trace(
+            args.source,
+            name=args.name,
+            category=args.category,
+            fmt=fmt,
+            layout=args.layout,
+            limit=args.limit,
+            salvage=args.salvage,
+        )
+    except (OSError, TraceError) as exc:
+        print(f"import: {exc}", file=sys.stderr)
+        return 2
+    if trace.salvage is not None:
+        print(f"salvage: {args.source}: {trace.salvage.describe()}",
+              file=sys.stderr)
+    if not len(trace):
+        print(f"import: {args.source}: no instructions recovered",
+              file=sys.stderr)
+        return 2
+    write_trace(trace, args.output)
+    branches = sum(1 for i in trace.instructions if i.is_branch)
+    print(
+        f"imported {args.source} ({fmt}) -> {args.output}: "
+        f"{len(trace)} instructions, {branches} branches, "
+        f"{trace.footprint_lines()} lines "
+        f"({trace.footprint_lines() * 64 // 1024} KB footprint), "
+        f"name={trace.name!r} category={trace.category!r}"
     )
     return 0
 
@@ -87,6 +143,15 @@ def _run_one(trace, config_name: str, warmup: int, units=None, checker=None):
 def _cmd_run(args: argparse.Namespace) -> int:
     import os
 
+    if args.trace and args.trace_file:
+        print("run: give either a positional trace or --trace-file, not both",
+              file=sys.stderr)
+        return 2
+    args.trace = args.trace or args.trace_file
+    if not args.trace:
+        print("run: a trace is required (positional or --trace-file)",
+              file=sys.stderr)
+        return 2
     if args.backend:
         # One switch covers both the in-process path and guarded worker
         # processes (the environment is inherited); an explicit
@@ -117,7 +182,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 1
     else:
         try:
-            trace = _load_trace(args.trace, salvage=args.salvage)
+            trace = _load_trace(args.trace, salvage=args.salvage, fmt=args.format)
         except TraceError as exc:
             print(f"run: {exc}", file=sys.stderr)
             return 2
@@ -148,7 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 @lru_cache(maxsize=4)
 def _worker_trace(path: str):
     """Per-process trace load for the parallel sweep workers."""
-    return read_trace(path)
+    return load_external_trace(path)
 
 
 def _sweep_worker(task, attempt=0, in_process=False, record_spans=False):
@@ -372,7 +437,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         registry_for_run,
     )
 
-    trace = read_trace(args.trace)
+    trace = _load_trace(args.trace)
     prefetcher, sim_config = resolve_config(args.prefetcher, SimConfig())
     units = build_fetch_units(trace, sim_config.line_size)
     tracer = PrefetchTracer(capacity=args.capacity, sample=args.sample)
@@ -438,14 +503,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("gen", help="generate a synthetic workload trace")
     gen.add_argument("output", help="output trace file")
-    gen.add_argument("--category", choices=CATEGORIES, default="srv")
+    gen.add_argument("--category", choices=ALL_CATEGORIES, default="srv")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--instructions", type=int, default=500_000)
     gen.add_argument("--name", default=None)
+    gen.add_argument(
+        "--tenants",
+        default=None,
+        metavar="SVC[,SVC...]",
+        help="microservice category only: comma-separated services "
+             "context-switched onto the core (e.g. social,search); "
+             "default: a seeded mix of 2-4",
+    )
     gen.set_defaults(func=_cmd_gen)
 
+    imp = sub.add_parser(
+        "import",
+        help="convert an external trace (ChampSim/text/binary, optionally "
+             "gzipped) to the native format",
+    )
+    imp.add_argument("source", help="external trace file")
+    imp.add_argument("output", help="native-format output trace file")
+    imp.add_argument(
+        "--format",
+        choices=("auto", "binary", "text", "champsim"),
+        default="auto",
+        help="source format (default: sniff the bytes)",
+    )
+    imp.add_argument(
+        "--layout",
+        choices=("auto", "legacy", "v2"),
+        default="auto",
+        help="ChampSim record layout (default: detect from the bytes)",
+    )
+    imp.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="keep at most this many leading records (ChampSim traces "
+             "often hold hundreds of millions)",
+    )
+    imp.add_argument("--name", default=None, help="workload name override")
+    imp.add_argument(
+        "--category", default=None, help="workload category override"
+    )
+    imp.add_argument(
+        "--salvage",
+        action="store_true",
+        help="recover the longest valid record prefix from a damaged "
+             "source instead of failing",
+    )
+    imp.set_defaults(func=_cmd_import)
+
     run = sub.add_parser("run", help="simulate a trace with one prefetcher")
-    run.add_argument("trace", help="trace file (see `repro gen`)")
+    run.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file in any supported format (see `repro gen`/`import`)",
+    )
+    run.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="external trace file (equivalent to the positional; the "
+             "format is sniffed from the bytes)",
+    )
+    run.add_argument(
+        "--format",
+        choices=("auto", "binary", "text", "champsim"),
+        default="auto",
+        help="trace format (default: sniff the bytes)",
+    )
     run.add_argument(
         "--prefetcher",
         default="entangling_4k",

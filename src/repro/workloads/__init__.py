@@ -26,6 +26,23 @@ from repro.workloads.generators import (
     workload_names,
 )
 from repro.workloads.cloudsuite import cloudsuite_suite
+from repro.workloads.champsim import read_champsim_trace, write_champsim_trace
+from repro.workloads.convert import (
+    TraceParseError,
+    read_text_trace,
+    write_text_trace,
+)
+from repro.workloads.importers import (
+    detect_trace_format,
+    file_workload_spec,
+    load_external_trace,
+    trace_file_suite,
+)
+from repro.workloads.microservice import (
+    interleave_traces,
+    make_microservice_workload,
+    microservice_suite,
+)
 
 __all__ = [
     "BranchType",
@@ -45,4 +62,16 @@ __all__ = [
     "make_workload",
     "workload_names",
     "cloudsuite_suite",
+    "read_champsim_trace",
+    "write_champsim_trace",
+    "TraceParseError",
+    "read_text_trace",
+    "write_text_trace",
+    "detect_trace_format",
+    "file_workload_spec",
+    "load_external_trace",
+    "trace_file_suite",
+    "interleave_traces",
+    "make_microservice_workload",
+    "microservice_suite",
 ]

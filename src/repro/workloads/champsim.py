@@ -1,0 +1,503 @@
+"""ChampSim-format binary trace ingestion.
+
+ChampSim (the simulator behind the IPC-1/DPC-3 championship traces and
+most CloudSuite trace sets) stores one fixed-width record per retired
+instruction, with no file header, magic, or record count:
+
+* **legacy** layout (x86 tracer, 64 bytes): ``ip`` (u64), ``is_branch``
+  (u8), ``branch_taken`` (u8), 2 destination registers (u8 each), 4
+  source registers (u8 each), 2 destination memory addresses (u64 each),
+  4 source memory addresses (u64 each).
+* **v2** layout (the 4-destination tracer used for the CloudSuite/SPARC
+  trace sets, 82 bytes): identical fields with 4 destination registers
+  and 4 destination memory addresses.
+
+Files are usually gzip-compressed (``*.champsim.trace.gz`` /
+``*.champsimtrace.gz``); this reader streams either compressed or raw
+bytes.
+
+Two properties of the format drive the reconstruction pass:
+
+* **Branch types are not stored.**  ChampSim re-derives them from which
+  architectural registers an instruction reads/writes (instruction
+  pointer, stack pointer, flags); :func:`classify_branch` mirrors that
+  decision table, so the front end sees the same conditional/call/
+  return/indirect taxonomy the paper's simulator saw.
+* **Branch targets are not stored.**  The target of a taken branch is
+  the *next* record's ``ip``; instruction sizes fall out of sequential
+  deltas.  A non-branch followed by a discontinuity (trap, sampled
+  trace, tracer glitch) is encoded as a taken direct jump so the stream
+  stays architecturally consistent — the same convention as
+  :func:`repro.workloads.trace.trace_from_pcs`.
+
+Ingestion hardening matches :func:`repro.workloads.trace.read_trace`:
+every failure is a :class:`~repro.check.errors.TraceError` subclass
+carrying the path, the byte offset of the damage, and the first bad
+record index; ``salvage=True`` recovers the longest valid record prefix
+and flags it via :class:`~repro.workloads.trace.TraceSalvage` (never a
+silent partial load).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.check.errors import (
+    TraceHeaderError,
+    TracePayloadError,
+    TraceRecordError,
+    TraceTruncatedError,
+)
+from repro.workloads.trace import (
+    _MAX_ADDRESS,
+    BranchType,
+    Instruction,
+    Trace,
+    TraceSalvage,
+)
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: ChampSim's x86 register identifiers involved in branch classification.
+REG_STACK_POINTER = 6
+REG_FLAGS = 25
+REG_INSTRUCTION_POINTER = 26
+
+#: Largest plausible x86 instruction; sequential deltas beyond this are
+#: treated as discontinuities rather than instruction sizes.
+_MAX_SIZE = 15
+_DEFAULT_SIZE = 4
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+@dataclass(frozen=True)
+class ChampSimLayout:
+    """One fixed-width record layout.
+
+    Attributes:
+        name: layout identifier (``legacy`` or ``v2``).
+        n_dest: destination register/memory slots per record.
+        n_src: source register/memory slots per record.
+    """
+
+    name: str
+    n_dest: int
+    n_src: int
+
+    @property
+    def record_size(self) -> int:
+        # ip + is_branch + branch_taken + dest regs + src regs
+        # + dest mem (u64 each) + src mem (u64 each)
+        return 8 + 1 + 1 + self.n_dest + self.n_src + 8 * (self.n_dest + self.n_src)
+
+    @property
+    def struct(self) -> struct.Struct:
+        return struct.Struct(
+            f"<QBB{self.n_dest}B{self.n_src}B{self.n_dest}Q{self.n_src}Q"
+        )
+
+
+#: The two record layouts this reader speaks, by name.
+LAYOUTS = {
+    "legacy": ChampSimLayout("legacy", n_dest=2, n_src=4),
+    "v2": ChampSimLayout("v2", n_dest=4, n_src=4),
+}
+
+LAYOUT_NAMES = ("auto",) + tuple(LAYOUTS)
+
+
+@dataclass(frozen=True)
+class _RawRecord:
+    """One decoded ChampSim record before branch/target reconstruction."""
+
+    ip: int
+    is_branch: bool
+    branch_taken: bool
+    dest_regs: Tuple[int, ...]
+    src_regs: Tuple[int, ...]
+    dest_mem: Tuple[int, ...]
+    src_mem: Tuple[int, ...]
+
+
+def classify_branch(record: _RawRecord) -> BranchType:
+    """ChampSim's branch-type decision table from register effects.
+
+    Mirrors the tracereader heuristic: which of IP/SP/FLAGS the
+    instruction reads and writes determines the branch kind.  Branches
+    that match no rule (ChampSim's ``BRANCH_OTHER``) are treated as
+    conditionals — direction-predicted, the conservative choice for the
+    front-end model.
+    """
+    if not record.is_branch:
+        return BranchType.NOT_BRANCH
+    reads = set(record.src_regs)
+    writes = set(record.dest_regs)
+    reads_ip = REG_INSTRUCTION_POINTER in reads
+    writes_ip = REG_INSTRUCTION_POINTER in writes
+    reads_sp = REG_STACK_POINTER in reads
+    writes_sp = REG_STACK_POINTER in writes
+    reads_flags = REG_FLAGS in reads
+    reads_other = bool(
+        reads - {REG_INSTRUCTION_POINTER, REG_STACK_POINTER, REG_FLAGS, 0}
+    )
+    if not writes_ip:
+        return BranchType.CONDITIONAL  # branch flag set but IP untouched
+    if reads_ip and not reads_sp and not reads_flags and not reads_other:
+        return BranchType.DIRECT_JUMP
+    if not reads_ip and not reads_sp and not reads_flags and reads_other:
+        return BranchType.INDIRECT_JUMP
+    if reads_ip and not reads_sp and reads_flags and not reads_other:
+        return BranchType.CONDITIONAL
+    if reads_ip and reads_sp and writes_sp and not reads_flags and not reads_other:
+        return BranchType.DIRECT_CALL
+    if not reads_ip and reads_sp and writes_sp and not reads_flags and reads_other:
+        return BranchType.INDIRECT_CALL
+    if not reads_ip and reads_sp and writes_sp and not reads_flags and not reads_other:
+        return BranchType.RETURN
+    return BranchType.CONDITIONAL
+
+
+def _register_effects(branch_type: BranchType, taken: bool) -> Tuple[
+    Tuple[int, ...], Tuple[int, ...]
+]:
+    """Inverse of :func:`classify_branch`: (src_regs, dest_regs) encoding
+    the given type.  Used by the trace writer (fixtures, round-trips)."""
+    IP, SP, FL = REG_INSTRUCTION_POINTER, REG_STACK_POINTER, REG_FLAGS
+    OTHER = 3  # any general-purpose register id
+    if branch_type == BranchType.NOT_BRANCH:
+        return (), ()
+    if branch_type == BranchType.DIRECT_JUMP:
+        return (IP,), (IP,)
+    if branch_type == BranchType.INDIRECT_JUMP:
+        return (OTHER,), (IP,)
+    if branch_type == BranchType.CONDITIONAL:
+        return (IP, FL), (IP,)
+    if branch_type == BranchType.DIRECT_CALL:
+        return (IP, SP), (IP, SP)
+    if branch_type == BranchType.INDIRECT_CALL:
+        return (SP, OTHER), (IP, SP)
+    if branch_type == BranchType.RETURN:
+        return (SP,), (IP, SP)
+    raise AssertionError(f"unhandled branch type {branch_type}")
+
+
+def _decode_raw(
+    layout: ChampSimLayout, block: bytes, base: int
+) -> Tuple[Optional[_RawRecord], Optional[str]]:
+    """Decode and validate one record at ``base``; (record, reason)."""
+    fields = layout.struct.unpack_from(block, base)
+    ip = fields[0]
+    is_branch, branch_taken = fields[1], fields[2]
+    regs_end = 3 + layout.n_dest + layout.n_src
+    dest_regs = fields[3 : 3 + layout.n_dest]
+    src_regs = fields[3 + layout.n_dest : regs_end]
+    dest_mem = fields[regs_end : regs_end + layout.n_dest]
+    src_mem = fields[regs_end + layout.n_dest :]
+    if is_branch not in (0, 1):
+        return None, f"is_branch byte is {is_branch}, expected 0 or 1"
+    if branch_taken not in (0, 1):
+        return None, f"branch_taken byte is {branch_taken}, expected 0 or 1"
+    if branch_taken and not is_branch:
+        return None, "non-branch record marked taken"
+    if ip == 0:
+        return None, "instruction pointer is 0"
+    for label, value in (("ip", ip),) + tuple(
+        (f"mem[{i}]", addr) for i, addr in enumerate(dest_mem + src_mem)
+    ):
+        if value >= _MAX_ADDRESS:
+            return None, (
+                f"{label} 0x{value:x} exceeds the simulator's "
+                f"{_MAX_ADDRESS.bit_length() - 1}-bit address space"
+            )
+    return (
+        _RawRecord(
+            ip=ip,
+            is_branch=bool(is_branch),
+            branch_taken=bool(branch_taken),
+            dest_regs=dest_regs,
+            src_regs=src_regs,
+            dest_mem=dest_mem,
+            src_mem=src_mem,
+        ),
+        None,
+    )
+
+
+def _score_layout(layout: ChampSimLayout, block: bytes, probe: int = 64) -> int:
+    """How many of the first ``probe`` records decode cleanly as ``layout``."""
+    n = min(probe, len(block) // layout.record_size)
+    good = 0
+    for index in range(n):
+        _record, reason = _decode_raw(layout, block, index * layout.record_size)
+        if reason is not None:
+            break
+        good += 1
+    return good
+
+
+def detect_champsim_layout(block: bytes, path: str = "<bytes>") -> ChampSimLayout:
+    """Pick the record layout of a decompressed ChampSim byte block.
+
+    Prefers a layout whose record size divides the block exactly; ties
+    (and partial tails) are broken by how many leading records decode
+    cleanly.  Raises :class:`TraceHeaderError` when neither layout can
+    decode even one record — the file is not a ChampSim trace.
+    """
+    candidates = []
+    for layout in LAYOUTS.values():
+        if len(block) < layout.record_size:
+            continue
+        exact = len(block) % layout.record_size == 0
+        candidates.append((_score_layout(layout, block), exact, layout))
+    candidates = [c for c in candidates if c[0] > 0]
+    if not candidates:
+        raise TraceHeaderError(
+            f"{path}: not a ChampSim trace (no record layout decodes the "
+            f"first bytes; {len(block)} bytes available)",
+            path=path,
+            offset=0,
+        )
+    candidates.sort(key=lambda c: (c[0], c[1]), reverse=True)
+    return candidates[0][2]
+
+
+def _read_payload(
+    path: str, salvage: bool, problems: List[str]
+) -> bytes:
+    """File bytes, gzip-decompressed when compressed.
+
+    Corruption inside the gzip stream raises :class:`TracePayloadError`
+    in strict mode; in salvage mode the clean prefix is kept and the
+    reason recorded in ``problems``.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if not raw.startswith(_GZIP_MAGIC):
+        return raw
+    decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)  # gzip wrapper
+    chunks: List[bytes] = []
+    error: Optional[str] = None
+    for start in range(0, len(raw), 1 << 16):
+        try:
+            chunks.append(decompressor.decompress(raw[start : start + (1 << 16)]))
+        except zlib.error as exc:
+            error = f"gzip stream is corrupt ({exc})"
+            break
+    else:
+        try:
+            chunks.append(decompressor.flush())
+        except zlib.error as exc:
+            error = f"gzip stream ends mid-member ({exc})"
+        if error is None and not decompressor.eof:
+            error = "gzip stream is incomplete (member did not finish)"
+    if error is not None:
+        if not salvage:
+            raise TracePayloadError(
+                f"{path}: {error}", path=path, offset=0
+            )
+        problems.append(error)
+    return b"".join(chunks)
+
+
+def _reconstruct(records: List[_RawRecord]) -> List[Instruction]:
+    """Second pass: branch types, targets, and sizes from the ip stream."""
+    out: List[Instruction] = []
+    n = len(records)
+    for i, rec in enumerate(records):
+        next_ip = records[i + 1].ip if i + 1 < n else None
+        branch_type = classify_branch(rec)
+        taken = rec.is_branch and rec.branch_taken
+        target = 0
+        size = _DEFAULT_SIZE
+        if next_ip is not None:
+            delta = next_ip - rec.ip
+            if taken:
+                target = next_ip
+                # A taken branch's own size is unobservable; keep default.
+            elif 0 < delta <= _MAX_SIZE:
+                size = delta
+            elif delta != 0:
+                # Discontinuity without a taken branch: a not-taken
+                # conditional that the stream nevertheless leaves, a trap,
+                # or a sampled gap.  Encode the control transfer so
+                # Instruction.next_pc matches the stream.
+                if rec.is_branch:
+                    taken = True
+                    target = next_ip
+                else:
+                    branch_type = BranchType.DIRECT_JUMP
+                    taken = True
+                    target = next_ip
+        is_store = any(rec.dest_mem)
+        is_load = any(rec.src_mem)
+        data_addr = 0
+        if is_load:
+            data_addr = next(addr for addr in rec.src_mem if addr)
+        elif is_store:
+            data_addr = next(addr for addr in rec.dest_mem if addr)
+        out.append(
+            Instruction(
+                pc=rec.ip,
+                size=size,
+                branch_type=branch_type,
+                taken=taken,
+                target=target,
+                is_load=is_load,
+                is_store=is_store,
+                data_addr=data_addr,
+            )
+        )
+    return out
+
+
+def read_champsim_trace(
+    path: PathLike,
+    name: Optional[str] = None,
+    category: str = "cloud",
+    layout: str = "auto",
+    limit: Optional[int] = None,
+    salvage: bool = False,
+) -> Trace:
+    """Read a (possibly gzipped) ChampSim-format trace into a :class:`Trace`.
+
+    Args:
+        path: trace file; gzip compression is detected from the magic
+            bytes, not the extension.
+        name: workload name (default: the file's base name without
+            ChampSim suffixes).
+        category: workload category recorded on the trace.
+        layout: ``legacy``, ``v2``, or ``auto`` (detect from the bytes).
+        limit: keep at most this many leading records (ChampSim traces
+            often hold hundreds of millions).
+        salvage: recover the longest valid record prefix from a damaged
+            file instead of raising; the returned trace is flagged via
+            ``trace.salvage``.
+
+    Raises:
+        TraceError: structured ingestion failure — gzip corruption
+            (:class:`TracePayloadError`), no decodable layout
+            (:class:`TraceHeaderError`), a torn trailing record
+            (:class:`TraceTruncatedError`), or an invalid field
+            (:class:`TraceRecordError`) — subject to the salvage rules.
+    """
+    path = os.fspath(path)
+    if layout not in LAYOUT_NAMES:
+        raise ValueError(
+            f"unknown ChampSim layout {layout!r} (choose from {LAYOUT_NAMES})"
+        )
+    problems: List[str] = []
+    block = _read_payload(path, salvage, problems)
+    if not block:
+        raise TraceHeaderError(
+            f"{path}: no record bytes "
+            f"({'empty file' if not problems else problems[0]})",
+            path=path,
+            offset=0,
+        )
+    chosen = (
+        detect_champsim_layout(block, path) if layout == "auto" else LAYOUTS[layout]
+    )
+    record_size = chosen.record_size
+    expected = (len(block) + record_size - 1) // record_size
+    complete = len(block) // record_size
+    if len(block) % record_size:
+        err = TraceTruncatedError(
+            f"{path}: torn trailing record ({len(block)} bytes is not a "
+            f"multiple of the {record_size}B {chosen.name} record; record "
+            f"#{complete} at byte {complete * record_size} is incomplete)",
+            path=path,
+            offset=complete * record_size,
+            record_index=complete,
+        )
+        if not salvage:
+            raise err
+        problems.append(
+            f"torn trailing record #{complete} "
+            f"({len(block) % record_size} of {record_size} bytes)"
+        )
+
+    records: List[_RawRecord] = []
+    stop = complete if limit is None else min(complete, limit)
+    for index in range(stop):
+        base = index * record_size
+        record, reason = _decode_raw(chosen, block, base)
+        if reason is None:
+            records.append(record)
+            continue
+        if not salvage:
+            raise TraceRecordError(
+                f"{path}: invalid {chosen.name} record #{index} at byte "
+                f"{base}: {reason}",
+                path=path,
+                offset=base,
+                record_index=index,
+            )
+        problems.append(f"record #{index} at byte {base}: {reason}")
+        break  # salvage keeps the longest valid prefix only
+
+    if name is None:
+        base_name = os.path.basename(path)
+        for suffix in (".gz", ".xz", ".trace", ".champsimtrace", ".champsim"):
+            if base_name.endswith(suffix):
+                base_name = base_name[: -len(suffix)]
+        name = base_name or "champsim"
+
+    trace = Trace(
+        name=name, instructions=_reconstruct(records), category=category
+    )
+    if salvage and (problems or (limit is None and len(records) != expected)):
+        trace.salvage = TraceSalvage(
+            recovered=len(records),
+            expected=expected if limit is None else stop,
+            reasons=problems,
+        )
+    return trace
+
+
+def write_champsim_trace(
+    trace: Trace,
+    path: PathLike,
+    layout: str = "legacy",
+    compress: Optional[bool] = None,
+) -> None:
+    """Serialize a trace as ChampSim records (fixtures and round-trips).
+
+    Branch types are encoded through the register-effect inverse of
+    :func:`classify_branch`, so a read-back reconstructs the same
+    taxonomy.  ``compress=None`` gzips iff the path ends in ``.gz``.
+    Writes are atomic (crash-safe artifact-IO contract).
+    """
+    from repro.check.artifacts import atomic_write_bytes
+
+    path = os.fspath(path)
+    chosen = LAYOUTS[layout]
+    if compress is None:
+        compress = path.endswith(".gz")
+    body = bytearray()
+    for inst in trace:
+        src_regs, dest_regs = _register_effects(inst.branch_type, inst.taken)
+        dest_mem = [inst.data_addr if inst.is_store else 0] + [0] * (
+            chosen.n_dest - 1
+        )
+        src_mem = [inst.data_addr if inst.is_load else 0] + [0] * (
+            chosen.n_src - 1
+        )
+        body += chosen.struct.pack(
+            inst.pc,
+            1 if inst.is_branch else 0,
+            1 if inst.taken else 0,
+            *(list(dest_regs) + [0] * (chosen.n_dest - len(dest_regs))),
+            *(list(src_regs) + [0] * (chosen.n_src - len(src_regs))),
+            *dest_mem,
+            *src_mem,
+        )
+    payload = bytes(body)
+    if compress:
+        payload = gzip.compress(payload, mtime=0)
+    atomic_write_bytes(path, payload)

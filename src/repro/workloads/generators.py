@@ -38,6 +38,11 @@ from repro.workloads.trace import Trace
 
 CATEGORIES = ("crypto", "int", "fp", "srv")
 
+#: Every category ``make_workload`` can generate directly: the four CVP
+#: stand-ins plus the cloud-microservice family (kept out of
+#: :data:`CATEGORIES` so existing cvp_suite results keep their identity).
+ALL_CATEGORIES = CATEGORIES + ("microservice",)
+
 
 @dataclass(frozen=True)
 class ProgramParams:
@@ -383,10 +388,22 @@ DEFAULT_INSTRUCTIONS: Dict[str, int] = {
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Identity of one synthetic workload.
+    """Identity of one workload.
 
     ``make_workload`` turns a spec into a concrete :class:`Trace`; equal
-    specs always generate identical traces.
+    specs always generate identical traces.  Three kinds of spec share
+    the type (so suites, sweeps, caching, and parallel workers treat
+    them uniformly):
+
+    * *synthetic* — the default; ``category`` picks the generator preset.
+    * *microservice* — ``category == "microservice"``; ``tenants`` names
+      the 1-4 services context-switched onto the core (``None`` draws a
+      seeded mix).
+    * *external* — ``trace_file`` points at an on-disk trace (our binary
+      format, text, or ChampSim); the file's content is the workload and
+      the generator knobs are unused.  Cache keys include the path, not
+      the bytes: re-running after overwriting the file in place reuses
+      stale cache entries, so version external trace files by name.
     """
 
     name: str
@@ -394,6 +411,8 @@ class WorkloadSpec:
     seed: int
     n_instructions: int = 200_000
     params: Optional[ProgramParams] = None
+    trace_file: Optional[str] = None
+    tenants: Optional[Tuple[str, ...]] = None
 
     def resolve_params(self) -> ProgramParams:
         if self.params is not None:
@@ -431,7 +450,27 @@ def cvp_suite(
 
 
 def make_workload(spec: WorkloadSpec) -> Trace:
-    """Generate the trace for ``spec`` (deterministic in the spec)."""
+    """Materialize the trace for ``spec`` (deterministic in the spec).
+
+    Dispatches on the spec kind: external trace files load through
+    :mod:`repro.workloads.importers` (format auto-detected),
+    ``microservice`` specs go through the multi-tenant RPC-chain
+    generator, and everything else is a synthetic CFG program.
+    """
+    if spec.trace_file is not None:
+        # Imported lazily: importers depends on this module for specs.
+        from repro.workloads.importers import load_external_trace
+
+        trace = load_external_trace(
+            spec.trace_file, name=spec.name, category=spec.category
+        )
+        if spec.n_instructions and len(trace) > spec.n_instructions:
+            trace.instructions = trace.instructions[: spec.n_instructions]
+        return trace
+    if spec.category == "microservice" or spec.tenants is not None:
+        from repro.workloads.microservice import make_microservice_workload
+
+        return make_microservice_workload(spec)
     params = spec.resolve_params()
     program = build_program(params, seed=spec.seed)
     return generate_trace(

@@ -1,0 +1,298 @@
+"""ChampSim-format trace ingestion (ISSUE 8 tentpole).
+
+Covers both record layouts (legacy 64B, v2 82B), raw and gzipped, the
+branch-type reconstruction round-trip, layout auto-detection, the
+structured error taxonomy on damage (strict mode) and longest-valid-
+prefix recovery (salvage mode), a deterministic fuzz corpus mirroring
+``tests/test_trace_fuzz.py``, and the committed golden fixture.
+"""
+
+import gzip
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.check.errors import (
+    TraceError,
+    TraceHeaderError,
+    TracePayloadError,
+    TraceRecordError,
+    TraceTruncatedError,
+)
+from repro.workloads.champsim import (
+    LAYOUTS,
+    detect_champsim_layout,
+    read_champsim_trace,
+    write_champsim_trace,
+)
+from repro.workloads.generators import WorkloadSpec, make_workload
+from repro.workloads.trace import BranchType
+
+SEED = 0xC4A
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "golden.champsimtrace.gz")
+
+
+def _trace(n=4000, seed=11, category="int"):
+    return make_workload(
+        WorkloadSpec(
+            name="cs", category=category, seed=seed, n_instructions=n
+        )
+    )
+
+
+def _assert_equivalent(original, loaded):
+    """The round-trip contract: everything the simulator consumes matches.
+
+    ChampSim records do not store sizes or not-taken targets, so the
+    reconstruction recovers pc/branch_type/taken, the taken-path target,
+    and memory behaviour; ``next_pc`` chains must be identical.
+    """
+    assert len(loaded) == len(original)
+    for i, (a, b) in enumerate(zip(original.instructions, loaded.instructions)):
+        assert a.pc == b.pc, i
+        assert a.branch_type == b.branch_type, i
+        assert a.taken == b.taken, i
+        if a.taken:
+            assert a.target == b.target, i
+        assert a.next_pc == b.next_pc, i
+        assert a.is_load == b.is_load, i
+        assert a.is_store == b.is_store, i
+        assert (a.data_addr != 0) == (b.data_addr != 0), i
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("layout", sorted(LAYOUTS))
+    @pytest.mark.parametrize("compress", (False, True))
+    def test_layouts_and_compression(self, tmp_path, layout, compress):
+        original = _trace()
+        path = str(tmp_path / ("t.champsimtrace" + (".gz" if compress else "")))
+        write_champsim_trace(original, path, layout=layout, compress=compress)
+        loaded = read_champsim_trace(path, layout=layout, category="int")
+        _assert_equivalent(original, loaded)
+        assert loaded.salvage is None
+
+    @pytest.mark.parametrize("layout", sorted(LAYOUTS))
+    def test_layout_autodetection(self, tmp_path, layout):
+        original = _trace()
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path, layout=layout)
+        detected = read_champsim_trace(path)  # layout="auto"
+        _assert_equivalent(original, detected)
+
+    def test_compression_follows_suffix(self, tmp_path):
+        original = _trace(500)
+        gz = str(tmp_path / "t.champsimtrace.gz")
+        raw = str(tmp_path / "t.champsimtrace")
+        write_champsim_trace(original, gz)
+        write_champsim_trace(original, raw)
+        assert open(gz, "rb").read()[:2] == b"\x1f\x8b"
+        assert open(raw, "rb").read()[:2] != b"\x1f\x8b"
+        assert os.path.getsize(gz) < os.path.getsize(raw)
+
+    def test_pathlib_paths(self, tmp_path):
+        original = _trace(300)
+        path = pathlib.Path(tmp_path) / "t.champsimtrace.gz"
+        write_champsim_trace(original, path)
+        _assert_equivalent(original, read_champsim_trace(path))
+
+    def test_branch_types_survive(self, tmp_path):
+        """Every branch class present in the source must reconstruct."""
+        original = _trace(8000, category="srv")
+        present = {i.branch_type for i in original.instructions}
+        assert len(present) >= 5  # srv exercises most of the taxonomy
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path)
+        loaded = read_champsim_trace(path)
+        assert {i.branch_type for i in loaded.instructions} == present
+
+    def test_limit_keeps_prefix(self, tmp_path):
+        original = _trace(1000)
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path)
+        loaded = read_champsim_trace(path, limit=100)
+        assert len(loaded) == 100
+        assert [i.pc for i in loaded.instructions] == [
+            i.pc for i in original.instructions[:100]
+        ]
+
+    def test_default_name_strips_suffixes(self, tmp_path):
+        original = _trace(200)
+        path = str(tmp_path / "server_0.champsimtrace.gz")
+        write_champsim_trace(original, path)
+        assert read_champsim_trace(path).name == "server_0"
+
+
+class TestStrictErrors:
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.trace")
+        open(path, "wb").close()
+        with pytest.raises(TraceHeaderError):
+            read_champsim_trace(path)
+
+    def test_torn_tail_strict(self, tmp_path):
+        original = _trace(200)
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path, layout="legacy")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-17])
+        with pytest.raises(TraceTruncatedError) as exc:
+            read_champsim_trace(path, layout="legacy")
+        assert exc.value.record_index == 199
+
+    def test_corrupt_gzip_strict(self, tmp_path):
+        original = _trace(200)
+        path = str(tmp_path / "t.champsimtrace.gz")
+        write_champsim_trace(original, path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises((TracePayloadError, TraceError)):
+            read_champsim_trace(path)
+
+    def test_garbage_has_no_layout(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        open(path, "wb").write(bytes(range(256)) * 13)
+        with pytest.raises(TraceError):
+            read_champsim_trace(path)
+
+    def test_unknown_layout_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            read_champsim_trace(str(tmp_path / "x"), layout="v9")
+
+
+class TestSalvage:
+    def test_torn_tail_salvaged(self, tmp_path):
+        original = _trace(200)
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path, layout="legacy")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-17])
+        loaded = read_champsim_trace(path, layout="legacy", salvage=True)
+        assert loaded.salvage is not None
+        assert loaded.salvage.recovered == 199
+        assert [i.pc for i in loaded.instructions] == [
+            i.pc for i in original.instructions[:199]
+        ]
+
+    def test_salvage_keeps_prefix_before_bad_record(self, tmp_path):
+        original = _trace(300)
+        path = str(tmp_path / "t.trace")
+        write_champsim_trace(original, path, layout="legacy")
+        data = bytearray(open(path, "rb").read())
+        record_size = LAYOUTS["legacy"].record_size
+        # Wreck record #120's is_branch flag (offset 8 in the record).
+        data[120 * record_size + 8] = 7
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(TraceRecordError) as exc:
+            read_champsim_trace(path, layout="legacy")
+        assert exc.value.record_index == 120
+        loaded = read_champsim_trace(path, layout="legacy", salvage=True)
+        assert loaded.salvage is not None
+        assert len(loaded) == 120
+        assert loaded.salvage.reasons
+
+
+class TestFuzzCorpus:
+    """Seeded mutants must never escape the TraceError taxonomy."""
+
+    @pytest.fixture(scope="class")
+    def pristine(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("csfuzz")
+        original = _trace(300)
+        out = []
+        for label, compress in (("gz", True), ("raw", False)):
+            path = str(root / f"{label}.trace")
+            write_champsim_trace(
+                original, path, layout="legacy", compress=compress
+            )
+            out.append((label, open(path, "rb").read()))
+        return original, out
+
+    @staticmethod
+    def _mutants(data):
+        rng = random.Random(SEED)
+        for offset in sorted(rng.sample(range(len(data)), min(40, len(data)))):
+            for bit in (0, 7):
+                mutated = bytearray(data)
+                mutated[offset] ^= 1 << bit
+                yield f"flip@{offset}.{bit}", bytes(mutated)
+        lengths = {0, 1, 7, 63, 64, 65}
+        for i in range(1, 9):
+            lengths.add(len(data) * i // 9)
+        for length in sorted(l for l in lengths if l < len(data)):
+            yield f"trunc@{length}", data[:length]
+
+    def test_strict_mode_never_returns_wrong_data(self, pristine, tmp_path):
+        original, bases = pristine
+        pcs = [i.pc for i in original.instructions]
+        for label, data in bases:
+            for tag, mutated in self._mutants(data):
+                path = str(tmp_path / "m.trace")
+                open(path, "wb").write(mutated)
+                try:
+                    loaded = read_champsim_trace(path, layout="legacy")
+                except TraceError:
+                    continue
+                # A surviving mutant must decode to a prefix-compatible
+                # pc stream or a tolerable field change — never crash
+                # with a non-taxonomy exception (the point of the test).
+                assert len(loaded) <= len(pcs), f"{label}:{tag}"
+
+    def test_salvage_mode_flags_every_recovery(self, pristine, tmp_path):
+        original, bases = pristine
+        for label, data in bases:
+            for tag, mutated in self._mutants(data):
+                path = str(tmp_path / "m.trace")
+                open(path, "wb").write(mutated)
+                try:
+                    loaded = read_champsim_trace(
+                        path, layout="legacy", salvage=True
+                    )
+                except TraceError:
+                    continue
+                if len(loaded) != len(original) and loaded.salvage is None:
+                    # ChampSim files are headerless: a truncation at an
+                    # exact record boundary is indistinguishable from a
+                    # genuinely shorter trace, so it may load unflagged —
+                    # but then it must be a clean *prefix*, never wrong
+                    # data.
+                    prefix = original.instructions[: len(loaded)]
+                    assert [i.pc for i in loaded.instructions] == [
+                        i.pc for i in prefix
+                    ], f"{label}:{tag}"
+
+
+class TestGoldenFixture:
+    """The committed fixture pins the importer's output forever."""
+
+    def test_fixture_exists(self):
+        assert os.path.exists(GOLDEN)
+
+    def test_strict_import(self):
+        trace = read_champsim_trace(GOLDEN)
+        assert len(trace) == 6000
+        assert trace.name == "golden"
+        assert trace.category == "cloud"
+        assert sum(1 for i in trace.instructions if i.is_branch) == 317
+        assert trace.footprint_lines() == 197
+        assert trace.salvage is None
+
+    def test_salvage_import_is_identical_on_clean_file(self):
+        strict = read_champsim_trace(GOLDEN)
+        salvaged = read_champsim_trace(GOLDEN, salvage=True)
+        assert salvaged.salvage is None
+        assert salvaged.instructions == strict.instructions
+
+    def test_truncated_fixture_salvages(self, tmp_path):
+        payload = gzip.decompress(open(GOLDEN, "rb").read())
+        path = str(tmp_path / "cut.trace")
+        open(path, "wb").write(payload[: len(payload) - 30])
+        loaded = read_champsim_trace(path, salvage=True)
+        assert loaded.salvage is not None
+        assert loaded.salvage.recovered == 5999
+
+    def test_detect_layout(self):
+        payload = gzip.decompress(open(GOLDEN, "rb").read())
+        assert detect_champsim_layout(payload).name == "legacy"

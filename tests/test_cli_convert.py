@@ -104,6 +104,103 @@ class TestRoundtrip:
         assert loaded.instructions == original.instructions
 
 
+def _rich_trace():
+    return Trace(
+        "rt",
+        [
+            Instruction(pc=0x1000, is_load=True, data_addr=0x42),
+            Instruction(
+                pc=0x1004,
+                branch_type=BranchType.CONDITIONAL,
+                taken=True,
+                target=0x2000,
+            ),
+            Instruction(pc=0x2000, is_store=True, data_addr=0x9008),
+            Instruction(
+                pc=0x2004, branch_type=BranchType.RETURN, taken=True,
+                target=0x1008,
+            ),
+        ],
+        category="srv",
+    )
+
+
+class TestConvertBugfixRegressions:
+    """The three ISSUE 8 convert.py satellite bugs, pinned."""
+
+    def test_pathlib_path_accepted(self, tmp_path):
+        # Regression: pathlib.Path fell into the open-file branch and
+        # crashed with AttributeError on .write/iteration.
+        original = _rich_trace()
+        path = tmp_path / "trace.txt"  # a pathlib.Path, not str
+        write_text_trace(original, path)
+        loaded = read_text_trace(path)
+        assert loaded.instructions == original.instructions
+
+    def test_gz_paths_roundtrip(self, tmp_path):
+        original = _rich_trace()
+        path = tmp_path / "trace.txt.gz"
+        write_text_trace(original, path)
+        import gzip
+
+        assert open(path, "rb").read()[:2] == b"\x1f\x8b"
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+        loaded = read_text_trace(path)
+        assert loaded.instructions == original.instructions
+
+    def test_roundtrip_bit_identical(self, tmp_path):
+        # Equal traces must produce byte-identical files (gzip included:
+        # mtime is pinned to 0), so text exports diff cleanly.
+        original = _rich_trace()
+        for suffix in ("a.txt", "a.txt.gz"):
+            p1, p2 = tmp_path / ("1" + suffix), tmp_path / ("2" + suffix)
+            write_text_trace(original, p1)
+            write_text_trace(original, p2)
+            assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_write_is_atomic(self, tmp_path, monkeypatch):
+        # Regression: a bare open(path, "w") could leave a torn file; the
+        # crash-safe artifact layer writes tmp + fsync + rename, so a
+        # failure mid-write must leave the original intact.
+        path = tmp_path / "trace.txt"
+        write_text_trace(_rich_trace(), path)
+        before = open(path, "rb").read()
+
+        import repro.check.artifacts as artifacts
+
+        real_fsync = artifacts.os.fsync
+
+        def exploding_fsync(fd):
+            real_fsync(fd)
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(artifacts.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            write_text_trace(Trace("other", [Instruction(pc=0x1)]), path)
+        assert open(path, "rb").read() == before
+        leftovers = [p for p in path.parent.iterdir() if p.name != path.name]
+        assert not leftovers  # no orphaned temp files
+
+    def test_parse_error_is_trace_error(self, tmp_path):
+        # Regression: TraceParseError was a standalone ValueError outside
+        # the TraceError taxonomy, bypassing structured CLI handling and
+        # suite quarantine.
+        from repro.check.errors import TraceError
+
+        assert issubclass(TraceParseError, TraceError)
+        assert issubclass(TraceParseError, ValueError)
+        path = tmp_path / "bad.txt"
+        path.write_text("0x1000\ngarbage line\n")
+        with pytest.raises(TraceParseError) as exc:
+            read_text_trace(path)
+        err = exc.value
+        assert err.line_no == 2
+        assert err.path == str(path)
+        assert err.record_index == 1
+        assert str(path) in str(err)
+
+
 class TestCli:
     def test_gen_and_run(self, tmp_path, capsys):
         out = str(tmp_path / "w.trc")

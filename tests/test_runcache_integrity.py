@@ -46,7 +46,7 @@ class TestRunKeyCanonical:
         )
         assert (
             run_key(spec, "next_line", SimConfig(), 20_000)
-            == "e446a545dad016fc993541cd58f45835"
+            == "caabd219ce55b3f435ade75e223883d6"
         )
 
     def test_key_distinguishes_every_component(self):
