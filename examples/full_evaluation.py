@@ -26,11 +26,18 @@ stage lands in one merged Chrome trace-event JSON (load it at
 https://ui.perfetto.dev).  ``--progress`` renders a live status line
 from worker heartbeats (equivalent to ``REPRO_PROGRESS=1``).
 
+With ``--events PATH`` every figure driver appends its telemetry to one
+JSONL run ledger (equivalent to ``REPRO_EVENTS=PATH``) — inspect it with
+``python -m repro events PATH --summary`` or watch it live from another
+terminal with ``python -m repro top PATH``.  ``--metrics-port N`` serves
+live ``repro_engine_*`` gauges as Prometheus text on
+``http://127.0.0.1:N/metrics`` for the duration of the run.
+
 Usage::
 
     python examples/full_evaluation.py [--per-category N] [--jobs N]
         [--cache-dir DIR] [--resume] [--trace FILE] [--progress]
-        [--out FILE]
+        [--events FILE] [--metrics-port N] [--out FILE]
 """
 
 import argparse
@@ -93,6 +100,13 @@ def main() -> None:
     parser.add_argument("--trace", type=str, default=None, metavar="PATH",
                         help="write a merged Chrome trace-event JSON of the "
                              "whole evaluation to PATH (Perfetto-loadable)")
+    parser.add_argument("--events", type=str, default=None, metavar="PATH",
+                        help="append every telemetry event to this JSONL "
+                             "run ledger (equivalent to REPRO_EVENTS)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live engine gauges as Prometheus text "
+                             "on http://127.0.0.1:PORT/metrics")
     parser.add_argument("--progress", action="store_true",
                         help="render a live progress line from worker "
                              "heartbeats (equivalent to REPRO_PROGRESS=1)")
@@ -119,6 +133,25 @@ def main() -> None:
 
         recorder = SpanRecorder(role="evaluation")
         set_span_recorder(recorder)
+
+    # One event bus for the whole campaign: every run_suite call below
+    # reuses the installed bus, so all figure drivers append to a single
+    # ledger and feed a single set of live gauges.
+    bus = None
+    metrics_server = None
+    if args.events or args.metrics_port is not None:
+        from repro.obs.events import open_bus, set_event_bus
+
+        bus = open_bus(args.events)
+        if args.metrics_port is not None:
+            from repro.obs.exporthttp import (MetricsHTTPServer,
+                                              bus_metrics_source)
+
+            metrics_server = MetricsHTTPServer(
+                bus_metrics_source(bus), port=args.metrics_port)
+            metrics_server.start()
+            print(f"metrics: {metrics_server.url}", file=sys.stderr)
+        set_event_bus(bus)
 
     jobs = resolve_jobs(args.jobs)
     # One shared cache for every figure driver in this process: figures
@@ -234,6 +267,18 @@ def main() -> None:
         write_chrome_trace(recorder.spans, args.trace, process_names=names)
         print(f"execution trace written to {args.trace} "
               f"(load at https://ui.perfetto.dev)", file=sys.stderr)
+
+    if bus is not None:
+        from repro.obs.events import set_event_bus
+
+        if metrics_server is not None:
+            metrics_server.stop()
+        set_event_bus(None)
+        bus.close()
+        if args.events:
+            print(f"run ledger written to {args.events} "
+                  f"(python -m repro events {args.events} --summary)",
+                  file=sys.stderr)
 
     if args.out:
         with open(args.out, "w") as fh:

@@ -266,6 +266,23 @@ def run_single(
         logger.warning(
             "%s/%s: %s", config_name, spec.name, checker.report().summary_line()
         )
+    if checker is not None:
+        # Publish the sanitizer report onto the telemetry bus, if one is
+        # installed — discovered via sys.modules (never imported), the
+        # same zero-cost pattern as _discover_span_recorder.  In a worker
+        # this finds the WorkerEventRelay and the report crosses the
+        # progress queue; in-process it finds the parent bus directly.
+        events_mod = sys.modules.get("repro.obs.events")
+        bus = events_mod.get_event_bus() if events_mod is not None else None
+        if bus is not None:
+            report = checker.report()
+            bus.emit(
+                "sanitizer",
+                config=config_name,
+                workload=spec.name,
+                cycle=result.stats.cycles,
+                payload=report.to_payload(),
+            )
     return result
 
 
@@ -290,11 +307,12 @@ def run_cached(
     key = run_key(
         spec, config_name, sim_config, resolve_warmup(spec, warmup_instructions)
     )
-    hit = active.get(key)
+    label = f"{config_name}/{spec.name}"
+    hit = active.get(key, label=label)
     if hit is not None:
         return hit
     result = run_single(spec, config_name, base_config, warmup_instructions)
-    active.put(key, result)
+    active.put(key, result, label=label)
     return result
 
 
@@ -359,6 +377,7 @@ def run_suite(
     retry_policy: Optional["RetryPolicy"] = None,
     trace_path: Optional[str] = None,
     progress: Union[bool, Any, None] = None,
+    events_path: Optional[str] = None,
 ) -> EvaluationResult:
     """Run a set of configurations over a suite of workloads.
 
@@ -384,8 +403,19 @@ def run_suite(
     ``progress`` (or ``REPRO_PROGRESS=1``) renders a throttled live
     status line from worker heartbeats and flags silent workers before
     the task timeout fires (see ``evaluation.faults.stale_tasks``).
-    Both are strictly opt-in: architectural results are bit-identical
-    with or without them.
+
+    ``events_path`` (or ``REPRO_EVENTS``) appends every telemetry event
+    — suite lifecycle, task starts/heartbeats/finishes, executor
+    verdicts, cache hits/misses, sanitizer reports — to a JSONL run
+    ledger (see :mod:`repro.obs.events`); a crash/timeout/quarantine
+    additionally dumps a flight-recorder artifact next to the ledger,
+    linked from ``evaluation.faults.flight_recordings``.  A process bus
+    already installed via ``repro.obs.events.set_event_bus`` (the CLI's
+    ``--events``/``--metrics-port`` session) is reused instead.
+
+    All three are strictly opt-in: architectural results are
+    bit-identical with or without them, and none of the observability
+    modules is even imported when its feature is off.
     """
     names = list(config_names)
     if include_baseline and "no" not in names:
@@ -408,9 +438,29 @@ def run_suite(
 
         collector = SuiteSpanCollector(recorder)
 
+    # Telemetry bus: an explicit events_path creates (and owns) one; a bus
+    # installed via set_event_bus (CLI session) is reused; REPRO_EVENTS is
+    # the env fallback.  Discovery goes through sys.modules so a run with
+    # no events configured never imports repro.obs.events.
+    events_bus: Optional[Any] = None
+    owns_bus = False
+    if events_path is None:
+        events_mod = sys.modules.get("repro.obs.events")
+        if events_mod is not None:
+            events_bus = events_mod.get_event_bus()
+        if events_bus is None:
+            events_path = os.environ.get("REPRO_EVENTS", "").strip() or None
+    if events_bus is None and events_path is not None:
+        from repro.obs.events import open_bus
+
+        events_bus = open_bus(events_path)
+        owns_bus = True
+
     monitor: Optional[Any] = None
     stream = _progress_stream(progress)
-    if stream is not None:
+    if stream is not None or events_bus is not None:
+        # Events ride the heartbeat queue, so a bus forces the monitor
+        # (stream may stay None — then nothing is rendered, only sunk).
         from repro.analysis.parallel import resolve_policy
         from repro.obs.heartbeat import (
             HeartbeatMonitor,
@@ -442,57 +492,88 @@ def run_suite(
         if recorder is not None
         else nullcontext()
     )
-    with stage("run_suite"), suite_span:
-        if use_engine:
-            from repro.analysis.parallel import run_tasks_parallel
+    if events_bus is not None:
+        events_bus.emit(
+            "suite_started",
+            payload={
+                "n_configs": len(names),
+                "n_workloads": len(specs),
+                "n_tasks": len(names) * len(specs),
+                "jobs": n_jobs,
+            },
+        )
+    try:
+        with stage("run_suite"), suite_span:
+            if use_engine:
+                from repro.analysis.parallel import run_tasks_parallel
 
-            outcome = run_tasks_parallel(
-                specs,
-                names,
-                base_config=base_config,
-                warmup_instructions=warmup_instructions,
-                jobs=n_jobs,
-                cache=_resolve_cache(cache),
-                checkpoint=active_checkpoint,
-                policy=retry_policy,
-                span_collector=collector,
-                monitor=monitor,
-            )
-            evaluation.runs = outcome.runs
-            evaluation.faults = outcome.report
-        else:
-            for name in names:
-                evaluation.runs[name] = {}
-                for spec in specs:
-                    try:
-                        evaluation.runs[name][spec.name] = run_cached(
-                            spec, name, base_config, warmup_instructions,
-                            cache=cache,
-                        )
-                    except ValueError as exc:
-                        # Bad ingestion input (TraceError, ConfigError, an
-                        # unknown workload category, ...): quarantine the
-                        # pair instead of killing the whole suite, mirroring
-                        # the engine path's fault handling.
-                        from repro.analysis.parallel import (
-                            FaultReport,
-                            TaskFailure,
-                        )
-
-                        if evaluation.faults is None:
-                            evaluation.faults = FaultReport()
-                        evaluation.faults.attempts += 1
-                        evaluation.faults.task_errors += 1
-                        evaluation.faults.quarantined.append(
-                            TaskFailure(
-                                label=f"{name}/{spec.name}",
-                                attempts=1,
-                                error=f"{type(exc).__name__}: {exc}",
+                outcome = run_tasks_parallel(
+                    specs,
+                    names,
+                    base_config=base_config,
+                    warmup_instructions=warmup_instructions,
+                    jobs=n_jobs,
+                    cache=_resolve_cache(cache),
+                    checkpoint=active_checkpoint,
+                    policy=retry_policy,
+                    span_collector=collector,
+                    monitor=monitor,
+                    events_bus=events_bus,
+                )
+                evaluation.runs = outcome.runs
+                evaluation.faults = outcome.report
+            else:
+                for name in names:
+                    evaluation.runs[name] = {}
+                    for spec in specs:
+                        try:
+                            evaluation.runs[name][spec.name] = run_cached(
+                                spec, name, base_config, warmup_instructions,
+                                cache=cache,
                             )
-                        )
-                        logger.warning(
-                            "quarantined %s/%s: %s", name, spec.name, exc
-                        )
+                        except ValueError as exc:
+                            # Bad ingestion input (TraceError, ConfigError,
+                            # an unknown workload category, ...): quarantine
+                            # the pair instead of killing the whole suite,
+                            # mirroring the engine path's fault handling.
+                            from repro.analysis.parallel import (
+                                FaultReport,
+                                TaskFailure,
+                            )
+
+                            if evaluation.faults is None:
+                                evaluation.faults = FaultReport()
+                            evaluation.faults.attempts += 1
+                            evaluation.faults.task_errors += 1
+                            evaluation.faults.quarantined.append(
+                                TaskFailure(
+                                    label=f"{name}/{spec.name}",
+                                    attempts=1,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            )
+                            logger.warning(
+                                "quarantined %s/%s: %s", name, spec.name, exc
+                            )
+    finally:
+        if events_bus is not None:
+            completed = sum(len(per) for per in evaluation.runs.values())
+            quarantined = (
+                len(evaluation.faults.quarantined)
+                if evaluation.faults is not None
+                else 0
+            )
+            try:
+                events_bus.emit(
+                    "suite_finished",
+                    payload={
+                        "completed": completed,
+                        "quarantined": quarantined,
+                    },
+                )
+            finally:
+                if owns_bus:
+                    events_bus.close()
     if collector is not None:
         collector.finish()
     if trace_path is not None and recorder is not None:

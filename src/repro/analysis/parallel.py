@@ -43,6 +43,7 @@ import logging
 import multiprocessing
 import os
 import queue as queue_module
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -178,6 +179,11 @@ class FaultReport:
     # these record that the early-warning tripped.
     heartbeat_stale: int = 0
     stale_tasks: List[str] = field(default_factory=list)
+    # Crash post-mortems (see repro.obs.events.FlightRecorder): label ->
+    # path of the flight-recorder artifact dumped when the task's attempt
+    # crashed/timed out/was quarantined.  Only populated when telemetry
+    # events are on; advisory, not part of ``clean``.
+    flight_recordings: Dict[str, str] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -201,6 +207,7 @@ class FaultReport:
         self.quarantined.extend(other.quarantined)
         self.heartbeat_stale += other.heartbeat_stale
         self.stale_tasks.extend(other.stale_tasks)
+        self.flight_recordings.update(other.flight_recordings)
 
     def summary_line(self) -> str:
         parts = [
@@ -612,17 +619,24 @@ def execute_task_attempt(
     record_spans: bool = False,
     progress: Optional[Any] = None,
     heartbeat_interval: Optional[float] = None,
+    events: bool = False,
 ) -> SimResult:
     """Worker entry point: fault injection + optional spans/heartbeats.
 
-    ``record_spans`` and ``progress`` (a queue for
-    :mod:`repro.obs.heartbeat` events) are bound by the parent through
-    ``functools.partial``; both default off, and the observability
-    modules are only imported when the corresponding feature is on, so
-    an untraced worker runs the exact pre-observability path.
+    ``record_spans``, ``progress`` (a queue for
+    :mod:`repro.obs.heartbeat` events) and ``events`` are bound by the
+    parent through ``functools.partial``; all default off, and the
+    observability modules are only imported when the corresponding
+    feature is on, so an untraced worker runs the exact
+    pre-observability path.  ``events`` installs a
+    :class:`~repro.obs.events.WorkerEventRelay` as this worker's process
+    bus for the attempt, so worker-side publishers (the sanitizer path)
+    reach the parent's ledger over the same progress queue.
     """
     label = task_label(task)
     pulse = None
+    relay_installed = False
+    previous_bus: Any = None
     if progress is not None:
         from repro.obs.heartbeat import (
             DEFAULT_HEARTBEAT_INTERVAL,
@@ -635,6 +649,13 @@ def execute_task_attempt(
             progress, label, heartbeat_interval or DEFAULT_HEARTBEAT_INTERVAL
         )
         pulse.start()
+        if events:
+            from repro.obs.events import WorkerEventRelay, set_event_bus
+
+            previous_bus = set_event_bus(
+                WorkerEventRelay(progress, label, attempt)
+            )
+            relay_installed = True
     try:
         if record_spans:
             from repro.obs.spans import worker_span_scope
@@ -652,6 +673,8 @@ def execute_task_attempt(
             emit_event(progress, "failed", label, attempt=attempt)
         raise
     finally:
+        if relay_installed:
+            set_event_bus(previous_bus)
         if pulse is not None:
             pulse.stop()
     if progress is not None:
@@ -678,6 +701,7 @@ def run_tasks_parallel(
     policy: Optional[RetryPolicy] = None,
     span_collector: Optional[Any] = None,
     monitor: Optional[Any] = None,
+    events_bus: Optional[Any] = None,
 ) -> SuiteOutcome:
     """Evaluate ``config_names`` x ``specs`` with ``jobs`` worker processes.
 
@@ -703,99 +727,176 @@ def run_tasks_parallel(
         (name, spec) for name in config_names for spec in specs
     ]
 
-    results: Dict[Tuple[str, str], SimResult] = {}
-    pending: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
-    for name, spec in ordered:
-        key: Optional[str] = None
-        if cache is not None or checkpoint is not None:
-            _prefetcher, sim_config = resolve_config(name, base)
-            key = run_key(
-                spec, name, sim_config, resolve_warmup(spec, warmup_instructions)
-            )
-        if cache is not None and key is not None:
-            lookup_started = time.time()
-            hit = cache.get(key)
-            if span_collector is not None:
-                span_collector.cache_lookup(
-                    f"{name}/{spec.name}", hit is not None,
-                    lookup_started, time.time(),
-                )
-            if hit is not None:
-                results[(name, spec.name)] = hit
-                if monitor is not None:
-                    monitor.note_cache_hit(f"{name}/{spec.name}")
-                if checkpoint is not None:
-                    checkpoint.note_hit(key)
-                    checkpoint.mark_done(key, name, spec.name)
-                continue
-        pending.append((name, spec, key))
-
-    report = FaultReport()
-    if pending:
-        tasks = [
-            RunTask(spec, name, base_config, warmup_instructions)
-            for name, spec, _key in pending
-        ]
-        labels = [task_label(task) for task in tasks]
-        fn: Callable[..., Any] = execute_task_attempt
-        manager = None
-        progress_queue: Optional[Any] = None
-        heartbeat_interval: Optional[float] = None
-        if monitor is not None:
-            from repro.obs.heartbeat import heartbeat_interval_from_env
-
-            heartbeat_interval = heartbeat_interval_from_env()
-            if jobs > 1:
-                # Plain mp.Queue objects cannot cross a
-                # ProcessPoolExecutor.submit boundary; manager proxies can.
-                manager = multiprocessing.Manager()
-                progress_queue = manager.Queue()
-            else:
-                progress_queue = queue_module.Queue()
-            monitor.attach_queue(progress_queue)
-            monitor.start()
-        if span_collector is not None or progress_queue is not None:
-            fn = functools.partial(
-                execute_task_attempt,
-                record_spans=span_collector is not None,
-                progress=progress_queue,
-                heartbeat_interval=heartbeat_interval,
-            )
-        try:
-            outcome = map_resilient(
-                fn,
-                tasks,
-                labels,
-                jobs=jobs,
-                policy=policy,
-                validate=result_valid,
-                observer=span_collector,
-            )
-            report = outcome.report
-            for (name, spec, key), result, n_attempts in zip(
-                pending, outcome.results, outcome.attempts
+    # Attach the cache's telemetry publisher for the duration of this
+    # evaluation (restored on exit: the cache may be process-global).
+    publisher_attached = False
+    previous_publisher: Optional[Any] = None
+    if events_bus is not None and cache is not None:
+        previous_publisher = cache.publisher
+        cache.publisher = events_bus
+        publisher_attached = True
+    try:
+        results: Dict[Tuple[str, str], SimResult] = {}
+        pending: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
+        label_keys: Dict[str, str] = {}  # task label -> run-key provenance
+        for name, spec in ordered:
+            key: Optional[str] = None
+            if (
+                cache is not None
+                or checkpoint is not None
+                or events_bus is not None
             ):
-                label = f"{name}/{spec.name}"
-                if result is None:
+                _prefetcher, sim_config = resolve_config(name, base)
+                key = run_key(
+                    spec, name, sim_config,
+                    resolve_warmup(spec, warmup_instructions),
+                )
+                label_keys[f"{name}/{spec.name}"] = key
+            if cache is not None and key is not None:
+                lookup_started = time.time()
+                hit = cache.get(key, label=f"{name}/{spec.name}")
+                if span_collector is not None:
+                    span_collector.cache_lookup(
+                        f"{name}/{spec.name}", hit is not None,
+                        lookup_started, time.time(),
+                    )
+                if hit is not None:
+                    results[(name, spec.name)] = hit
                     if monitor is not None:
-                        monitor.note_quarantined(label)
-                    continue  # quarantined — reported, not fatal
-                if span_collector is not None and result.spans is not None:
-                    span_collector.add_batch(result.spans, label)
-                    result.spans = None  # never cache or return batches
-                result.stats.attempts = max(1, n_attempts)
-                results[(name, spec.name)] = result
-                if cache is not None and key is not None:
-                    cache.put(key, result)
-                if checkpoint is not None and key is not None:
-                    checkpoint.mark_done(key, name, spec.name)
-        finally:
+                        monitor.note_cache_hit(f"{name}/{spec.name}")
+                    if checkpoint is not None:
+                        checkpoint.note_hit(key)
+                        checkpoint.mark_done(key, name, spec.name)
+                    continue
+            pending.append((name, spec, key))
+
+        report = FaultReport()
+        if pending:
+            tasks = [
+                RunTask(spec, name, base_config, warmup_instructions)
+                for name, spec, _key in pending
+            ]
+            labels = [task_label(task) for task in tasks]
+            fn: Callable[..., Any] = execute_task_attempt
+            manager = None
+            progress_queue: Optional[Any] = None
+            heartbeat_interval: Optional[float] = None
+            events_observer: Optional[Any] = None
             if monitor is not None:
-                monitor.close()
-                report.heartbeat_stale += len(monitor.stale_tasks)
-                report.stale_tasks.extend(monitor.stale_tasks)
-            if manager is not None:
-                manager.shutdown()
+                from repro.obs.heartbeat import heartbeat_interval_from_env
+
+                heartbeat_interval = heartbeat_interval_from_env()
+                if jobs > 1:
+                    # Plain mp.Queue objects cannot cross a
+                    # ProcessPoolExecutor.submit boundary; manager proxies
+                    # can.
+                    manager = multiprocessing.Manager()
+                    progress_queue = manager.Queue()
+                else:
+                    progress_queue = queue_module.Queue()
+                monitor.attach_queue(progress_queue)
+                monitor.start()
+            observer: Optional[Any] = span_collector
+            if events_bus is not None:
+                from repro.obs.events import (
+                    EventObserver,
+                    compose_observers,
+                    progress_event_sink,
+                )
+
+                if monitor is not None:
+                    monitor.sink = progress_event_sink(events_bus, label_keys)
+                events_observer = EventObserver(
+                    events_bus,
+                    flight_dir=events_bus.flight_dir,
+                    label_keys=label_keys,
+                )
+                observer = compose_observers(span_collector, events_observer)
+            if span_collector is not None or progress_queue is not None:
+                fn = functools.partial(
+                    execute_task_attempt,
+                    record_spans=span_collector is not None,
+                    progress=progress_queue,
+                    heartbeat_interval=heartbeat_interval,
+                    events=events_bus is not None,
+                )
+            try:
+                outcome = map_resilient(
+                    fn,
+                    tasks,
+                    labels,
+                    jobs=jobs,
+                    policy=policy,
+                    validate=result_valid,
+                    observer=observer,
+                )
+                report = outcome.report
+                for (name, spec, key), result, n_attempts in zip(
+                    pending, outcome.results, outcome.attempts
+                ):
+                    label = f"{name}/{spec.name}"
+                    if result is None:
+                        if monitor is not None:
+                            monitor.note_quarantined(label)
+                        continue  # quarantined — reported, not fatal
+                    if span_collector is not None and result.spans is not None:
+                        span_collector.add_batch(result.spans, label)
+                        result.spans = None  # never cache or return batches
+                    result.stats.attempts = max(1, n_attempts)
+                    results[(name, spec.name)] = result
+                    if cache is not None and key is not None:
+                        cache.put(key, result, label=label)
+                    if checkpoint is not None and key is not None:
+                        checkpoint.mark_done(key, name, spec.name)
+                if events_observer is not None:
+                    # Final verdicts + crash post-mortems: one quarantined
+                    # event per task that failed every attempt, and the
+                    # flight-recorder artifacts linked from the report.
+                    for failure in report.quarantined:
+                        events_observer.quarantined(
+                            failure.label, failure.attempts, failure.error
+                        )
+                    report.flight_recordings.update(
+                        events_observer.flight_paths
+                    )
+            finally:
+                if monitor is not None:
+                    # Guarded: close() must survive a KeyboardInterrupt
+                    # that already killed the Manager process (the queue
+                    # proxy raises on every drain attempt).
+                    try:
+                        monitor.close()
+                    except Exception:  # noqa: BLE001
+                        pass
+                    report.heartbeat_stale += len(monitor.stale_tasks)
+                    report.stale_tasks.extend(monitor.stale_tasks)
+                if manager is not None:
+                    if sys.exc_info()[0] is not None:
+                        # Abnormal exit (KeyboardInterrupt mid-suite):
+                        # orphaned pool workers may still be blocked on
+                        # call items that embed this Manager's queue
+                        # proxy, and unpickling one after the Manager
+                        # dies prints a FileNotFoundError traceback from
+                        # the worker bootstrap.  Terminate them first;
+                        # their results are lost either way.
+                        manager_process = getattr(manager, "_process", None)
+                        for child in multiprocessing.active_children():
+                            if child is manager_process:
+                                continue
+                            try:
+                                child.terminate()
+                            except Exception:  # noqa: BLE001
+                                pass
+                    # Shut the Manager down *now*, cleanly: leaving it to
+                    # the multiprocessing atexit machinery prints join
+                    # tracebacks when the parent is interrupted.
+                    try:
+                        manager.shutdown()
+                    except Exception:  # noqa: BLE001
+                        pass
+    finally:
+        if publisher_attached:
+            cache.publisher = previous_publisher
 
     runs: Dict[str, Dict[str, SimResult]] = {}
     for name in config_names:

@@ -131,6 +131,12 @@ class RunCache:
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self.disk_dir = disk_dir
+        #: Duck-typed telemetry hook (``repro.obs.events.EventBus``): when
+        #: set, every get/put emits a cache_hit/cache_miss/cache_store
+        #: event.  Same zero-cost pattern as the sanitizer's ``checker``
+        #: attribute — a single ``is None`` check, no imports here, and
+        #: publish failures never disturb the cache.
+        self.publisher: Optional[Any] = None
         self._mem: Dict[str, SimResult] = {}
         self._tmp_counter = itertools.count()
         self.hits = 0
@@ -147,7 +153,15 @@ class RunCache:
 
     # -- lookup / insert ----------------------------------------------------
 
-    def get(self, key: str) -> Optional[SimResult]:
+    def _publish(self, type_: str, key: str, label: str) -> None:
+        if self.publisher is None:
+            return
+        try:
+            self.publisher.emit(type_, run=key, label=label)
+        except Exception:  # noqa: BLE001 — telemetry never breaks the cache
+            logger.debug("cache event publish failed", exc_info=True)
+
+    def get(self, key: str, label: str = "") -> Optional[SimResult]:
         """The cached result for ``key``, or None (counts a hit/miss).
 
         Returns an independent copy: callers may mutate the stats (e.g.
@@ -157,6 +171,9 @@ class RunCache:
         to the *original* simulation — possibly another process or even
         another backend, since ``run_key`` ignores the backend field —
         so timing aggregation and speedup gates must skip them.
+
+        ``label`` is pure telemetry provenance (the engine's
+        ``config/workload`` task label) attached to published events.
         """
         result = self._mem.get(key)
         if result is None and self.disk_dir:
@@ -166,14 +183,16 @@ class RunCache:
                 self.disk_hits += 1
         if result is None:
             self.misses += 1
+            self._publish("cache_miss", key, label)
             return None
         self.hits += 1
         self.wall_seconds_saved += result.stats.wall_seconds
         served = self._copy(result)
         served.stats.from_cache = True
+        self._publish("cache_hit", key, label)
         return served
 
-    def put(self, key: str, result: SimResult) -> None:
+    def put(self, key: str, result: SimResult, label: str = "") -> None:
         """Store a detached copy of ``result`` under ``key``."""
         detached = self._copy(result)
         # The stored truth is never "served from a cache": the stamp is
@@ -183,6 +202,7 @@ class RunCache:
         self.stores += 1
         if self.disk_dir:
             self._store_disk(key, detached)
+        self._publish("cache_store", key, label)
 
     def clear(self) -> None:
         """Empty the in-memory cache and reset every counter.

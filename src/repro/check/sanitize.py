@@ -59,6 +59,19 @@ class SanitizerReport:
     def ok(self) -> bool:
         return not self.violations
 
+    def to_payload(self) -> dict:
+        """JSON-ready summary for telemetry events (:mod:`repro.obs.events`).
+
+        Violations are summarized (count + first few messages), not
+        serialized whole: a ledger record must stay one small line.
+        """
+        return {
+            "checks": self.checks,
+            "violations": len(self.violations),
+            "ok": self.ok,
+            "summary": self.summary_line(),
+        }
+
     def summary_line(self) -> str:
         if self.ok:
             return f"sanitizer: {self.checks} checks, no violations"

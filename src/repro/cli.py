@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the typical workflow of a prefetching study::
+Ten subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
     python -m repro import server.champsimtrace.gz out.trc
@@ -9,6 +9,9 @@ Seven subcommands mirror the typical workflow of a prefetching study::
     python -m repro tune --strategy genetic --seed 7 --out front
     python -m repro trace out.trc --prefetcher entangling_4k --export out
     python -m repro bench-check BENCH_throughput.json
+    python -m repro events events.jsonl --summary
+    python -m repro top events.jsonl
+    python -m repro metrics-serve events.jsonl --port 9095
 
 ``gen`` writes a synthetic workload to a trace file (including the
 multi-tenant ``microservice`` category); ``import`` converts an external
@@ -28,12 +31,22 @@ benchmark record against the trajectory (see
 any supported trace format directly (the bytes are sniffed — see
 :mod:`repro.workloads.importers`), so ``import`` is only needed when the
 converted trace will be reused many times.
+
+Telemetry (:mod:`repro.obs.events`): ``run``/``sweep``/``tune`` accept
+``--events PATH`` (or ``REPRO_EVENTS``) to append every lifecycle,
+fault, cache, and sanitizer occurrence to a JSONL run ledger, and
+``--metrics-port N`` to serve live Prometheus metrics while they run.
+``events`` queries/tails a ledger, ``top`` renders a live status table
+from one, and ``metrics-serve`` exports a ledger over HTTP after the
+fact.  Without those flags the telemetry modules are never imported
+(the zero-cost contract of :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from functools import lru_cache
 from typing import List, Optional
 
@@ -140,6 +153,60 @@ def _run_one(trace, config_name: str, warmup: int, units=None, checker=None):
     )
 
 
+@contextmanager
+def _telemetry(args: argparse.Namespace, command: str, n_tasks: int = 1):
+    """CLI telemetry scope: run ledger + optional live metrics endpoint.
+
+    Yields the installed :class:`~repro.obs.events.EventBus`, or None
+    when neither ``--events`` / ``REPRO_EVENTS`` nor ``--metrics-port``
+    opted in — in which case nothing under ``repro.obs.events`` is
+    imported (the zero-cost contract).  The bus is installed as the
+    process bus for the scope so in-process publishers (sanitizer,
+    run cache) reach the same ledger, and suite_started/suite_finished
+    bracket the command.
+    """
+    import os
+
+    events_path = getattr(args, "events", None) or (
+        os.environ.get("REPRO_EVENTS", "").strip() or None
+    )
+    port = getattr(args, "metrics_port", None)
+    if not events_path and port is None:
+        yield None
+        return
+    from repro.obs.events import open_bus, set_event_bus
+
+    bus = open_bus(events_path)
+    server = None
+    if port is not None:
+        from repro.obs.exporthttp import MetricsHTTPServer, bus_metrics_source
+
+        server = MetricsHTTPServer(bus_metrics_source(bus), port=port)
+        server.start()
+        print(f"metrics: {server.url}", file=sys.stderr)
+    previous = set_event_bus(bus)
+    bus.emit(
+        "suite_started",
+        payload={"n_tasks": n_tasks, "command": command},
+    )
+    completed = False
+    try:
+        yield bus
+        completed = True
+    finally:
+        try:
+            bus.emit(
+                "suite_finished",
+                payload={"command": command, "completed": completed},
+            )
+        except Exception:  # noqa: BLE001 — telemetry never masks the exit
+            pass
+        set_event_bus(previous)
+        if server is not None:
+            server.stop()
+        bus.close()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import os
 
@@ -161,53 +228,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Propagate to worker processes (guarded mode) and keep the
         # in-process path on the same code route as REPRO_SANITIZE=1.
         os.environ["REPRO_SANITIZE"] = "1"
-    checker = None
-    if args.task_timeout is not None or args.retries is not None:
-        # Guarded execution: run the simulation in a worker process so a
-        # hang can be timed out and a crash retried.
-        from repro.analysis.parallel import map_resilient
+    with _telemetry(args, "run") as bus:
+        checker = None
+        if args.task_timeout is not None or args.retries is not None:
+            # Guarded execution: run the simulation in a worker process
+            # so a hang can be timed out and a crash retried.
+            from repro.analysis.parallel import map_resilient
 
-        outcome = map_resilient(
-            _sweep_worker,
-            [(args.trace, args.prefetcher, args.warmup)],
-            labels=[args.prefetcher],
-            jobs=2,  # pooled execution (1 task -> 1 worker); enables timeout
-            policy=_cli_policy(args),
-        )
-        result = outcome.results[0]
-        if result is None:
-            failure = outcome.report.quarantined[0]
-            print(f"FAILED {failure.label} after {failure.attempts} "
-                  f"attempt(s): {failure.error}", file=sys.stderr)
-            return 1
-    else:
-        try:
-            trace = _load_trace(args.trace, salvage=args.salvage, fmt=args.format)
-        except TraceError as exc:
-            print(f"run: {exc}", file=sys.stderr)
-            return 2
-        checker = sanitizer_from_env()
-        result = _run_one(trace, args.prefetcher, args.warmup, checker=checker)
-    from repro.sim.stages import resolve_backend
+            observer = None
+            if bus is not None:
+                from repro.obs.events import EventObserver
 
-    stats = result.stats
-    print(f"trace:      {result.trace_name} "
-          f"({stats.instructions} measured instructions)")
-    print(f"prefetcher: {result.prefetcher_name}")
-    print(f"backend:    {resolve_backend(None).backend_name}")
-    print(f"IPC:        {stats.ipc:.4f}")
-    print(f"L1I MPKI:   {stats.l1i_mpki:.2f}")
-    print(f"miss ratio: {stats.l1i_miss_ratio:.4f}")
-    print(f"prefetches: sent={stats.prefetches_sent} useful={stats.useful_prefetches} "
-          f"late={stats.late_prefetches} wrong={stats.wrong_prefetches}")
-    print(f"accuracy:   {stats.accuracy:.3f}")
-    print(f"branches:   {stats.branches} "
-          f"(mispredict rate {stats.branch_misprediction_rate:.3f})")
-    print(f"sim speed:  {stats.instrs_per_second:,.0f} instrs/s "
-          f"({stats.wall_seconds:.2f}s wall)")
-    if checker is not None:
-        print(checker.report().summary_line())
-    return 0
+                observer = EventObserver(
+                    bus, flight_dir=bus.flight_dir, standalone=True
+                )
+            outcome = map_resilient(
+                _sweep_worker,
+                [(args.trace, args.prefetcher, args.warmup)],
+                labels=[args.prefetcher],
+                jobs=2,  # pooled (1 task -> 1 worker); enables timeout
+                policy=_cli_policy(args),
+                observer=observer,
+            )
+            result = outcome.results[0]
+            if result is None:
+                failure = outcome.report.quarantined[0]
+                if observer is not None:
+                    observer.quarantined(
+                        failure.label, failure.attempts, failure.error
+                    )
+                    for path in observer.flight_paths.values():
+                        print(f"flight recording: {path}", file=sys.stderr)
+                print(f"FAILED {failure.label} after {failure.attempts} "
+                      f"attempt(s): {failure.error}", file=sys.stderr)
+                return 1
+        else:
+            try:
+                trace = _load_trace(
+                    args.trace, salvage=args.salvage, fmt=args.format
+                )
+            except TraceError as exc:
+                print(f"run: {exc}", file=sys.stderr)
+                return 2
+            checker = sanitizer_from_env()
+            if bus is not None:
+                bus.emit(
+                    "task_started",
+                    label=args.prefetcher,
+                    payload={"trace": args.trace},
+                )
+            result = _run_one(trace, args.prefetcher, args.warmup,
+                              checker=checker)
+            if bus is not None:
+                bus.emit(
+                    "task_finished",
+                    label=args.prefetcher,
+                    cycle=result.stats.cycles,
+                    payload={"ipc": result.stats.ipc},
+                )
+                if checker is not None:
+                    bus.emit(
+                        "sanitizer",
+                        config=args.prefetcher,
+                        workload=result.trace_name,
+                        cycle=result.stats.cycles,
+                        payload=checker.report().to_payload(),
+                    )
+        from repro.sim.stages import resolve_backend
+
+        stats = result.stats
+        print(f"trace:      {result.trace_name} "
+              f"({stats.instructions} measured instructions)")
+        print(f"prefetcher: {result.prefetcher_name}")
+        print(f"backend:    {resolve_backend(None).backend_name}")
+        print(f"IPC:        {stats.ipc:.4f}")
+        print(f"L1I MPKI:   {stats.l1i_mpki:.2f}")
+        print(f"miss ratio: {stats.l1i_miss_ratio:.4f}")
+        print(f"prefetches: sent={stats.prefetches_sent} "
+              f"useful={stats.useful_prefetches} "
+              f"late={stats.late_prefetches} wrong={stats.wrong_prefetches}")
+        print(f"accuracy:   {stats.accuracy:.3f}")
+        print(f"branches:   {stats.branches} "
+              f"(mispredict rate {stats.branch_misprediction_rate:.3f})")
+        print(f"sim speed:  {stats.instrs_per_second:,.0f} instrs/s "
+              f"({stats.wall_seconds:.2f}s wall)")
+        if checker is not None:
+            print(checker.report().summary_line())
+        return 0
 
 
 @lru_cache(maxsize=4)
@@ -261,67 +368,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     names = [n.strip() for n in args.prefetchers.split(",") if n.strip()]
     jobs = resolve_jobs(args.jobs)
     tasks = [(args.trace, name, args.warmup) for name in names]
-    recorder = collector = None
-    worker = _sweep_worker
-    if args.trace_out:
-        from functools import partial
+    with _telemetry(args, "sweep", n_tasks=len(names)) as bus:
+        recorder = collector = None
+        worker = _sweep_worker
+        if args.trace_out:
+            from functools import partial
 
-        from repro.obs.spans import SpanRecorder, SuiteSpanCollector
+            from repro.obs.spans import SpanRecorder, SuiteSpanCollector
 
-        recorder = SpanRecorder(role="sweep")
-        collector = SuiteSpanCollector(recorder)
-        worker = partial(_sweep_worker, record_spans=True)
-    outcome = map_resilient(
-        worker,
-        tasks,
-        labels=names,
-        jobs=jobs if len(names) > 1 else 1,
-        policy=_cli_policy(args),
-        observer=collector,
-    )
-    baseline = None
-    rows = []
-    total_wall = 0.0
-    for name, result in zip(names, outcome.results):
-        if result is None:
-            continue  # quarantined; reported below
-        if collector is not None and result.spans is not None:
-            collector.add_batch(result.spans, name)
-            result.spans = None
-        stats = result.stats
-        total_wall += stats.wall_seconds
-        if baseline is None:
-            baseline = stats
-        rows.append([
-            name,
-            stats.ipc,
-            stats.ipc / baseline.ipc if baseline.ipc else 0.0,
-            stats.l1i_mpki,
-            stats.coverage_vs(baseline),
-            stats.accuracy,
-        ])
-    if rows:
-        print(format_table(
-            ["config", "IPC", "vs first", "MPKI", "coverage", "accuracy"],
-            rows,
-            float_format="{:.3f}",
-        ))
-    print(f"({len(rows)}/{len(names)} configs, {total_wall:.1f}s of "
-          f"simulation, jobs={jobs})")
-    for failure in outcome.report.quarantined:
-        print(f"FAILED {failure.label} after {failure.attempts} attempt(s): "
-              f"{failure.error}", file=sys.stderr)
-    if collector is not None and recorder is not None:
-        from repro.obs.chrometrace import write_chrome_trace
+            recorder = SpanRecorder(role="sweep")
+            collector = SuiteSpanCollector(recorder)
+            worker = partial(_sweep_worker, record_spans=True)
+        events_observer = None
+        observer = collector
+        if bus is not None:
+            from repro.obs.events import EventObserver, compose_observers
 
-        collector.finish()
-        write_chrome_trace(
-            recorder.spans, args.trace_out,
-            process_names=collector.process_names(),
+            events_observer = EventObserver(
+                bus, flight_dir=bus.flight_dir, standalone=True
+            )
+            observer = compose_observers(collector, events_observer)
+        outcome = map_resilient(
+            worker,
+            tasks,
+            labels=names,
+            jobs=jobs if len(names) > 1 else 1,
+            policy=_cli_policy(args),
+            observer=observer,
         )
-        print(f"wrote execution trace {args.trace_out} "
-              f"(load at https://ui.perfetto.dev)")
-    return 0 if rows else 1
+        if events_observer is not None:
+            for failure in outcome.report.quarantined:
+                events_observer.quarantined(
+                    failure.label, failure.attempts, failure.error
+                )
+            for path in events_observer.flight_paths.values():
+                print(f"flight recording: {path}", file=sys.stderr)
+        baseline = None
+        rows = []
+        total_wall = 0.0
+        for name, result in zip(names, outcome.results):
+            if result is None:
+                continue  # quarantined; reported below
+            if collector is not None and result.spans is not None:
+                collector.add_batch(result.spans, name)
+                result.spans = None
+            stats = result.stats
+            total_wall += stats.wall_seconds
+            if baseline is None:
+                baseline = stats
+            rows.append([
+                name,
+                stats.ipc,
+                stats.ipc / baseline.ipc if baseline.ipc else 0.0,
+                stats.l1i_mpki,
+                stats.coverage_vs(baseline),
+                stats.accuracy,
+            ])
+        if rows:
+            print(format_table(
+                ["config", "IPC", "vs first", "MPKI", "coverage", "accuracy"],
+                rows,
+                float_format="{:.3f}",
+            ))
+        print(f"({len(rows)}/{len(names)} configs, {total_wall:.1f}s of "
+              f"simulation, jobs={jobs})")
+        for failure in outcome.report.quarantined:
+            print(f"FAILED {failure.label} after {failure.attempts} "
+                  f"attempt(s): {failure.error}", file=sys.stderr)
+        if collector is not None and recorder is not None:
+            from repro.obs.chrometrace import write_chrome_trace
+
+            collector.finish()
+            write_chrome_trace(
+                recorder.spans, args.trace_out,
+                process_names=collector.process_names(),
+            )
+            print(f"wrote execution trace {args.trace_out} "
+                  f"(load at https://ui.perfetto.dev)")
+        return 0 if rows else 1
 
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
@@ -405,7 +529,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"tune: {exc}", file=sys.stderr)
         return 2
-    result = tuner.search()
+    with _telemetry(args, "tune", n_tasks=0) as bus:
+        if bus is not None:
+            # The tuner drives map_resilient directly (not run_suite), so
+            # wire the cache's telemetry hook here; genome evaluations
+            # then surface as cache_miss/cache_store and resumed ones as
+            # cache_hit in the ledger.
+            cache.publisher = bus
+        result = tuner.search()
     print(result.render())
     if result.invalid:
         print(f"({result.invalid} structurally invalid genome(s) skipped)")
@@ -492,6 +623,154 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"wrote {path}")
 
     return 0 if ok else 1
+
+
+def _ledger_path(args: argparse.Namespace, command: str) -> Optional[str]:
+    """Positional ledger PATH with the ``REPRO_EVENTS`` fallback."""
+    import os
+
+    path = args.path or os.environ.get("REPRO_EVENTS", "").strip()
+    if not path:
+        print(f"{command}: give a ledger PATH (or set REPRO_EVENTS)",
+              file=sys.stderr)
+        return None
+    return path
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs.events import (
+        LedgerRead,
+        event_matches,
+        follow_events,
+        read_events,
+        summarize_events,
+    )
+
+    path = _ledger_path(args, "events")
+    if path is None:
+        return 2
+    types = None
+    if args.type:
+        types = [t.strip() for t in args.type.split(",") if t.strip()]
+    since, until = args.since, args.until
+    if args.last is not None:
+        since = time.time() - args.last
+
+    def matches(event) -> bool:
+        return event_matches(
+            event, types=types, run=args.run, workload=args.workload,
+            config=args.config, since=since, until=until,
+        )
+
+    if args.follow:
+        shown = 0
+        try:
+            for event in follow_events(path, duration=args.duration):
+                if not matches(event):
+                    continue
+                print(event.to_json_line(), flush=True)
+                shown += 1
+                if args.limit is not None and shown >= args.limit:
+                    break
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    read = read_events(path)
+    selected = [event for event in read.events if matches(event)]
+    if args.summary:
+        filtered = LedgerRead(
+            events=selected, torn=read.torn, invalid=read.invalid,
+            files=read.files,
+        )
+        print(json.dumps(summarize_events(filtered), indent=2,
+                         sort_keys=True))
+        return 0
+    if args.limit is not None:
+        selected = selected[-args.limit:]
+    for event in selected:
+        print(event.to_json_line())
+    if read.torn or read.invalid:
+        print(f"({read.torn} torn tail(s), {read.invalid} invalid line(s) "
+              f"skipped)", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.events import StatusAggregator, read_events
+
+    path = _ledger_path(args, "top")
+    if path is None:
+        return 2
+    deadline = None if args.duration is None else time.time() + args.duration
+    try:
+        while True:
+            status = StatusAggregator()
+            for event in read_events(path).events:
+                status.handle(event)
+            print(status.status_line())
+            rows = status.rows()
+            if rows:
+                print(format_table(["task", "status", "attempt", "age"],
+                                   rows))
+            if args.once or (deadline is not None
+                             and time.time() >= deadline):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_metrics_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.exporthttp import MetricsHTTPServer, ledger_metrics_source
+
+    path = _ledger_path(args, "metrics-serve")
+    if path is None:
+        return 2
+    server = MetricsHTTPServer(
+        ledger_metrics_source(path), host=args.host, port=args.port
+    )
+    server.start()
+    print(f"serving {path} at {server.url}", file=sys.stderr)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _add_telemetry_args(command_parser: argparse.ArgumentParser) -> None:
+    """The ``--events`` / ``--metrics-port`` pair shared by run/sweep/tune."""
+    command_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append telemetry events to a JSONL run ledger at PATH "
+             "(default: REPRO_EVENTS env or off); inspect it with "
+             "`repro events` / `repro top`",
+    )
+    command_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus metrics on 127.0.0.1:PORT while the "
+             "command runs (0 = any free port; the URL is printed on "
+             "stderr)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -614,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a crashed/hung run this many times "
              "(default: REPRO_TASK_RETRIES or 2; implies worker-process mode)",
     )
+    _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="compare prefetchers on one trace")
@@ -653,6 +933,7 @@ def build_parser() -> argparse.ArgumentParser:
              "execution (attempts, retries, worker spans) to PATH — "
              "load it at https://ui.perfetto.dev",
     )
+    _add_telemetry_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -783,6 +1064,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PREFIX",
         help="write the Pareto front to PREFIX.json and PREFIX.csv",
     )
+    _add_telemetry_args(tune)
     tune.set_defaults(func=_cmd_tune)
 
     traced = sub.add_parser(
@@ -827,6 +1109,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics registry to PREFIX.json/.csv/.prom",
     )
     traced.set_defaults(func=_cmd_trace)
+
+    events = sub.add_parser(
+        "events",
+        help="query or tail a telemetry run ledger (see --events)",
+    )
+    events.add_argument(
+        "path", nargs="?", default=None,
+        help="ledger JSONL file (default: REPRO_EVENTS env)",
+    )
+    events.add_argument(
+        "--type", default=None, metavar="T[,T...]",
+        help="keep only these event types (comma-separated, e.g. "
+             "task_failed,quarantined)",
+    )
+    events.add_argument(
+        "--run", default=None, metavar="KEY",
+        help="keep only events of this run key",
+    )
+    events.add_argument(
+        "--workload", default=None,
+        help="keep only events of this workload",
+    )
+    events.add_argument(
+        "--config", default=None,
+        help="keep only events of this configuration",
+    )
+    events.add_argument(
+        "--since", type=float, default=None, metavar="EPOCH",
+        help="keep only events at/after this Unix timestamp",
+    )
+    events.add_argument(
+        "--until", type=float, default=None, metavar="EPOCH",
+        help="keep only events at/before this Unix timestamp",
+    )
+    events.add_argument(
+        "--last", type=float, default=None, metavar="SECONDS",
+        help="keep only events from the trailing window (overrides --since)",
+    )
+    events.add_argument(
+        "--limit", type=int, default=None,
+        help="print at most this many events (the newest ones)",
+    )
+    events.add_argument(
+        "--summary", action="store_true",
+        help="print JSON counts per event type (+ torn/invalid line "
+             "tallies) instead of the events",
+    )
+    events.add_argument(
+        "--follow", action="store_true",
+        help="tail the ledger, printing matching events as they arrive",
+    )
+    events.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop a --follow after this long (default: until Ctrl-C)",
+    )
+    events.set_defaults(func=_cmd_events)
+
+    top = sub.add_parser(
+        "top",
+        help="live engine status table rendered from a run ledger",
+    )
+    top.add_argument(
+        "path", nargs="?", default=None,
+        help="ledger JSONL file (default: REPRO_EVENTS env)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2s)",
+    )
+    top.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this long (default: until Ctrl-C)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    metrics = sub.add_parser(
+        "metrics-serve",
+        help="serve a run ledger as Prometheus metrics over HTTP",
+    )
+    metrics.add_argument(
+        "path", nargs="?", default=None,
+        help="ledger JSONL file (default: REPRO_EVENTS env); re-read on "
+             "every scrape, so it may still be growing",
+    )
+    metrics.add_argument(
+        "--port", type=int, default=9095,
+        help="listen port (0 = any free port; default 9095)",
+    )
+    metrics.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    metrics.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop serving after this long (default: until Ctrl-C)",
+    )
+    metrics.set_defaults(func=_cmd_metrics_serve)
 
     return parser
 

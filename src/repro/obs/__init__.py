@@ -19,6 +19,11 @@ Independent facilities, all strictly opt-in:
   trace-event JSON loadable in Perfetto.
 * :mod:`repro.obs.heartbeat` — worker progress heartbeats and the
   parent-side live status line + stale-task detection.
+* :mod:`repro.obs.events` / :mod:`repro.obs.exporthttp` — the unified
+  telemetry event bus (one versioned schema over heartbeat, fault,
+  cache and sanitizer signals), the append-only JSONL run ledger, the
+  crash flight recorder, and the stdlib HTTP metrics endpoint serving
+  live engine gauges as Prometheus text.
 
 Overhead contract: a simulation constructed without a tracer or profiler
 executes the exact pre-observability code paths — every hook site is a
@@ -46,16 +51,24 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_KINDS",
+    "EventBus",
+    "EventLedger",
+    "FlightRecorder",
     "HeartbeatMonitor",
     "Metric",
+    "MetricsHTTPServer",
     "MetricsRegistry",
     "PhaseProfiler",
     "PrefetchTracer",
     "Span",
     "SpanRecorder",
+    "StatusAggregator",
+    "TelemetryEvent",
     "TimelinessReport",
     "TraceEvent",
     "get_stage_profiler",
+    "open_bus",
+    "read_events",
     "registry_for_run",
     "set_stage_profiler",
     "stage",
@@ -70,6 +83,14 @@ _LAZY = {
     "SpanRecorder": ("repro.obs.spans", "SpanRecorder"),
     "HeartbeatMonitor": ("repro.obs.heartbeat", "HeartbeatMonitor"),
     "write_chrome_trace": ("repro.obs.chrometrace", "write_chrome_trace"),
+    "EventBus": ("repro.obs.events", "EventBus"),
+    "EventLedger": ("repro.obs.events", "EventLedger"),
+    "FlightRecorder": ("repro.obs.events", "FlightRecorder"),
+    "StatusAggregator": ("repro.obs.events", "StatusAggregator"),
+    "TelemetryEvent": ("repro.obs.events", "TelemetryEvent"),
+    "open_bus": ("repro.obs.events", "open_bus"),
+    "read_events": ("repro.obs.events", "read_events"),
+    "MetricsHTTPServer": ("repro.obs.exporthttp", "MetricsHTTPServer"),
 }
 
 

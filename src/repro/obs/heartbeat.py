@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, TextIO, Tuple
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
 
 __all__ = [
     "DEFAULT_HEARTBEAT_INTERVAL",
@@ -31,6 +31,7 @@ __all__ = [
     "emit_event",
     "heartbeat_interval_from_env",
     "stale_after_from_env",
+    "stream_supports_rewrite",
 ]
 
 #: Seconds between worker heartbeats (``REPRO_HEARTBEAT_INTERVAL``).
@@ -47,7 +48,27 @@ EVENT_KINDS = (
     "failed",       # worker attempt raised (it will be retried/quarantined)
     "cache_hit",    # parent served the task from the run cache
     "quarantined",  # parent gave up on the task after every attempt
+    "bus",          # opaque relayed telemetry event (repro.obs.events)
 )
+
+
+def stream_supports_rewrite(stream: Any) -> bool:
+    """Whether the status line may rewrite itself in place (``\\r``).
+
+    Only an interactive terminal gets carriage-return rewriting; piped
+    output, CI logs, ``NO_COLOR`` (https://no-color.org — users asking
+    for dumb output), and ``TERM=dumb`` all get plain newline-delimited
+    lines so the log stays greppable.
+    """
+    if os.environ.get("NO_COLOR"):
+        return False
+    if os.environ.get("TERM", "").strip().lower() == "dumb":
+        return False
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty and isatty())
+    except Exception:  # noqa: BLE001 — exotic stream objects
+        return False
 
 
 def _positive_float_env(name: str, default: float) -> float:
@@ -146,6 +167,11 @@ class HeartbeatMonitor:
         self.clock = clock
         self.poll = poll
         self.queue: Optional[Any] = None
+        #: Optional per-event tap (``repro.obs.events.progress_event_sink``):
+        #: invoked once for every event drained from the queue — not for
+        #: the parent-side note_* shortcuts, which have their own
+        #: publishers.  Failures are swallowed; progress must never die.
+        self.sink: Optional[Callable[[ProgressEvent], None]] = None
         self.done = 0
         self.failed = 0
         self.cache_hits = 0
@@ -155,6 +181,8 @@ class HeartbeatMonitor:
         self._lock = threading.Lock()
         self._last_render = 0.0
         self._last_line = ""
+        self._rewrite: Optional[bool] = None  # decided at first render
+        self._line_width = 0
         self._started_at = clock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -174,13 +202,34 @@ class HeartbeatMonitor:
         self._thread.start()
 
     def close(self) -> None:
-        """Stop the pump thread, drain what's left, render a final line."""
+        """Stop the pump thread, drain what's left, render a final line.
+
+        Safe on any termination path — ``KeyboardInterrupt`` mid-suite, a
+        Manager whose process already died, a closed stream: every step
+        is guarded, the final summary line is *always* attempted (even
+        when throttling suppressed every intermediate render), and a
+        rewriting status line is terminated with a newline so the shell
+        prompt does not land mid-line.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=2.0)
-            self._thread = None
-        self.pump()
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            try:
+                thread.join(timeout=2.0)
+            except Exception:  # noqa: BLE001 — interpreter tearing down
+                pass
+        try:
+            self.pump()
+        except Exception:  # noqa: BLE001 — dead manager queue at shutdown
+            pass
         self._render(force=True)
+        if self._rewrite and self.stream is not None:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except Exception:  # noqa: BLE001 — closed stream
+                pass
 
     def _loop(self) -> None:
         while not self._stop.wait(self.poll):
@@ -198,6 +247,11 @@ class HeartbeatMonitor:
                 except Exception:  # noqa: BLE001 — Empty, broken proxy, ...
                     break
                 self._handle(event)
+                if self.sink is not None:
+                    try:
+                        self.sink(event)
+                    except Exception:  # noqa: BLE001 — telemetry is advisory
+                        pass
         with self._lock:
             self._check_stale()
         self._render()
@@ -294,9 +348,19 @@ class HeartbeatMonitor:
         line = self.status_line()
         if not force and line == self._last_line:
             return
+        if self._rewrite is None:
+            self._rewrite = stream_supports_rewrite(self.stream)
         self._last_render = now
         self._last_line = line
         try:
-            print(line, file=self.stream, flush=True)
+            if self._rewrite:
+                # Rewrite in place, blank-padding any residue of a longer
+                # previous line; close() appends the terminating newline.
+                padding = " " * max(0, self._line_width - len(line))
+                self.stream.write("\r" + line + padding)
+                self.stream.flush()
+                self._line_width = len(line)
+            else:
+                print(line, file=self.stream, flush=True)
         except Exception:  # noqa: BLE001 — closed stream must not kill a run
             pass

@@ -8,7 +8,12 @@ deterministic; integration tests check the status line surfaces through
 """
 
 import io
+import os
 import queue
+import signal
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -20,6 +25,7 @@ from repro.obs.heartbeat import (
     emit_event,
     heartbeat_interval_from_env,
     stale_after_from_env,
+    stream_supports_rewrite,
 )
 from repro.workloads.generators import WorkloadSpec
 
@@ -39,6 +45,13 @@ class FakeClock:
 
 def _event(kind, label, when, **payload):
     return (kind, label, 12345, when, payload)
+
+
+class FakeTTY(io.StringIO):
+    """A StringIO that claims to be an interactive terminal."""
+
+    def isatty(self):
+        return True
 
 
 class TestEmitEvent:
@@ -209,6 +222,194 @@ class TestHeartbeatMonitor:
         monitor.queue = queue.Queue()
         monitor.queue.put(_event("started", "a", clock.now, attempt=0))
         monitor.pump()
+
+
+class TestStreamRewrite:
+    def test_tty_gets_carriage_return_rewriting(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm-256color")
+        stream = FakeTTY()
+        assert stream_supports_rewrite(stream)
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(2, stream=stream, throttle=0.0,
+                                   clock=clock)
+        monitor.attach_queue(queue.Queue())
+        monitor.queue.put(_event("started", "a", clock.now, attempt=0))
+        monitor.pump()
+        clock.advance(1.0)
+        monitor.queue.put(_event("finished", "a", clock.now))
+        monitor.pump()
+        out = stream.getvalue()
+        assert out.startswith("\r")
+        assert out.count("\r") == 2  # rewritten in place, not stacked
+        assert "\n" not in out  # the newline belongs to close()
+        monitor.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_rewrite_pads_over_longer_previous_line(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm")
+        stream = FakeTTY()
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(2, stream=stream, throttle=0.0,
+                                   clock=clock)
+        monitor.attach_queue(queue.Queue())
+        monitor._line_width = 0
+        monitor._render(force=True)
+        first_len = len(monitor._last_line)
+        monitor._last_line = ""  # force a re-render of a shorter line
+        monitor._line_width = first_len + 20
+        monitor._render(force=True)
+        chunks = stream.getvalue().split("\r")
+        assert len(chunks[-1]) >= first_len + 20  # blank-padded residue
+
+    def test_non_tty_gets_newline_lines(self):
+        stream = io.StringIO()  # isatty() is False
+        assert not stream_supports_rewrite(stream)
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1, stream=stream, throttle=0.0,
+                                   clock=clock)
+        monitor.attach_queue(queue.Queue())
+        monitor.queue.put(_event("started", "a", clock.now, attempt=0))
+        monitor.pump()
+        monitor.close()
+        out = stream.getvalue()
+        assert "\r" not in out
+        assert all(line.startswith("progress:")
+                   for line in out.strip().splitlines())
+
+    def test_no_color_and_dumb_term_disable_rewrite(self, monkeypatch):
+        stream = FakeTTY()
+        monkeypatch.setenv("NO_COLOR", "1")
+        assert not stream_supports_rewrite(stream)
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "dumb")
+        assert not stream_supports_rewrite(stream)
+        monkeypatch.setenv("TERM", "xterm")
+        assert stream_supports_rewrite(stream)
+
+    def test_exotic_isatty_failure_is_not_a_tty(self):
+        class Exotic:
+            def isatty(self):
+                raise OSError("no fd")
+
+        assert not stream_supports_rewrite(Exotic())
+
+    def test_close_always_emits_final_summary(self):
+        # Throttling suppressed every intermediate render; the final
+        # summary line must still appear so logs record the outcome.
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1, stream=stream, throttle=1e9,
+                                   clock=clock)
+        monitor.attach_queue(queue.Queue())
+        monitor.queue.put(_event("started", "a", clock.now, attempt=0))
+        monitor.queue.put(_event("finished", "a", clock.now))
+        monitor.pump()
+        monitor.pump()
+        monitor.close()
+        out = stream.getvalue()
+        assert "1/1 done" in out
+
+
+class TestMonitorSink:
+    def test_sink_sees_every_drained_event(self):
+        monitor, clock = TestHeartbeatMonitor()._monitor()
+        seen = []
+        monitor.sink = seen.append
+        started = _event("started", "a", clock.now, attempt=0)
+        finished = _event("finished", "a", clock.now)
+        monitor.queue.put(started)
+        monitor.queue.put(finished)
+        monitor.pump()
+        assert seen == [started, finished]
+
+    def test_sink_failure_never_breaks_the_pump(self):
+        monitor, clock = TestHeartbeatMonitor()._monitor()
+
+        def explode(event):
+            raise RuntimeError("sink bug")
+
+        monitor.sink = explode
+        monitor.queue.put(_event("finished", "a", clock.now))
+        monitor.pump()  # must not raise
+        assert monitor.done == 1
+
+    def test_note_shortcuts_bypass_the_sink(self):
+        monitor, _clock = TestHeartbeatMonitor()._monitor()
+        seen = []
+        monitor.sink = seen.append
+        monitor.note_cache_hit("a")
+        monitor.note_quarantined("b")
+        assert seen == []  # parent-side notes have their own publishers
+
+
+class TestCleanShutdown:
+    def test_close_tolerates_dead_queue_and_closed_stream(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(1, stream=stream, throttle=0.0,
+                                   clock=clock)
+
+        class DeadQueue:
+            def get_nowait(self):
+                raise ConnectionResetError("manager is gone")
+
+        monitor.attach_queue(DeadQueue())
+        stream.close()
+        monitor.close()  # must not raise
+
+    def test_sigint_mid_suite_exits_without_tracebacks(self, tmp_path):
+        """A parent killed mid-``run_suite`` must shut the Manager queue
+        down cleanly: no atexit tracebacks from the manager process, no
+        BrokenPipe noise from the monitor thread."""
+        script = tmp_path / "victim.py"
+        script.write_text(textwrap.dedent(
+            """
+            import io, sys
+            from repro.analysis.experiments import run_suite
+            from repro.workloads.generators import WorkloadSpec
+
+            specs = [
+                WorkloadSpec(name=f"sig_{i}", category="srv", seed=i,
+                             n_instructions=800_000)
+                for i in range(4)
+            ]
+            print("READY", flush=True)
+            try:
+                run_suite(
+                    specs, ["no", "next_line"], warmup_instructions=100_000,
+                    include_baseline=False, jobs=2, cache=None,
+                    checkpoint=None, progress=io.StringIO(),
+                )
+            except KeyboardInterrupt:
+                print("interrupted", file=sys.stderr, flush=True)
+                sys.exit(130)
+            sys.exit(0)
+            """
+        ))
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            import time
+
+            time.sleep(1.5)  # let the suite get into flight
+            proc.send_signal(signal.SIGINT)
+            _out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # Finishing before the signal (rc 0) is acceptable on a very
+        # fast machine; an interrupt must exit 130 with clean stderr.
+        assert proc.returncode in (0, 130), err
+        assert "Traceback" not in err, err
 
 
 class TestRunSuiteProgress:
