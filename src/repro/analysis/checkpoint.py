@@ -1,14 +1,22 @@
 """Resumable evaluations: a checkpoint manifest of finished run keys.
 
 A full paper-scale evaluation is hours of simulation; an interrupted
-sweep must not start from zero.  The :class:`CheckpointManifest` is a
-small JSON file, rewritten atomically after each completed (config,
-workload) pair, recording the run keys (see
-:func:`repro.analysis.runcache.run_key`) that finished.  It layers on
-the on-disk run cache: the cache holds the *results*, the manifest
-records *completion* and exposes counters (``resumed`` / ``resumed_hits``
-/ ``marked``) so drivers and tests can assert that a resumed evaluation
-re-simulated only the missing pairs.
+sweep must not start from zero.  The :class:`CheckpointManifest` records
+the run keys (see :func:`repro.analysis.runcache.run_key`) that
+finished.  It layers on the on-disk run cache: the cache holds the
+*results*, the manifest records *completion* and exposes counters
+(``resumed`` / ``resumed_hits`` / ``marked``) so drivers and tests can
+assert that a resumed evaluation re-simulated only the missing pairs.
+
+Format v2 is an append-only JSONL: each completed pair is one complete
+line written with a single ``os.write`` on an ``O_APPEND`` descriptor —
+the same pattern ``repro.obs.events.EventLedger`` uses — which POSIX
+serializes in the kernel, so *concurrent resuming processes sharing one
+manifest can no longer lose each other's keys* (format v1 rewrote the
+whole file per mark: two markers raced rewrite-vs-rewrite and the loser
+erased the winner's pairs).  Loading merges every line, tolerating a
+torn tail, and still reads whole-file v1 manifests, so existing
+checkpoints resume across the upgrade.
 
 The manifest is corruption-tolerant: a truncated or schema-mismatched
 file loads as empty (logged), never raises — losing a checkpoint only
@@ -21,22 +29,36 @@ by default, mirroring the run cache's global.
 
 from __future__ import annotations
 
-import itertools
 import json
 import logging
 import os
+import sys
 from typing import Dict, Optional, Set
 
 logger = logging.getLogger(__name__)
 
-_MANIFEST_FORMAT_VERSION = 1
+_MANIFEST_FORMAT_VERSION = 2
+_LEGACY_FORMAT_VERSION = 1
+
+
+def _fsfault(path: str) -> None:
+    """Chaos seam for manifest appends (zero-cost unless armed)."""
+    if (
+        "repro.check.fsfault" not in sys.modules
+        and not os.environ.get("REPRO_FSFAULT")
+    ):
+        return
+    from repro.check.fsfault import fault_check
+
+    fault_check("append", path, scope="checkpoint")
 
 
 class CheckpointManifest:
-    """Atomic, append-only record of completed run keys.
+    """Append-only record of completed run keys (JSONL, format v2).
 
-    ``resume=True`` (default) loads any existing manifest at ``path``;
-    ``resume=False`` starts empty and overwrites on the first mark.
+    ``resume=True`` (default) loads and merges any existing manifest at
+    ``path`` (v2 JSONL or legacy v1 whole-file JSON); ``resume=False``
+    starts empty and truncates on the first mark.
     """
 
     def __init__(self, path: str, resume: bool = True) -> None:
@@ -45,7 +67,9 @@ class CheckpointManifest:
         self.done: Dict[str, Dict[str, str]] = {}
         self.marked = 0          # new pairs recorded by this process
         self.resumed_hits = 0    # resumed pairs served without re-simulating
-        self._tmp_counter = itertools.count()
+        self._fd: Optional[int] = None
+        self._truncate = not resume
+        self._write_failed = False
         if resume:
             self.done = self._load(path)
         self._resumed_keys: Set[str] = set(self.done)
@@ -69,12 +93,27 @@ class CheckpointManifest:
             self.resumed_hits += 1
 
     def mark_done(self, key: str, config: str, workload: str) -> None:
-        """Record one finished pair and persist the manifest atomically."""
+        """Record one finished pair and append it to the manifest."""
         if key in self.done:
             return
         self.done[key] = {"config": config, "workload": workload}
         self.marked += 1
-        self._write()
+        self._append(
+            {
+                "format": _MANIFEST_FORMAT_VERSION,
+                "key": key,
+                "config": config,
+                "workload": workload,
+            }
+        )
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
 
     def stats_line(self) -> str:
         return (
@@ -88,54 +127,127 @@ class CheckpointManifest:
     @staticmethod
     def _load(path: str) -> Dict[str, Dict[str, str]]:
         try:
-            with open(path) as fh:
-                data = json.load(fh)
+            with open(path, "rb") as fh:
+                raw = fh.read()
         except FileNotFoundError:
             return {}
-        except (OSError, ValueError):
-            logger.warning(
-                "checkpoint manifest %s is unreadable/corrupt; starting fresh",
-                path,
-            )
-            return {}
-        if (
-            not isinstance(data, dict)
-            or data.get("format") != _MANIFEST_FORMAT_VERSION
-            or not isinstance(data.get("done"), dict)
-        ):
-            logger.warning(
-                "checkpoint manifest %s has an unknown schema; starting fresh",
-                path,
-            )
-            return {}
-        return {
-            str(key): {
-                "config": str(entry.get("config", "")),
-                "workload": str(entry.get("workload", "")),
-            }
-            for key, entry in data["done"].items()
-            if isinstance(entry, dict)
-        }
-
-    def _write(self) -> None:
-        payload = {"format": _MANIFEST_FORMAT_VERSION, "done": self.done}
-        # Unique tmp name per process *and* per write: concurrent writers
-        # sharing a manifest directory must never interleave into one tmp
-        # file (the same discipline as RunCache._store_disk).
-        tmp = (
-            f"{self.path}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
-        )
-        try:
-            with open(tmp, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, self.path)
         except OSError:
+            logger.warning(
+                "checkpoint manifest %s is unreadable; starting fresh", path
+            )
+            return {}
+        text = raw.decode("utf-8", errors="replace")
+
+        # Whole-file parse first: legacy v1 manifests (and any
+        # single-line JSON) land here, including schema rejects.
+        try:
+            whole = json.loads(text)
+        except ValueError:
+            whole = None
+        if whole is not None:
+            done = CheckpointManifest._merge_value(whole, {}, path)
+            if done is None:
+                logger.warning(
+                    "checkpoint manifest %s has an unknown schema; "
+                    "starting fresh", path,
+                )
+                return {}
+            return done
+
+        # JSONL (v2, possibly with a legacy v1 first line from before an
+        # in-place upgrade): merge every parseable line.  A torn tail —
+        # the final line cut mid-write by a crash — is expected damage
+        # and silently skipped; any other unparseable line is logged.
+        done: Dict[str, Dict[str, str]] = {}
+        lines = text.split("\n")
+        merged_any = False
+        for idx, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                value = json.loads(line)
+            except ValueError:
+                if all(not rest.strip() for rest in lines[idx + 1 :]):
+                    logger.debug(
+                        "checkpoint manifest %s has a torn tail; skipped",
+                        path,
+                    )
+                else:
+                    logger.warning(
+                        "checkpoint manifest %s line %d is corrupt; skipped",
+                        path, idx + 1,
+                    )
+                continue
+            merged = CheckpointManifest._merge_value(value, done, path)
+            if merged is None:
+                logger.warning(
+                    "checkpoint manifest %s line %d has an unknown schema; "
+                    "skipped", path, idx + 1,
+                )
+            else:
+                merged_any = True
+        if not merged_any and lines and any(line.strip() for line in lines):
+            logger.warning(
+                "checkpoint manifest %s is unreadable/corrupt; starting "
+                "fresh", path,
+            )
+        return done
+
+    @staticmethod
+    def _merge_value(
+        value: object, done: Dict[str, Dict[str, str]], path: str
+    ) -> Optional[Dict[str, Dict[str, str]]]:
+        """Merge one parsed JSON value (v1 dict or v2 record) into
+        ``done``; None means unrecognized schema."""
+        if not isinstance(value, dict):
+            return None
+        fmt = value.get("format")
+        if fmt == _LEGACY_FORMAT_VERSION and isinstance(value.get("done"), dict):
+            for key, entry in value["done"].items():
+                if isinstance(entry, dict):
+                    done[str(key)] = {
+                        "config": str(entry.get("config", "")),
+                        "workload": str(entry.get("workload", "")),
+                    }
+            return done
+        if fmt == _MANIFEST_FORMAT_VERSION and "key" in value:
+            done[str(value["key"])] = {
+                "config": str(value.get("config", "")),
+                "workload": str(value.get("workload", "")),
+            }
+            return done
+        return None
+
+    def _append(self, record: Dict[str, str]) -> None:
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        try:
+            _fsfault(self.path)
+            if self._fd is None:
+                flags = os.O_CREAT | os.O_RDWR | os.O_APPEND
+                if self._truncate:
+                    flags |= os.O_TRUNC
+                    self._truncate = False
+                self._fd = os.open(self.path, flags, 0o644)
+                # A legacy v1 manifest has no trailing newline; start our
+                # first appended line on a line of its own or the two
+                # records would fuse into one unparseable line.
+                size = os.fstat(self._fd).st_size
+                if size and os.pread(self._fd, 1, size - 1) != b"\n":
+                    line = b"\n" + line
+            # One os.write per record: O_APPEND writes are serialized by
+            # the kernel, so concurrent resuming processes interleave
+            # whole lines, never bytes — no marks are ever lost.
+            os.write(self._fd, line)
+        except OSError as exc:
             # Checkpointing is best-effort; an unwritable manifest only
             # costs resumability, never the evaluation itself.
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            if not self._write_failed:
+                self._write_failed = True
+                logger.warning(
+                    "checkpoint manifest %s is unwritable (%s); marks from "
+                    "this process will not persist", self.path, exc,
+                )
 
 
 _active_checkpoint: Optional[CheckpointManifest] = None

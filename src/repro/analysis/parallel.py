@@ -67,6 +67,11 @@ from repro.analysis.experiments import (
     run_single,
 )
 from repro.analysis.runcache import RunCache, run_key
+from repro.analysis.store import (
+    LeaseKeeper,
+    await_result,
+    coalesce_enabled,
+)
 from repro.sim.config import SimConfig
 from repro.sim.simulator import SimResult
 from repro.workloads.generators import WorkloadSpec
@@ -184,6 +189,10 @@ class FaultReport:
     # crashed/timed out/was quarantined.  Only populated when telemetry
     # events are on; advisory, not part of ``clean``.
     flight_recordings: Dict[str, str] = field(default_factory=dict)
+    # The shared run store hit ENOSPC/EIO and degraded to read-only
+    # during this evaluation (results stand, nothing was persisted).
+    # Advisory, not part of ``clean`` — that is the degradation contract.
+    store_degraded: bool = False
 
     @property
     def clean(self) -> bool:
@@ -208,6 +217,7 @@ class FaultReport:
         self.heartbeat_stale += other.heartbeat_stale
         self.stale_tasks.extend(other.stale_tasks)
         self.flight_recordings.update(other.flight_recordings)
+        self.store_degraded = self.store_degraded or other.store_degraded
 
     def summary_line(self) -> str:
         parts = [
@@ -224,6 +234,8 @@ class FaultReport:
             parts.append("serial fallback")
         if self.heartbeat_stale:
             parts.append(f"{self.heartbeat_stale} stale heartbeats")
+        if self.store_degraded:
+            parts.append("store degraded (read-only)")
         parts.append(f"{len(self.quarantined)} quarantined")
         return "faults: " + ", ".join(parts)
 
@@ -456,6 +468,7 @@ def map_resilient(
     pending: List[int] = list(range(len(tasks)))
     errors: Dict[int, str] = {}
     broken = False
+    healthy = False
     pool: Optional[ProcessPoolExecutor] = None
     try:
         for attempt in range(active.retries + 1):
@@ -532,9 +545,21 @@ def map_resilient(
                 # the pool; the abandoned workers exit on their own.
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
+        healthy = not broken
     finally:
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Synchronous teardown on the healthy path.  This function
+            # may run inside a multiprocessing child, whose _bootstrap
+            # calls util._exit_function() the moment run() returns —
+            # *before* concurrent.futures' own exit hook.  That runs the
+            # call queue's finalizer, killing its feeder thread; an
+            # executor still shutting down asynchronously then loses its
+            # worker exit sentinels and both sides deadlock in join().
+            # Waiting here is cheap (all futures are already resolved)
+            # and guarantees no executor teardown outlives this call.
+            # A broken pool (or an exception unwinding through us) keeps
+            # the old non-blocking abandonment.
+            pool.shutdown(wait=healthy, cancel_futures=True)
 
     if pending and broken:
         logger.warning(
@@ -721,6 +746,15 @@ def run_tasks_parallel(
     ``repro.obs.heartbeat.HeartbeatMonitor``) turns on worker progress
     events + the live status line; its stale-task flags fold into the
     returned report's advisory ``heartbeat_stale`` / ``stale_tasks``.
+
+    When the cache has a shared disk store
+    (:class:`~repro.analysis.store.ShardedRunStore`), identical in-flight
+    run keys are coalesced across *processes*: misses are lease-claimed
+    before dispatch, keys another live evaluator already owns are
+    followed (polled until published — counted as coalesced hits, never
+    re-simulated), and a follower steals the lease and simulates locally
+    only when the owner provably died.  ``REPRO_COALESCE=0`` disables
+    this.
     """
     base = base_config or SimConfig()
     ordered: List[Tuple[str, WorkloadSpec]] = [
@@ -735,6 +769,11 @@ def run_tasks_parallel(
         previous_publisher = cache.publisher
         cache.publisher = events_bus
         publisher_attached = True
+    store: Optional[Any] = None
+    followed: List[Tuple[str, WorkloadSpec, str]] = []
+    held_leases: List[Any] = []
+    keeper: Optional[LeaseKeeper] = None
+    report = FaultReport()
     try:
         results: Dict[Tuple[str, str], SimResult] = {}
         pending: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
@@ -770,7 +809,44 @@ def run_tasks_parallel(
                     continue
             pending.append((name, spec, key))
 
-        report = FaultReport()
+        # -- stampede coalescing: claim run keys before dispatching ------
+        # When the cache has a shared disk store, concurrent evaluators
+        # (other run_suite/tune/sweep processes sharing one cache dir)
+        # coalesce identical in-flight keys: whoever wins the O_EXCL
+        # lease simulates; everyone else follows — polls the store for
+        # the published entry, stealing the lease only if its owner dies.
+        store = getattr(cache, "store", None) if cache is not None else None
+        if store is not None and pending and coalesce_enabled():
+            owned: List[Tuple[str, WorkloadSpec, Optional[str]]] = []
+            for name, spec, key in pending:
+                if key is None:
+                    owned.append((name, spec, key))
+                    continue
+                label = f"{name}/{spec.name}"
+                lease = store.claim(key)
+                if lease is None:
+                    followed.append((name, spec, key))
+                    continue
+                # Claim won — but the previous owner may have published
+                # between our cache miss and this claim; one quiet
+                # re-probe closes that race without a duplicate run.
+                hit = cache.wait_probe(key, label=label)
+                if hit is not None:
+                    store.release(lease)
+                    results[(name, spec.name)] = hit
+                    if monitor is not None:
+                        monitor.note_cache_hit(label)
+                    if checkpoint is not None:
+                        checkpoint.note_hit(key)
+                        checkpoint.mark_done(key, name, spec.name)
+                    continue
+                held_leases.append(lease)
+                owned.append((name, spec, key))
+            pending = owned
+            if held_leases:
+                keeper = LeaseKeeper(store, held_leases)
+                keeper.start()
+
         if pending:
             tasks = [
                 RunTask(spec, name, base_config, warmup_instructions)
@@ -894,7 +970,57 @@ def run_tasks_parallel(
                         manager.shutdown()
                     except Exception:  # noqa: BLE001
                         pass
+
+        # -- resolve followed keys: poll the owner, steal if it dies -----
+        for name, spec, key in followed:
+            label = f"{name}/{spec.name}"
+            result: Optional[SimResult] = None
+            while result is None:
+                hit = await_result(
+                    cache, store, key, label, bus=events_bus
+                )
+                if hit is not None:
+                    result = hit
+                    break
+                # Owner gone without publishing (died, or its store
+                # degraded): take over the claim and simulate locally.
+                lease = store.steal(key)
+                if lease is None:
+                    continue  # lost the steal race; back to following
+                hit = cache.wait_probe(key, label=label)
+                if hit is not None:  # published in the steal window
+                    store.release(lease)
+                    result = hit
+                    break
+                cache.lease_steals += 1
+                report.attempts += 1
+                try:
+                    sim = execute_task(
+                        RunTask(spec, name, base_config, warmup_instructions)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    report.task_errors += 1
+                    report.quarantined.append(
+                        TaskFailure(label, 1, f"{type(exc).__name__}: {exc}")
+                    )
+                    store.release(lease)
+                    break
+                sim.stats.attempts = 1
+                cache.put(key, sim, label=label)
+                store.release(lease)
+                result = sim
+            if result is not None:
+                results[(name, spec.name)] = result
+                if checkpoint is not None:
+                    checkpoint.mark_done(key, name, spec.name)
     finally:
+        if keeper is not None:
+            keeper.stop()
+        if store is not None:
+            for lease in held_leases:
+                store.release(lease)
+            if store.read_only:
+                report.store_degraded = True
         if publisher_attached:
             cache.publisher = previous_publisher
 

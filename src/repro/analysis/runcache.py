@@ -19,9 +19,12 @@ export) works transparently.
 Disk entries are version-stamped and checksummed: a truncated file, a
 schema from another format version, or a flipped byte is detected on
 load, logged, and treated as a miss (re-simulate) — never a crash, never
-silently served garbage.  Writers use a unique per-process tmp name so
-concurrent sweeps sharing ``REPRO_RUN_CACHE_DIR`` cannot interleave
-writes, and ``os.replace`` keeps each publish atomic.
+silently served garbage.  The disk layer itself is the sharded v4
+:class:`~repro.analysis.store.ShardedRunStore` (256 fan-out dirs,
+size/age eviction, lease-based in-flight coalescing across processes,
+read-only degradation on ENOSPC/EIO); legacy flat v2/v3 entries are
+served and migrated on first read, so a warm cache survives the layout
+change.
 
 The process-wide default cache is enabled unless ``REPRO_RUN_CACHE=0``;
 set ``REPRO_RUN_CACHE_DIR`` to also persist results as JSON files so
@@ -32,12 +35,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import itertools
 import json
 import logging
 import os
 from typing import Any, Dict, Optional
 
+from repro.analysis.store import ShardedRunStore
 from repro.sim.config import SimConfig
 from repro.sim.simulator import SimResult
 from repro.sim.stats import SimStats
@@ -45,9 +48,18 @@ from repro.workloads.generators import WorkloadSpec
 
 logger = logging.getLogger(__name__)
 
-#: Bumped whenever the key derivation or the disk schema changes; entries
-#: written by other versions are treated as misses, never mis-served.
-_CACHE_FORMAT_VERSION = 3  # v3: WorkloadSpec gained trace_file/tenants
+#: Version of the *key derivation* (the hashed payload below).  Bumped
+#: whenever a change must produce new run keys (old entries become
+#: misses).  v3: WorkloadSpec gained trace_file/tenants.
+_KEY_FORMAT_VERSION = 3
+
+#: Version of the *disk entry / layout* written by the store.  v4 moved
+#: entries into 256 shard directories with eviction and leases (see
+#: :mod:`repro.analysis.store`); the entry schema and checksum are
+#: unchanged from v2/v3, so existing flat caches are served and migrated
+#: in place rather than invalidated — which is exactly why this version
+#: is decoupled from the key version above.
+_CACHE_FORMAT_VERSION = 4
 
 
 def _canonical(value: Any) -> Any:
@@ -102,7 +114,7 @@ def run_key(
     config_fields = _canonical(sim_config)
     config_fields.pop("backend", None)
     payload = {
-        "format": _CACHE_FORMAT_VERSION,
+        "format": _KEY_FORMAT_VERSION,
         "spec": _canonical(spec),
         "config_name": config_name,
         "sim_config": config_fields,
@@ -131,22 +143,39 @@ class RunCache:
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self.disk_dir = disk_dir
-        #: Duck-typed telemetry hook (``repro.obs.events.EventBus``): when
-        #: set, every get/put emits a cache_hit/cache_miss/cache_store
-        #: event.  Same zero-cost pattern as the sanitizer's ``checker``
-        #: attribute — a single ``is None`` check, no imports here, and
-        #: publish failures never disturb the cache.
-        self.publisher: Optional[Any] = None
+        #: The shared on-disk half (sharded v4 store with eviction and
+        #: leases); None for a purely in-memory cache.
+        self.store: Optional[ShardedRunStore] = (
+            ShardedRunStore(disk_dir) if disk_dir else None
+        )
+        self._publisher: Optional[Any] = None
         self._mem: Dict[str, SimResult] = {}
-        self._tmp_counter = itertools.count()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.disk_hits = 0
         self.disk_corrupt = 0
+        self.disk_stale = 0
+        self.lease_waits = 0
+        self.coalesced = 0
+        self.lease_steals = 0
         self.wall_seconds_saved = 0.0
-        if disk_dir:
-            os.makedirs(disk_dir, exist_ok=True)
+
+    @property
+    def publisher(self) -> Optional[Any]:
+        """Duck-typed telemetry hook (``repro.obs.events.EventBus``): when
+        set, every get/put emits a cache_hit/cache_miss/cache_store event.
+        Same zero-cost pattern as the sanitizer's ``checker`` attribute —
+        a single ``is None`` check, no imports here, and publish failures
+        never disturb the cache.  Propagated to the disk store so
+        eviction/degradation events share the bus."""
+        return self._publisher
+
+    @publisher.setter
+    def publisher(self, value: Optional[Any]) -> None:
+        self._publisher = value
+        if self.store is not None:
+            self.store.publisher = value
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -176,7 +205,7 @@ class RunCache:
         ``config/workload`` task label) attached to published events.
         """
         result = self._mem.get(key)
-        if result is None and self.disk_dir:
+        if result is None and self.store is not None:
             result = self._load_disk(key)
             if result is not None:
                 self._mem[key] = result
@@ -192,6 +221,32 @@ class RunCache:
         self._publish("cache_hit", key, label)
         return served
 
+    def wait_probe(self, key: str, label: str = "") -> Optional[SimResult]:
+        """Quiet disk probe for lease followers polling an in-flight key.
+
+        Serves (and counts) a coalesced hit once the owning process has
+        published; until then returns None *silently* — no miss counter,
+        no cache_miss event — so a follower polling every 200ms does not
+        distort cache statistics or flood the ledger.
+        """
+        if self.store is None:
+            return None
+        data, status = self.store.load(key)
+        if status != "ok":
+            return None
+        result = self._deserialize(key, data)
+        if result is None:
+            return None
+        self._mem[key] = result
+        self.disk_hits += 1
+        self.hits += 1
+        self.coalesced += 1
+        self.wall_seconds_saved += result.stats.wall_seconds
+        served = self._copy(result)
+        served.stats.from_cache = True
+        self._publish("cache_hit", key, label)
+        return served
+
     def put(self, key: str, result: SimResult, label: str = "") -> None:
         """Store a detached copy of ``result`` under ``key``."""
         detached = self._copy(result)
@@ -200,7 +255,7 @@ class RunCache:
         detached.stats.from_cache = False
         self._mem[key] = detached
         self.stores += 1
-        if self.disk_dir:
+        if self.store is not None:
             self._store_disk(key, detached)
         self._publish("cache_store", key, label)
 
@@ -216,6 +271,10 @@ class RunCache:
         self.stores = 0
         self.disk_hits = 0
         self.disk_corrupt = 0
+        self.disk_stale = 0
+        self.lease_waits = 0
+        self.coalesced = 0
+        self.lease_steals = 0
         self.wall_seconds_saved = 0.0
 
     def stats_line(self) -> str:
@@ -225,8 +284,15 @@ class RunCache:
             f"({self.disk_hits} from disk), {self.misses} misses, "
             f"~{self.wall_seconds_saved:.1f}s of simulation re-use"
         )
+        if self.coalesced or self.lease_waits:
+            line += (
+                f", {self.coalesced} coalesced from concurrent evaluators "
+                f"({self.lease_steals} lease steals)"
+            )
         if self.disk_corrupt:
             line += f", {self.disk_corrupt} corrupt disk entries rejected"
+        if self.store is not None and self.store.read_only:
+            line += ", store DEGRADED read-only"
         return line
 
     # -- internals ----------------------------------------------------------
@@ -241,42 +307,27 @@ class RunCache:
             prefetcher=None,
         )
 
-    def _disk_path(self, key: str) -> str:
-        return os.path.join(self.disk_dir, f"{key}.json")
-
     def _load_disk(self, key: str) -> Optional[SimResult]:
-        path = self._disk_path(key)
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except FileNotFoundError:
+        data, status = self.store.load(key)
+        if status == "missing":
             return None
-        except (OSError, ValueError):
-            self.disk_corrupt += 1
-            logger.warning(
-                "run cache entry %s is unreadable/truncated; re-simulating",
-                path,
-            )
-            return None
-        if not isinstance(data, dict):
-            self.disk_corrupt += 1
-            logger.warning(
-                "run cache entry %s has an unknown schema; re-simulating", path
-            )
-            return None
-        if data.get("format") != _CACHE_FORMAT_VERSION:
+        if status == "stale":
             # Another format version is stale-by-definition, not corrupt.
+            self.disk_stale += 1
             logger.warning(
-                "run cache entry %s has format %r (want %d); re-simulating",
-                path, data.get("format"), _CACHE_FORMAT_VERSION,
+                "run cache entry %s has an unknown format version; "
+                "re-simulating", key,
             )
             return None
-        if data.get("checksum") != _entry_checksum(data):
+        if status == "corrupt":
             self.disk_corrupt += 1
             logger.warning(
-                "run cache entry %s failed its checksum; re-simulating", path
+                "run cache entry %s is torn/corrupt; re-simulating", key
             )
             return None
+        return self._deserialize(key, data)
+
+    def _deserialize(self, key: str, data: Dict[str, Any]) -> Optional[SimResult]:
         try:
             return SimResult(
                 trace_name=data["trace_name"],
@@ -288,33 +339,23 @@ class RunCache:
         except (KeyError, TypeError):
             self.disk_corrupt += 1
             logger.warning(
-                "run cache entry %s failed to deserialize; re-simulating", path
+                "run cache entry %s failed to deserialize; re-simulating", key
             )
             return None
 
     def _store_disk(self, key: str, result: SimResult) -> None:
-        path = self._disk_path(key)
-        data = {
-            "format": _CACHE_FORMAT_VERSION,
-            "trace_name": result.trace_name,
-            "category": result.category,
-            "prefetcher_name": result.prefetcher_name,
-            "stats": result.stats.to_dict(),
-        }
-        data["checksum"] = _entry_checksum(data)
-        # Unique tmp name per process *and* per write: two sweeps sharing
-        # REPRO_RUN_CACHE_DIR must never interleave into one tmp file.
-        tmp = f"{path}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
-        try:
-            with open(tmp, "w") as fh:
-                json.dump(data, fh)
-            os.replace(tmp, path)
-        except OSError:
-            # Disk persistence is best-effort; the in-memory copy stands.
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+        # The store seals the payload (format stamp + checksum) and
+        # publishes atomically; persistence stays best-effort — a
+        # degraded (read-only) store leaves the in-memory copy standing.
+        self.store.publish(
+            key,
+            {
+                "trace_name": result.trace_name,
+                "category": result.category,
+                "prefetcher_name": result.prefetcher_name,
+                "stats": result.stats.to_dict(),
+            },
+        )
 
 
 _global_cache: Optional[RunCache] = None

@@ -54,6 +54,7 @@ from repro.analysis.experiments import (
 from repro.analysis.metrics import robust_geometric_mean
 from repro.analysis.pareto import pareto_front_indices
 from repro.analysis.runcache import RunCache, _canonical_json, run_key
+from repro.analysis.store import LeaseKeeper, await_result, coalesce_enabled
 from repro.check.errors import ConfigError
 from repro.core.entangling import EntanglingConfig, EntanglingPrefetcher
 from repro.energy.model import EnergyModel
@@ -381,6 +382,7 @@ class Tuner:
         self.checkpoint = checkpoint
         self.jobs = max(1, jobs)
         self.invalid = 0
+        self._degradation_warned = False
         self._energy_model = EnergyModel()
         #: genome name -> GenomeResult, in first-evaluation order
         self._results: Dict[str, GenomeResult] = {}
@@ -500,29 +502,103 @@ class Tuner:
                 labels.append(f"{name}/{spec.name}")
         if not tasks:
             return
-        if self.jobs > 1:
-            from repro.analysis.parallel import map_resilient
 
-            outcome = map_resilient(
-                _genome_worker, tasks, labels=labels, jobs=self.jobs
-            )
-            results = outcome.results
-        else:
-            results = []
-            for task, label in zip(tasks, labels):
-                try:
-                    results.append(_genome_worker(task))
-                except Exception as exc:  # noqa: BLE001 — degrade per pair
-                    logger.warning("tune pair %s failed: %s", label, exc)
-                    results.append(None)
-        for (spec, genome, _base), key, result in zip(tasks, keys, results):
-            if result is None:
-                continue  # quarantined; the genome's score degrades
-            self.cache.put(key, result)
-            if self.checkpoint is not None:
-                self.checkpoint.mark_done(
-                    key, genome_name(genome), spec.name
+        # Stampede coalescing across concurrent tuners sharing one cache
+        # dir: claim each missing key; keys another live process already
+        # owns are *followed* (poll-or-steal) instead of re-simulated.
+        # Same protocol as run_tasks_parallel — see repro.analysis.store.
+        store = getattr(self.cache, "store", None)
+        followed: List[Tuple[Tuple[WorkloadSpec, Dict[str, object], SimConfig],
+                             str, str]] = []
+        held: List[object] = []
+        keeper = None
+        if store is not None and coalesce_enabled():
+            owned_tasks, owned_keys, owned_labels = [], [], []
+            for task, key, label in zip(tasks, keys, labels):
+                lease = store.claim(key)
+                if lease is None:
+                    followed.append((task, key, label))
+                    continue
+                hit = self.cache.wait_probe(key, label=label)
+                if hit is not None:  # published since our get() miss
+                    store.release(lease)
+                    if self.checkpoint is not None:
+                        self.checkpoint.mark_done(
+                            key, genome_name(task[1]), task[0].name
+                        )
+                    continue
+                held.append(lease)
+                owned_tasks.append(task)
+                owned_keys.append(key)
+                owned_labels.append(label)
+            tasks, keys, labels = owned_tasks, owned_keys, owned_labels
+            if held:
+                keeper = LeaseKeeper(store, held)
+                keeper.start()
+
+        try:
+            if self.jobs > 1 and tasks:
+                from repro.analysis.parallel import map_resilient
+
+                outcome = map_resilient(
+                    _genome_worker, tasks, labels=labels, jobs=self.jobs
                 )
+                results = outcome.results
+            else:
+                results = []
+                for task, label in zip(tasks, labels):
+                    try:
+                        results.append(_genome_worker(task))
+                    except Exception as exc:  # noqa: BLE001 — degrade per pair
+                        logger.warning("tune pair %s failed: %s", label, exc)
+                        results.append(None)
+            for (spec, genome, _base), key, result in zip(tasks, keys, results):
+                if result is None:
+                    continue  # quarantined; the genome's score degrades
+                self.cache.put(key, result)
+                if self.checkpoint is not None:
+                    self.checkpoint.mark_done(
+                        key, genome_name(genome), spec.name
+                    )
+            for task, key, label in followed:
+                spec, genome, _base = task
+                result = None
+                while result is None:
+                    hit = await_result(self.cache, store, key, label)
+                    if hit is not None:
+                        result = hit
+                        break
+                    lease = store.steal(key)
+                    if lease is None:
+                        continue  # lost the steal race; keep following
+                    hit = self.cache.wait_probe(key, label=label)
+                    if hit is not None:
+                        store.release(lease)
+                        result = hit
+                        break
+                    self.cache.lease_steals += 1
+                    try:
+                        result = _genome_worker(task)
+                    except Exception as exc:  # noqa: BLE001
+                        logger.warning("tune pair %s failed: %s", label, exc)
+                        store.release(lease)
+                        break
+                    self.cache.put(key, result)
+                    store.release(lease)
+                if result is not None and self.checkpoint is not None:
+                    self.checkpoint.mark_done(key, genome_name(genome), spec.name)
+        finally:
+            if keeper is not None:
+                keeper.stop()
+            if store is not None:
+                for lease in held:
+                    store.release(lease)
+                if store.read_only and not self._degradation_warned:
+                    self._degradation_warned = True
+                    logger.warning(
+                        "shared run store degraded to read-only; tuning "
+                        "continues uncached"
+                    )
 
     def _baseline_result(self, spec: WorkloadSpec) -> Optional[SimResult]:
         _prefetcher, sim_config = resolve_config("no", self.base_config)

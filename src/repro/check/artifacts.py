@@ -21,6 +21,7 @@ import itertools
 import json
 import logging
 import os
+import sys
 from typing import Any, Optional, Tuple
 
 logger = logging.getLogger(__name__)
@@ -30,21 +31,43 @@ logger = logging.getLogger(__name__)
 _tmp_counter = itertools.count()
 
 
-def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+def _fsfault(op: str, path: str, scope: str, tmp: Optional[str] = None) -> None:
+    """Chaos seam (:mod:`repro.check.fsfault`): zero-cost unless armed.
+
+    Nothing is imported when ``REPRO_FSFAULT`` is unset and no injector
+    module was loaded — the same contract the observability hooks keep.
+    """
+    if (
+        "repro.check.fsfault" not in sys.modules
+        and not os.environ.get("REPRO_FSFAULT")
+    ):
+        return
+    from repro.check.fsfault import fault_check
+
+    fault_check(op, path, scope=scope, tmp=tmp)
+
+
+def atomic_write_bytes(
+    path: str, data: bytes, fsync: bool = True, scope: str = "artifact"
+) -> None:
     """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
 
     The staging file lives in the destination directory so the final
     ``os.replace`` is a same-filesystem rename, which POSIX guarantees to
     be atomic.  ``fsync=False`` skips the durability barrier for callers
-    that only need atomicity (tests, scratch output).
+    that only need atomicity (tests, scratch output).  ``scope`` labels
+    this write for the fault-injection harness (``cache``, ``ledger``,
+    ``checkpoint``, or the default ``artifact``).
     """
     tmp = f"{path}.{os.getpid()}.{next(_tmp_counter)}.tmp"
     try:
+        _fsfault("write", path, scope)
         with open(tmp, "wb") as fh:
             fh.write(data)
             if fsync:
                 fh.flush()
                 os.fsync(fh.fileno())
+        _fsfault("rename", path, scope, tmp=tmp)
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirror the typical workflow of a prefetching study::
+The subcommands mirror the typical workflow of a prefetching study::
 
     python -m repro gen  --category srv --seed 3 --instructions 500000 out.trc
     python -m repro import server.champsimtrace.gz out.trc
@@ -12,6 +12,8 @@ Ten subcommands mirror the typical workflow of a prefetching study::
     python -m repro events events.jsonl --summary
     python -m repro top events.jsonl
     python -m repro metrics-serve events.jsonl --port 9095
+    python -m repro store ~/.cache/repro-runs stats
+    python -m repro chaos /tmp/chaos --writers 4 --expect-degraded
 
 ``gen`` writes a synthetic workload to a trace file (including the
 multi-tenant ``microservice`` category); ``import`` converts an external
@@ -40,6 +42,14 @@ fault, cache, and sanitizer occurrence to a JSONL run ledger, and
 from one, and ``metrics-serve`` exports a ledger over HTTP after the
 fact.  Without those flags the telemetry modules are never imported
 (the zero-cost contract of :mod:`repro.obs`).
+
+Shared run store (:mod:`repro.analysis.store`): ``store`` inspects and
+maintains a cache directory (entry/lease stats, forced eviction,
+checksum verification, stale-lease reaping); ``chaos`` runs the
+multi-process stress harness against one — optionally under injected
+filesystem faults (``REPRO_FSFAULT=enospc:0.05,torn-rename:0.05``) —
+asserting the store invariants (no torn entry served, byte budget held,
+ENOSPC degrades to read-only, SIGKILLed lease owners are stolen from).
 """
 
 from __future__ import annotations
@@ -752,6 +762,84 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.analysis.store import ShardedRunStore
+
+    # Defer maintenance so `evict` can report exactly what *it* removed
+    # (auto-maintain would silently evict during construction).
+    store = ShardedRunStore(
+        args.dir,
+        max_bytes=args.max_bytes,
+        max_age=args.max_age,
+        reap_on_open=False,
+        auto_maintain=False,
+    )
+    if args.action == "stats":
+        for line in store.describe():
+            print(line)
+        return 0
+    if args.action == "reap":
+        leases, tmps = store.reap()
+        print(f"reaped {leases} stale lease(s), {tmps} orphaned tmp file(s)")
+        return 0
+    if args.action == "evict":
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "store evict: set --max-bytes and/or --max-age "
+                "(or REPRO_RUN_CACHE_MAX_BYTES / _MAX_AGE)",
+                file=sys.stderr,
+            )
+            return 2
+        evicted, freed = store.maintain(force=True)
+        print(f"evicted {evicted} entr(ies), {freed} bytes freed; "
+              f"{store.total_bytes()} bytes remain")
+        return 0
+    # verify
+    outcome = store.verify(purge=args.purge)
+    print(
+        f"{outcome['ok']} ok, {outcome['corrupt']} corrupt, "
+        f"{outcome['stale']} stale"
+        + (f", {outcome['purged']} purged" if args.purge else "")
+    )
+    for path in outcome["bad_paths"]:
+        print(f"  bad: {path}")
+    return 0 if not outcome["bad_paths"] or args.purge else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.check.fsfault import lease_steal_check, run_store_stress
+
+    failed = False
+    if args.steal_check:
+        steal = lease_steal_check(args.dir)
+        print(f"lease steal: {'ok' if steal['ok'] else 'FAILED'} "
+              f"(owner sigkilled={steal['owner_sigkilled']}, "
+              f"state={steal['lease_state_seen']}, "
+              f"stolen={steal['stolen']})")
+        failed = failed or not steal["ok"]
+    report = run_store_stress(
+        args.dir,
+        writers=args.writers,
+        readers=args.readers,
+        entries=args.entries,
+        seconds=args.seconds,
+        payload_bytes=args.payload_bytes,
+        max_bytes=args.max_bytes,
+        seed=args.seed,
+        expect_degraded=args.expect_degraded,
+    )
+    summary = {k: v for k, v in report.items() if k != "reports"}
+    print(json_module.dumps(summary, indent=2))
+    failed = failed or not report["ok"]
+    if failed:
+        print("chaos: FAILED", file=sys.stderr)
+        return 1
+    print("chaos: ok", file=sys.stderr)
+    return 0
+
+
 def _add_telemetry_args(command_parser: argparse.ArgumentParser) -> None:
     """The ``--events`` / ``--metrics-port`` pair shared by run/sweep/tune."""
     command_parser.add_argument(
@@ -1210,6 +1298,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop serving after this long (default: until Ctrl-C)",
     )
     metrics.set_defaults(func=_cmd_metrics_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or maintain a shared run-store directory",
+    )
+    store.add_argument("dir", help="run cache directory (REPRO_RUN_CACHE_DIR)")
+    store.add_argument(
+        "action",
+        choices=("stats", "evict", "verify", "reap"),
+        help="stats: entry/shard/lease counters; evict: enforce the "
+             "size/age budget now; verify: checksum-scan every entry; "
+             "reap: remove stale leases and orphaned tmp files",
+    )
+    store.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="size budget for evict (default: REPRO_RUN_CACHE_MAX_BYTES)",
+    )
+    store.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="age bound for evict (default: REPRO_RUN_CACHE_MAX_AGE)",
+    )
+    store.add_argument(
+        "--purge", action="store_true",
+        help="with verify: delete entries that fail validation",
+    )
+    store.set_defaults(func=_cmd_store)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="multi-process store stress test under injected filesystem "
+             "faults (REPRO_FSFAULT)",
+    )
+    chaos.add_argument("dir", help="store directory to hammer (created)")
+    chaos.add_argument("--writers", type=int, default=2)
+    chaos.add_argument("--readers", type=int, default=2)
+    chaos.add_argument(
+        "--entries", type=int, default=50,
+        help="distinct run keys each writer publishes (default 50)",
+    )
+    chaos.add_argument(
+        "--seconds", type=float, default=20.0,
+        help="stress deadline (default 20)",
+    )
+    chaos.add_argument("--payload-bytes", type=int, default=2048)
+    chaos.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="byte budget to enforce (and assert) during the stress",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--expect-degraded", action="store_true",
+        help="fail unless at least one worker degraded to read-only "
+             "(use with REPRO_FSFAULT=enospc:...)",
+    )
+    chaos.add_argument(
+        "--steal-check", action="store_true",
+        help="also SIGKILL a lease owner and assert the lease is stolen",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

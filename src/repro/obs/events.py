@@ -46,6 +46,7 @@ import json
 import logging
 import os
 import re
+import sys
 import threading
 import time
 from collections import deque
@@ -101,6 +102,9 @@ EVENT_TYPES = (
     "cache_store",      # run cache stored a fresh result
     "sanitizer",        # invariant sanitizer report for one run
     "flight_dump",      # a flight-recorder artifact was written
+    "cache_evicted",    # the shared store evicted an entry (size/age)
+    "lease_wait",       # a follower is coalescing on another process's run
+    "store_degraded",   # ENOSPC/EIO degraded the shared store to read-only
 )
 
 #: Ledger rotation threshold (``REPRO_EVENTS_MAX_BYTES``): when an append
@@ -279,11 +283,30 @@ class EventLedger:
             return
         line = (event.to_json_line() + "\n").encode("utf-8")
         try:
+            self._fsfault()
             self._maybe_rotate(len(line))
             os.write(self._ensure_fd(), line)
             self.appended += 1
-        except OSError:
+        except OSError as exc:
             self.dropped += 1
+            if self.dropped == 1:
+                # Log once: a full disk degrades telemetry, never the
+                # evaluation — subsequent drops are only counted.
+                logger.warning(
+                    "event ledger %s is unwritable (%s); dropping events",
+                    self.path, exc,
+                )
+
+    def _fsfault(self) -> None:
+        """Chaos seam (:mod:`repro.check.fsfault`), zero-cost unless armed."""
+        if (
+            "repro.check.fsfault" not in sys.modules
+            and not os.environ.get("REPRO_FSFAULT")
+        ):
+            return
+        from repro.check.fsfault import fault_check
+
+        fault_check("append", self.path, scope="ledger")
 
     def close(self) -> None:
         self._closed = True
@@ -357,6 +380,22 @@ def read_events(path: str, include_rotated: bool = True) -> LedgerRead:
     return out
 
 
+def _drain_lines(buffer: bytes) -> "tuple[List[TelemetryEvent], bytes]":
+    """Split complete lines off ``buffer`` and decode them as events."""
+    events: List[TelemetryEvent] = []
+    while b"\n" in buffer:
+        line, buffer = buffer.split(b"\n", 1)
+        if not line.strip():
+            continue
+        try:
+            events.append(
+                TelemetryEvent.from_dict(json.loads(line.decode("utf-8")))
+            )
+        except (ValueError, UnicodeDecodeError):
+            continue
+    return events, buffer
+
+
 def follow_events(
     path: str,
     duration: Optional[float] = None,
@@ -366,38 +405,62 @@ def follow_events(
 
     Only whole lines are yielded (a torn tail stays buffered until its
     writer finishes it or rotation resets the file).  ``duration`` bounds
-    the follow (None = until interrupted); truncation/rotation restarts
-    from the head of the new file.
+    the follow (None = until interrupted).
+
+    Rotation-safe: the follower holds the file *descriptor* open, so when
+    an appender rotates the ledger (``os.replace`` to ``<path>.1``) the
+    old inode is first drained to EOF — no record appended between the
+    last poll and the swap is ever lost — and only then does the follower
+    reopen ``path`` and continue from the head of the new file.  Rotation
+    is detected by comparing ``os.stat(path).st_ino`` against the open
+    descriptor's inode; in-place truncation (same inode, smaller size)
+    restarts from offset 0.
     """
     deadline = None if duration is None else time.time() + duration
-    offset = 0
     buffer = b""
-    while True:
-        try:
-            size = os.path.getsize(path)
-        except OSError:
-            size = 0
-        if size < offset:  # rotated or truncated underneath us
-            offset = 0
-            buffer = b""
-        if size > offset:
-            with open(path, "rb") as fh:
-                fh.seek(offset)
-                buffer += fh.read(size - offset)
-            offset = size
-            while b"\n" in buffer:
-                line, buffer = buffer.split(b"\n", 1)
-                if not line.strip():
-                    continue
+    fh = None
+    try:
+        while True:
+            if fh is None:
                 try:
-                    yield TelemetryEvent.from_dict(
-                        json.loads(line.decode("utf-8"))
-                    )
-                except (ValueError, UnicodeDecodeError):
-                    continue
-        if deadline is not None and time.time() >= deadline:
-            return
-        time.sleep(poll)
+                    fh = open(path, "rb")
+                    buffer = b""
+                except OSError:
+                    fh = None
+            rotated = False
+            if fh is not None:
+                # Reading the open descriptor reaches EOF of whatever
+                # inode we hold — including one already renamed away.
+                buffer += fh.read()
+                events, buffer = _drain_lines(buffer)
+                for event in events:
+                    yield event
+                try:
+                    st = os.stat(path)
+                    if st.st_ino != os.fstat(fh.fileno()).st_ino:
+                        rotated = True
+                    elif st.st_size < fh.tell():  # truncated in place
+                        fh.seek(0)
+                        buffer = b""
+                except OSError:
+                    rotated = True  # path vanished mid-rotation
+                if rotated:
+                    # Final drain of the old inode, then switch files
+                    # immediately (no sleep: the new file is already live).
+                    buffer += fh.read()
+                    events, _torn = _drain_lines(buffer)
+                    for event in events:
+                        yield event
+                    fh.close()
+                    fh = None
+                    buffer = b""
+            if deadline is not None and time.time() >= deadline:
+                return
+            if not rotated:
+                time.sleep(poll)
+    finally:
+        if fh is not None:
+            fh.close()
 
 
 def event_matches(

@@ -35,6 +35,7 @@ from repro.obs.events import (
     TelemetryEvent,
     event_matches,
     flight_artifact_name,
+    follow_events,
     open_bus,
     read_events,
     rotated_path,
@@ -159,6 +160,73 @@ class TestLedgerDurability:
         seqs = [e.seq for e in read.events]
         assert seqs == sorted(seqs) and seqs[-1] == 20
         assert set(read.files) == {rotated_path(path), path}
+
+    def test_follow_survives_rotation_mid_follow(self, tmp_path):
+        """Regression: ``repro events --follow`` used to go silent when
+        an appender rotated the ledger (the follower kept polling the
+        renamed-away ``.1`` inode).  The follower must drain the old
+        inode to EOF — including records appended *between its last poll
+        and the swap* — then reopen the new file, losing nothing."""
+        path = str(tmp_path / "ledger.jsonl")
+
+        def append(seq):
+            with open(path, "a") as fh:
+                fh.write(TelemetryEvent(type="heartbeat", seq=seq)
+                         .to_json_line() + "\n")
+
+        append(1)
+        append(2)
+        gen = follow_events(path, duration=60.0, poll=0.01)
+        try:
+            assert next(gen).seq == 1
+            assert next(gen).seq == 2
+            # Rotation mid-follow: one more record lands on the old
+            # inode, then the swap, then new records on the new inode.
+            append(3)
+            os.replace(path, rotated_path(path))
+            append(4)
+            append(5)
+            assert [next(gen).seq for _ in range(3)] == [3, 4, 5]
+            # A second rotation on the same follow: still no loss.
+            os.replace(path, rotated_path(path))
+            append(6)
+            assert next(gen).seq == 6
+        finally:
+            gen.close()
+
+    def test_follow_survives_in_place_truncation(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+
+        def append(seq):
+            with open(path, "a") as fh:
+                fh.write(TelemetryEvent(type="heartbeat", seq=seq)
+                         .to_json_line() + "\n")
+
+        append(1)
+        append(2)
+        gen = follow_events(path, duration=60.0, poll=0.01)
+        try:
+            assert next(gen).seq == 1
+            assert next(gen).seq == 2
+            with open(path, "w"):
+                pass  # truncated in place (same inode), now shorter
+            append(3)
+            assert next(gen).seq == 3
+        finally:
+            gen.close()
+
+    def test_follow_waits_out_vanished_path(self, tmp_path):
+        """A rotation's tiny window where ``path`` does not exist (or a
+        late-starting follower) must not kill the follow."""
+        path = str(tmp_path / "ledger.jsonl")
+        gen = follow_events(path, duration=60.0, poll=0.01)
+        try:
+            with open(path, "a") as fh:
+                fh.write(TelemetryEvent(type="heartbeat", seq=9)
+                         .to_json_line() + "\n")
+            assert next(gen).seq == 9
+        finally:
+            gen.close()
 
     def test_max_bytes_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "123")

@@ -123,7 +123,8 @@ class TestFromCacheStamp:
 
 class TestDiskIntegrity:
     def _path(self, cache: RunCache, key: str) -> str:
-        return os.path.join(cache.disk_dir, f"{key}.json")
+        # v4 layout: entries live under 256 shard dirs keyed by key[:2].
+        return cache.store.path_for(key)
 
     def _seed_entry(self, tmp_path):
         writer = RunCache(disk_dir=str(tmp_path))
@@ -269,14 +270,18 @@ class TestConcurrentWriters:
             assert final.get(key) is not None
         assert final.disk_corrupt == 0
         leftovers = [
-            name for name in os.listdir(str(tmp_path)) if ".tmp" in name
+            name
+            for _dir, _subdirs, names in os.walk(str(tmp_path))
+            for name in names
+            if ".tmp" in name
         ]
         assert leftovers == []
 
-    def test_tmp_names_unique_per_write(self, tmp_path):
-        cache = RunCache(disk_dir=str(tmp_path))
-        first = f"x.{os.getpid()}.{next(cache._tmp_counter)}.tmp"
-        second = f"x.{os.getpid()}.{next(cache._tmp_counter)}.tmp"
+    def test_tmp_names_unique_per_write(self):
+        from repro.check.artifacts import _tmp_counter
+
+        first = f"x.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        second = f"x.{os.getpid()}.{next(_tmp_counter)}.tmp"
         assert first != second
 
 
